@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration benches.
+ *
+ * Every bench prints the same rows/series the paper's figure reports,
+ * using the instruction budgets from BOP_WARMUP / BOP_INSTR (defaults:
+ * 100K warm-up, 400K measured — the paper uses 1B-instruction traces;
+ * shapes are stable at these budgets because the generators are
+ * steady-state). BOP_VERBOSE=1 streams per-run progress to stderr.
+ */
+
+#ifndef BOP_BENCH_BENCH_COMMON_HH
+#define BOP_BENCH_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "harness/experiment.hh"
+#include "trace/workloads.hh"
+
+namespace bop
+{
+
+/** Print the standard bench header. */
+inline void
+benchHeader(const std::string &what, const ExperimentRunner &runner)
+{
+    std::cout << "=== " << what << " ===\n"
+              << "(budgets: " << runner.budgets().warmup << " warm-up + "
+              << runner.budgets().measure
+              << " measured instructions; override with BOP_WARMUP / "
+                 "BOP_INSTR)\n\n";
+}
+
+/**
+ * The paper's standard per-benchmark speedup figure: one row per
+ * benchmark, one column per (cores, page) grid point, plus the
+ * geometric mean row. @p variant mutates the baseline config into the
+ * configuration under test.
+ */
+template <typename ConfigMutator>
+void
+printSpeedupFigure(ExperimentRunner &runner, ConfigMutator &&variant,
+                   std::ostream &os = std::cout)
+{
+    TextTable table;
+    std::vector<std::string> header = {"benchmark"};
+    for (const auto &[cores, page] : baselineGrid())
+        header.push_back(gridLabel(cores, page));
+    table.addRow(header);
+
+    std::vector<std::vector<double>> speedups(baselineGrid().size());
+    for (const auto &bench : benchmarkNames()) {
+        std::vector<std::string> row = {bench};
+        std::size_t g = 0;
+        for (const auto &[cores, page] : baselineGrid()) {
+            const SystemConfig base = baselineConfig(cores, page);
+            SystemConfig cfg = base;
+            variant(cfg);
+            const double s = runner.speedup(bench, cfg, base);
+            speedups[g++].push_back(s);
+            row.push_back(TextTable::fmt(s));
+        }
+        table.addRow(row);
+    }
+
+    std::vector<std::string> gm = {"GM"};
+    for (const auto &per_grid : speedups)
+        gm.push_back(TextTable::fmt(geomean(per_grid)));
+    table.addRow(gm);
+    table.print(os);
+}
+
+/**
+ * Geometric-mean-only figure (paper Figs. 7, 9, 10, 11): one row per
+ * variant, one column per grid point.
+ */
+class GeomeanFigure
+{
+  public:
+    GeomeanFigure()
+    {
+        std::vector<std::string> header = {"variant"};
+        for (const auto &[cores, page] : baselineGrid())
+            header.push_back(gridLabel(cores, page));
+        table.addRow(header);
+    }
+
+    template <typename ConfigMutator>
+    void
+    addVariant(ExperimentRunner &runner, const std::string &name,
+               ConfigMutator &&variant)
+    {
+        std::vector<std::string> row = {name};
+        for (const auto &[cores, page] : baselineGrid()) {
+            const SystemConfig base = baselineConfig(cores, page);
+            SystemConfig cfg = base;
+            variant(cfg);
+            row.push_back(TextTable::fmt(
+                runner.geomeanSpeedup(benchmarkNames(), cfg, base)));
+        }
+        table.addRow(row);
+    }
+
+    void print(std::ostream &os = std::cout) const { table.print(os); }
+
+  private:
+    TextTable table;
+};
+
+} // namespace bop
+
+#endif // BOP_BENCH_BENCH_COMMON_HH

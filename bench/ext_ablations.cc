@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Extension ablations beyond the paper's figures (DESIGN.md Sec. 5):
+ *
+ *  - BO degree-2 (best + second-best offset, the Sec. 4.3 discussion):
+ *    the paper predicts extra requests without a filter may not pay.
+ *  - BO with negative offsets enabled (Sec. 4.2: "we did not observe
+ *    any benefit" — verified here).
+ *  - A classical trained stream prefetcher (Sec. 2 background class)
+ *    as an extra baseline: it needs stream detection and training,
+ *    which offset prefetching deliberately avoids.
+ *
+ * All geomean speedups are relative to the next-line baselines, so
+ * they are directly comparable with Figs. 7/11 output.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace bop;
+    ExperimentRunner runner;
+    benchHeader("Extension ablations: BO variants + stream prefetcher",
+                runner);
+
+    GeomeanFigure fig;
+    fig.addVariant(runner, "BO (paper)", [](SystemConfig &cfg) {
+        cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
+    });
+    fig.addVariant(runner, "BO degree-2", [](SystemConfig &cfg) {
+        cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
+        cfg.bo.degree = 2;
+    });
+    fig.addVariant(runner, "BO +negative", [](SystemConfig &cfg) {
+        cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
+        cfg.bo.includeNegative = true;
+    });
+    fig.addVariant(runner, "BO maxoff=63", [](SystemConfig &cfg) {
+        // Offset list capped at one 4KB page worth of lines.
+        cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
+        cfg.bo.maxOffset = 63;
+    });
+    fig.addVariant(runner, "stream pf", [](SystemConfig &cfg) {
+        cfg.l2Prefetcher = L2PrefetcherKind::Stream;
+    });
+    fig.print();
+    return 0;
+}

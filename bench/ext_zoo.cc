@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Extension: the full prefetcher zoo on one substrate.
+ *
+ * The paper's comparison chain spans three papers: Srinath et al.
+ * showed FDP beats static stream prefetching, Pugsley et al. showed
+ * SBP beats FDP, and this paper shows BO beats SBP. This bench runs
+ * the whole zoo (plus the Sec. 2 background mechanisms and the DPC-2
+ * tuned BO of footnote 1) under identical conditions.
+ *
+ * Two geomean tables are printed from the same runs:
+ *
+ *  - over the *streaming/regular* benchmarks, where offset and stream
+ *    prefetching are designed to win — this is where the published
+ *    chain is expected to reproduce;
+ *  - over all 29 benchmarks, which on this substrate is dominated by
+ *    the synthetic pointer-chasers' pollution sensitivity (DESIGN.md
+ *    Sec. 4b: next-line hurts them far more than real CPU2006
+ *    irregulars, dragging every always-on prefetcher's full-GM below
+ *    the selective ones').
+ *
+ * Unlike the figure benches (which keep the paper's next-line
+ * reference), zoo speedups are relative to *no L2 prefetching*: on
+ * this substrate next-line is strongly negative on the pure-stride
+ * generators (they touch every Nth line only), which would give every
+ * row a per-benchmark zero-point bias.
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+/** Benchmarks with regular (streaming/strided) L2 access patterns. */
+const std::vector<std::string> &
+streamingBenchmarks()
+{
+    static const std::vector<std::string> list = {
+        "410.bwaves",  "433.milc",       "434.zeusmp",
+        "436.cactusADM", "437.leslie3d", "450.soplex",
+        "459.GemsFDTD", "462.libquantum", "470.lbm",
+        "481.wrf",
+    };
+    return list;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace bop;
+    // Learning-based prefetchers (BO's ROUNDMAX=100 phases, SBP's
+    // 52-candidate evaluation sweep) need ~150K+ instructions before
+    // their steady state on the low-APKI benchmarks; a zoo comparison
+    // at the default figure budgets would freeze them mid-training
+    // (D=1). Tripling the warm-up leaves the measured window and every
+    // other bench untouched.
+    Budget budget = Budget::fromEnv();
+    budget.warmup *= 3;
+    ExperimentRunner runner(budget);
+    benchHeader("Extension: prefetcher zoo (GM speedup vs no-prefetch, "
+                "3x warm-up)",
+                runner);
+
+    struct Variant
+    {
+        const char *name;
+        L2PrefetcherKind kind;
+    };
+    const Variant variants[] = {
+        {"next-line", L2PrefetcherKind::NextLine},
+        {"stream buffers", L2PrefetcherKind::StreamBuffer},
+        {"stream pf", L2PrefetcherKind::Stream},
+        {"FDP", L2PrefetcherKind::Fdp},
+        {"AC/DC (GHB)", L2PrefetcherKind::Acdc},
+        {"SBP", L2PrefetcherKind::Sandbox},
+        {"BO (paper)", L2PrefetcherKind::BestOffset},
+        {"BO (DPC-2)", L2PrefetcherKind::BestOffsetDpc2},
+    };
+
+    const auto make_table = [&](const std::vector<std::string> &set) {
+        TextTable table;
+        std::vector<std::string> header = {"variant"};
+        for (const auto &[cores, page] : baselineGrid())
+            header.push_back(gridLabel(cores, page));
+        table.addRow(header);
+        for (const Variant &v : variants) {
+            std::vector<std::string> row = {v.name};
+            for (const auto &[cores, page] : baselineGrid()) {
+                SystemConfig ref = baselineConfig(cores, page);
+                ref.l2Prefetcher = L2PrefetcherKind::None;
+                SystemConfig cfg = ref;
+                cfg.l2Prefetcher = v.kind;
+                row.push_back(TextTable::fmt(
+                    runner.geomeanSpeedup(set, cfg, ref)));
+            }
+            table.addRow(row);
+        }
+        return table;
+    };
+
+    std::cout << "GM speedup over *no L2 prefetching*, streaming/"
+                 "regular benchmarks\n(where the published FDP < SBP "
+                 "< BO chain applies):\n";
+    make_table(streamingBenchmarks()).print(std::cout);
+
+    std::cout << "\nGM over all 29 benchmarks (pointer-chase pollution "
+                 "artifact\nincluded — see DESIGN.md Sec. 4b before "
+                 "comparing rows):\n";
+    make_table(benchmarkNames()).print(std::cout);
+
+    std::cout << "\nExpected shapes (streaming table): the offset "
+                 "prefetchers (BO,\nBO-DPC2, SBP) and AC/DC clearly "
+                 "positive and above next-line; BO >=\nSBP (the "
+                 "paper's claim). Two substrate caveats: AC/DC sees "
+                 "*exactly*\nperiodic synthetic delta streams (no "
+                 "scrambling), making delta\ncorrelation oracle-like "
+                 "here — on real SPEC traces it does not\ndominate "
+                 "(cf. AMPM ~ SBP in Pugsley et al.); Jouppi stream "
+                 "buffers are\nunit-stride devices, negative on the "
+                 "stride generators by design.\n";
+    return 0;
+}

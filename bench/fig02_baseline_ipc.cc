@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 2: baseline IPC of core 0 for the six configurations
+ * (1/2/4 active cores x 4KB/4MB pages). Expected shapes: 4MB pages
+ * above 4KB (fewer TLB misses); IPC dropping as thrasher cores join;
+ * memory-bound benchmarks (429, 433, 459, 470, 471, 473) lowest.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace bop;
+    ExperimentRunner runner;
+    benchHeader("Figure 2: baseline IPC (next-line L2 prefetch, 5P L3)",
+                runner);
+
+    TextTable table;
+    std::vector<std::string> header = {"benchmark"};
+    for (const auto &[cores, page] : baselineGrid())
+        header.push_back(gridLabel(cores, page));
+    table.addRow(header);
+
+    for (const auto &bench : benchmarkNames()) {
+        std::vector<std::string> row = {bench};
+        for (const auto &[cores, page] : baselineGrid()) {
+            const RunStats &s =
+                runner.run(bench, baselineConfig(cores, page));
+            row.push_back(TextTable::fmt(s.ipc()));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    return 0;
+}

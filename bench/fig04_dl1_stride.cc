@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Figure 4: impact of disabling the DL1 stride prefetcher (speedups
+ * relative to the baselines; below 1 means the stride prefetcher was
+ * helping). Expected shape: significant losses on the clean-stride
+ * benchmarks (465.tonto the extreme case in the paper, up to -39%),
+ * near 1.0 on irregular ones.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace bop;
+    ExperimentRunner runner;
+    benchHeader("Figure 4: disabling the DL1 stride prefetcher", runner);
+    printSpeedupFigure(runner, [](SystemConfig &cfg) {
+        cfg.dl1StridePrefetcher = false;
+    });
+    return 0;
+}

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Figure 10: impact of the RR table size (geomean BO speedup for 32 to
+ * 512 entries). Expected shape: effectiveness grows with size up to a
+ * point; the paper sees a visible step from 128 to 256 entries at 4KB
+ * pages (driven by 429.mcf) and little benefit beyond 256.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace bop;
+    ExperimentRunner runner;
+    benchHeader("Figure 10: RR table size sweep (geomean BO speedups)",
+                runner);
+
+    GeomeanFigure fig;
+    for (const std::size_t entries : {32u, 64u, 128u, 256u, 512u}) {
+        fig.addVariant(runner, "RR=" + std::to_string(entries),
+                       [entries](SystemConfig &cfg) {
+                           cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
+                           cfg.bo.rrEntries = entries;
+                       });
+    }
+    fig.print();
+    return 0;
+}

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Figure 11: BO vs SBP geometric-mean speedups relative to the
+ * next-line baselines. Expected shape: both above 1; BO above SBP in
+ * every configuration (timeliness-aware offset selection).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace bop;
+    ExperimentRunner runner;
+    benchHeader("Figure 11: BO vs SBP (geomean speedups)", runner);
+
+    GeomeanFigure fig;
+    fig.addVariant(runner, "BO", [](SystemConfig &cfg) {
+        cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
+    });
+    fig.addVariant(runner, "SBP", [](SystemConfig &cfg) {
+        cfg.l2Prefetcher = L2PrefetcherKind::Sandbox;
+    });
+    fig.print();
+    return 0;
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the prefetcher hardware models:
+ * per-access cost of BO learning, SBP sandboxing, and the RR table, plus
+ * the degree-1 vs degree-2 BO ablation (DESIGN.md Sec. 5).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/best_offset.hh"
+#include "core/best_offset_dpc2.hh"
+#include "core/offset_list.hh"
+#include "core/rr_table.hh"
+#include "prefetch/fdp.hh"
+#include "prefetch/ghb.hh"
+#include "prefetch/sandbox.hh"
+#include "prefetch/stream_buffer.hh"
+
+namespace
+{
+
+void
+BM_RrTableInsertContains(benchmark::State &state)
+{
+    bop::RrTable rr(static_cast<std::size_t>(state.range(0)), 12);
+    bop::LineAddr line = 0;
+    for (auto _ : state) {
+        rr.insert(line);
+        benchmark::DoNotOptimize(rr.contains(line - 4));
+        ++line;
+    }
+}
+BENCHMARK(BM_RrTableInsertContains)->Arg(32)->Arg(256)->Arg(512);
+
+void
+BM_BoAccess(benchmark::State &state)
+{
+    bop::BoConfig cfg;
+    cfg.degree = static_cast<int>(state.range(0));
+    bop::BestOffsetPrefetcher bo(bop::PageSize::FourMB, cfg);
+    std::vector<bop::LineAddr> out;
+    bop::LineAddr x = 0;
+    for (auto _ : state) {
+        out.clear();
+        bo.onFill({x, true, 0});
+        bo.onAccess({x, true, false, 0}, out);
+        benchmark::DoNotOptimize(out.data());
+        ++x;
+    }
+}
+BENCHMARK(BM_BoAccess)->Arg(1)->Arg(2);
+
+void
+BM_SandboxAccess(benchmark::State &state)
+{
+    bop::SandboxPrefetcher sbp(bop::PageSize::FourMB,
+                               bop::makeOffsetList());
+    std::vector<bop::LineAddr> out;
+    bop::LineAddr x = 0;
+    for (auto _ : state) {
+        out.clear();
+        sbp.onAccess({x, true, false, 0}, out);
+        benchmark::DoNotOptimize(out.data());
+        ++x;
+    }
+}
+BENCHMARK(BM_SandboxAccess);
+
+void
+BM_OffsetListGeneration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto list = bop::makeOffsetList();
+        benchmark::DoNotOptimize(list.data());
+    }
+}
+BENCHMARK(BM_OffsetListGeneration);
+
+void
+BM_BoDpc2Access(benchmark::State &state)
+{
+    bop::BestOffsetDpc2Prefetcher bo(bop::PageSize::FourMB);
+    std::vector<bop::LineAddr> out;
+    bop::LineAddr x = 0;
+    bop::Cycle t = 0;
+    for (auto _ : state) {
+        out.clear();
+        bo.onFill({x, true, t});
+        bo.onAccess({x, true, false, t}, out);
+        benchmark::DoNotOptimize(out.data());
+        ++x;
+        t += 4;
+    }
+}
+BENCHMARK(BM_BoDpc2Access);
+
+void
+BM_FdpAccess(benchmark::State &state)
+{
+    bop::FdpPrefetcher fdp(bop::PageSize::FourMB);
+    std::vector<bop::LineAddr> out;
+    bop::LineAddr x = 0;
+    for (auto _ : state) {
+        out.clear();
+        fdp.onAccess({x, true, false, 0}, out);
+        benchmark::DoNotOptimize(out.data());
+        ++x;
+    }
+}
+BENCHMARK(BM_FdpAccess);
+
+void
+BM_AcdcAccess(benchmark::State &state)
+{
+    // Chain-walk + delta correlation is the most expensive model in
+    // the zoo per access; the sequential stream is its worst case
+    // (full-depth chains on every access).
+    bop::GhbAcdcPrefetcher acdc(bop::PageSize::FourMB);
+    std::vector<bop::LineAddr> out;
+    bop::LineAddr x = 0;
+    for (auto _ : state) {
+        out.clear();
+        acdc.onAccess({x, true, false, 0}, out);
+        benchmark::DoNotOptimize(out.data());
+        ++x;
+    }
+}
+BENCHMARK(BM_AcdcAccess);
+
+void
+BM_StreamBufferAccess(benchmark::State &state)
+{
+    bop::StreamBufferPrefetcher sb(bop::PageSize::FourMB);
+    std::vector<bop::LineAddr> out;
+    bop::LineAddr x = 0;
+    for (auto _ : state) {
+        out.clear();
+        sb.onAccess({x, true, false, 0}, out);
+        benchmark::DoNotOptimize(out.data());
+        ++x;
+    }
+}
+BENCHMARK(BM_StreamBufferAccess);
+
+} // namespace
+
+BENCHMARK_MAIN();

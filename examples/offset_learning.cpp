@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Reproduces the Sec. 3 examples: sequential, strided and interleaved
+ * streams, showing which offset the BO learning machinery converges to
+ * for each and printing the score table of the final learning phase.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/best_offset.hh"
+
+namespace
+{
+
+using namespace bop;
+
+/** Bit-vector pattern of accessed lines, repeated over a region. */
+struct PatternStream
+{
+    std::string bits;     ///< e.g. "110" = lines 0,1 skipped 2, ...
+    LineAddr base;
+    std::size_t position = 0;
+
+    LineAddr
+    next()
+    {
+        while (bits[position % bits.size()] == '0')
+            ++position;
+        return base + position++;
+    }
+};
+
+/** Run BO on interleaved pattern streams and report the offset. */
+void
+runExample(const std::string &title, std::vector<PatternStream> streams,
+           int accesses)
+{
+    BoConfig cfg;
+    cfg.roundMax = 40;
+    BestOffsetPrefetcher bo(PageSize::FourMB, cfg);
+    std::vector<LineAddr> out;
+
+    std::size_t turn = 0;
+    for (int i = 0; i < accesses; ++i) {
+        LineAddr x = streams[turn % streams.size()].next();
+        ++turn;
+        out.clear();
+        bo.onAccess({x, true, false, static_cast<Cycle>(i)}, out);
+        for (const LineAddr target : out)
+            bo.onFill({target, true, static_cast<Cycle>(i)});
+    }
+
+    std::printf("%-28s -> learned offset D = %-3d (phases=%llu, "
+                "best score=%d)\n",
+                title.c_str(), bo.currentOffset(),
+                static_cast<unsigned long long>(bo.learningPhases()),
+                bo.lastPhaseBestScore());
+
+    // Show the top-scoring offsets of the in-progress score table.
+    std::vector<std::pair<int, int>> scored;
+    for (std::size_t i = 0; i < bo.offsetList().size(); ++i)
+        scored.push_back({bo.scoreTable()[i], bo.offsetList()[i]});
+    std::sort(scored.rbegin(), scored.rend());
+    std::printf("  current-phase top offsets:");
+    for (int i = 0; i < 5 && scored[i].first > 0; ++i)
+        std::printf("  D=%d(score %d)", scored[i].second,
+                    scored[i].first);
+    std::printf("\n\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Paper Sec. 3 examples — what best-offset learning "
+                "converges to:\n\n");
+
+    // Example 1: sequential stream "1111...": any offset works; larger
+    // offsets win on timeliness. (Here, every issued prefetch completes
+    // before reuse, so D settles on an offset with a full score.)
+    runExample("sequential (111111...)",
+               {{std::string("1"), 1 << 10}}, 12000);
+
+    // Example 2: +96B strided stream -> lines "110110...": offsets
+    // multiple of 3 give 100% coverage.
+    runExample("strided 96B (110110...)",
+               {{std::string("110"), 1 << 12}}, 12000);
+
+    // Example 3: interleaved "10" and "110" streams: multiples of 2
+    // cover S1, multiples of 3 cover S2, multiples of 6 cover both.
+    runExample("interleaved 10 + 110",
+               {{std::string("10"), 1 << 14},
+                {std::string("110"), 1 << 16}},
+               12000);
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quickstart: drive the Best-Offset prefetcher standalone on a strided
+ * access pattern and watch it learn the stride — no simulator needed.
+ *
+ * This is the 30-second tour of the public API:
+ *   1. construct a BestOffsetPrefetcher (Table 2 defaults),
+ *   2. feed it eligible L2 accesses (misses / prefetched hits),
+ *   3. feed it fills (completed prefetches) so the RR table learns
+ *      which offsets would have been timely,
+ *   4. read back the prefetch requests it wants to issue.
+ */
+
+#include <cstdio>
+
+#include "core/best_offset.hh"
+
+int
+main()
+{
+    using namespace bop;
+
+    BestOffsetPrefetcher bo(PageSize::FourMB);
+    std::printf("offset list has %zu entries; initial offset D=%d\n",
+                bo.offsetList().size(), bo.currentOffset());
+
+    // A program streaming through memory with a 3-line stride
+    // (e.g. 192-byte records): lines X, X+3, X+6, ...
+    const int stride = 3;
+    LineAddr x = 1 << 20;
+    std::vector<LineAddr> prefetches;
+
+    for (int access = 0; access < 6000; ++access) {
+        // The L2 sees a read access that misses.
+        prefetches.clear();
+        bo.onAccess({x, /*miss=*/true, /*prefetchedHit=*/false,
+                     static_cast<Cycle>(access)},
+                    prefetches);
+
+        // Pretend every issued prefetch completes a little later: the
+        // hierarchy then inserts the prefetched line into the L2, and
+        // the BO prefetcher records the base address in its RR table.
+        for (const LineAddr target : prefetches)
+            bo.onFill({target, /*wasPrefetch=*/true,
+                       static_cast<Cycle>(access)});
+
+        x += stride;
+    }
+
+    std::printf("after %d strided accesses:\n", 6000);
+    std::printf("  learned offset D = %d (stride was %d)\n",
+                bo.currentOffset(), stride);
+    std::printf("  learning phases  = %llu\n",
+                static_cast<unsigned long long>(bo.learningPhases()));
+    std::printf("  best score       = %d (SCOREMAX=31)\n",
+                bo.lastPhaseBestScore());
+    std::printf("  prefetch enabled = %s\n",
+                bo.prefetchEnabled() ? "yes" : "no");
+
+    if (bo.currentOffset() % stride == 0 && bo.currentOffset() > 0) {
+        std::printf("OK: D is a multiple of the stride — 100%% coverage "
+                    "with timeliness.\n");
+        return 0;
+    }
+    std::printf("unexpected: D is not a multiple of the stride\n");
+    return 1;
+}

@@ -1,0 +1,165 @@
+#include "cache/cache.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace bop
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+SetAssocCache::SetAssocCache(std::string name_, std::uint64_t size_bytes,
+                             unsigned ways_,
+                             std::unique_ptr<ReplacementPolicy> policy_)
+    : name(std::move(name_)),
+      sets(size_bytes / lineBytes / ways_),
+      ways(ways_),
+      policy(std::move(policy_))
+{
+    if (!policy)
+        throw std::invalid_argument(name + ": null replacement policy");
+    if (sets == 0 || !isPowerOfTwo(sets))
+        throw std::invalid_argument(name + ": set count must be a power "
+                                           "of two and non-zero");
+    linesArr.assign(sets * ways, {});
+    policy->reset(sets, ways);
+}
+
+CacheLineState *
+SetAssocCache::lookup(LineAddr line, unsigned &way_out)
+{
+    const std::size_t set = setOf(line);
+    for (unsigned w = 0; w < ways; ++w) {
+        CacheLineState &ls = linesArr[set * ways + w];
+        if (ls.valid && ls.line == line) {
+            way_out = w;
+            return &ls;
+        }
+    }
+    return nullptr;
+}
+
+CacheAccessResult
+SetAssocCache::access(LineAddr line, bool is_write, bool from_core_side)
+{
+    CacheAccessResult res;
+    unsigned way = 0;
+    CacheLineState *ls = lookup(line, way);
+    if (!ls)
+        return res;
+
+    res.hit = true;
+    res.way = way;
+    if (from_core_side) {
+        res.prefetchedHit = ls->prefetchBit;
+        ls->prefetchBit = false;
+    }
+    if (is_write)
+        ls->dirty = true;
+    policy->onHit(setOf(line), way);
+    return res;
+}
+
+bool
+SetAssocCache::probe(LineAddr line) const
+{
+    const std::size_t set = line & (sets - 1);
+    for (unsigned w = 0; w < ways; ++w) {
+        const CacheLineState &ls = linesArr[set * ways + w];
+        if (ls.valid && ls.line == line)
+            return true;
+    }
+    return false;
+}
+
+CacheVictim
+SetAssocCache::insert(LineAddr line, const CacheFill &fill)
+{
+    assert(!probe(line) && "duplicate insertion: caller must tag-check");
+
+    const std::size_t set = setOf(line);
+    CacheVictim victim;
+
+    // Prefer an invalid way; otherwise ask the policy for a victim.
+    unsigned way = ways;
+    for (unsigned w = 0; w < ways; ++w) {
+        if (!linesArr[set * ways + w].valid) {
+            way = w;
+            break;
+        }
+    }
+    if (way == ways) {
+        way = policy->victim(set);
+        const CacheLineState &old = linesArr[set * ways + way];
+        victim.valid = true;
+        victim.line = old.line;
+        victim.dirty = old.dirty;
+        victim.core = old.fillCore;
+        victim.prefetchBit = old.prefetchBit;
+    }
+
+    CacheLineState &ls = linesArr[set * ways + way];
+    ls.valid = true;
+    ls.line = line;
+    ls.dirty = fill.markDirty;
+    ls.prefetchBit = fill.markPrefetch;
+    ls.fillCore = fill.core;
+
+    policy->onFill(set, way, FillInfo{fill.core, fill.demand});
+    return victim;
+}
+
+CacheVictim
+SetAssocCache::peekVictim(LineAddr line) const
+{
+    const std::size_t set = line & (sets - 1);
+    CacheVictim victim;
+    for (unsigned w = 0; w < ways; ++w) {
+        if (!linesArr[set * ways + w].valid)
+            return victim; // an invalid way will be used: no eviction
+    }
+    const unsigned way = policy->victimPeek(set);
+    const CacheLineState &old = linesArr[set * ways + way];
+    victim.valid = true;
+    victim.line = old.line;
+    victim.dirty = old.dirty;
+    victim.core = old.fillCore;
+    victim.prefetchBit = old.prefetchBit;
+    return victim;
+}
+
+bool
+SetAssocCache::invalidate(LineAddr line)
+{
+    unsigned way = 0;
+    CacheLineState *ls = lookup(line, way);
+    if (!ls)
+        return false;
+    ls->valid = false;
+    ls->dirty = false;
+    ls->prefetchBit = false;
+    return true;
+}
+
+const CacheLineState *
+SetAssocCache::findLine(LineAddr line) const
+{
+    const std::size_t set = line & (sets - 1);
+    for (unsigned w = 0; w < ways; ++w) {
+        const CacheLineState &ls = linesArr[set * ways + w];
+        if (ls.valid && ls.line == line)
+            return &ls;
+    }
+    return nullptr;
+}
+
+} // namespace bop

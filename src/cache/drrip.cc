@@ -1,0 +1,91 @@
+#include "cache/drrip.hh"
+
+#include <cassert>
+
+namespace bop
+{
+
+void
+DrripPolicy::reset(std::size_t sets, unsigned ways)
+{
+    rrpv.assign(sets, std::vector<std::uint8_t>(ways, rrpvMax));
+    psel = pselMax / 2;
+}
+
+bool
+DrripPolicy::isSrripLeader(std::size_t set) const
+{
+    return (set % constituencySize) == 0;
+}
+
+bool
+DrripPolicy::isBrripLeader(std::size_t set) const
+{
+    return (set % constituencySize) == constituencySize / 2;
+}
+
+bool
+DrripPolicy::useBrrip(std::size_t set) const
+{
+    if (isSrripLeader(set))
+        return false;
+    if (isBrripLeader(set))
+        return true;
+    // PSEL counts SRRIP-leader misses up, BRRIP-leader misses down; a
+    // high PSEL therefore means SRRIP is missing more -> use BRRIP.
+    return psel > pselMax / 2;
+}
+
+unsigned
+DrripPolicy::victim(std::size_t set)
+{
+    auto &vals = rrpv[set];
+    for (;;) {
+        for (unsigned w = 0; w < vals.size(); ++w) {
+            if (vals[w] == rrpvMax)
+                return w;
+        }
+        for (auto &v : vals)
+            ++v;
+    }
+}
+
+unsigned
+DrripPolicy::victimPeek(std::size_t set) const
+{
+    // The increment-until-saturated loop in victim() always evicts the
+    // lowest-index way holding the current maximum RRPV.
+    const auto &vals = rrpv[set];
+    unsigned best = 0;
+    for (unsigned w = 1; w < vals.size(); ++w) {
+        if (vals[w] > vals[best])
+            best = w;
+    }
+    return best;
+}
+
+void
+DrripPolicy::onHit(std::size_t set, unsigned way)
+{
+    rrpv[set][way] = 0;
+}
+
+void
+DrripPolicy::onFill(std::size_t set, unsigned way, const FillInfo &info)
+{
+    // Set dueling feedback: count demand misses in leader sets.
+    if (info.demand) {
+        if (isSrripLeader(set) && psel < pselMax)
+            ++psel;
+        else if (isBrripLeader(set) && psel > 0)
+            --psel;
+    }
+
+    const bool brrip = useBrrip(set);
+    if (brrip)
+        rrpv[set][way] = (rng.below(32) == 0) ? rrpvMax - 1 : rrpvMax;
+    else
+        rrpv[set][way] = rrpvMax - 1;
+}
+
+} // namespace bop

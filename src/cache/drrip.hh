@@ -1,0 +1,65 @@
+/**
+ * @file
+ * DRRIP replacement [Jaleel et al., ISCA'10], used by the paper's Fig. 3
+ * comparison against the 5P baseline policy.
+ *
+ * 2-bit re-reference prediction values (RRPV). SRRIP inserts at RRPV=2,
+ * BRRIP inserts at RRPV=3 except with probability 1/32 at RRPV=2. Set
+ * dueling between SRRIP and BRRIP leader sets drives a PSEL counter that
+ * selects the policy used by follower sets.
+ */
+
+#ifndef BOP_CACHE_DRRIP_HH
+#define BOP_CACHE_DRRIP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "common/rng.hh"
+
+namespace bop
+{
+
+/** DRRIP: SRRIP/BRRIP set dueling on 2-bit RRPVs. */
+class DrripPolicy : public ReplacementPolicy
+{
+  public:
+    /**
+     * @param seed RNG seed for BRRIP's 1/32 near-insertions
+     * @param constituency leader-set spacing (one SRRIP + one BRRIP
+     *        leader per @p constituency consecutive sets)
+     */
+    explicit DrripPolicy(std::uint64_t seed = 0xdead,
+                         std::size_t constituency = 64)
+        : rng(seed), constituencySize(constituency)
+    {
+    }
+
+    void reset(std::size_t sets, unsigned ways) override;
+    unsigned victim(std::size_t set) override;
+    unsigned victimPeek(std::size_t set) const override;
+    void onHit(std::size_t set, unsigned way) override;
+    void onFill(std::size_t set, unsigned way, const FillInfo &info) override;
+
+    /** Exposed for tests: current PSEL value. */
+    int pselValue() const { return psel; }
+    /** Exposed for tests: leader-set classification. */
+    bool isSrripLeader(std::size_t set) const;
+    bool isBrripLeader(std::size_t set) const;
+
+  private:
+    static constexpr std::uint8_t rrpvMax = 3;     // 2-bit RRPV
+    static constexpr int pselMax = 1023;           // 10-bit PSEL
+
+    bool useBrrip(std::size_t set) const;
+
+    Rng rng;
+    std::size_t constituencySize;
+    int psel = pselMax / 2;
+    std::vector<std::vector<std::uint8_t>> rrpv;
+};
+
+} // namespace bop
+
+#endif // BOP_CACHE_DRRIP_HH

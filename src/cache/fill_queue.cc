@@ -1,0 +1,132 @@
+#include "cache/fill_queue.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace bop
+{
+
+FillQueue::FillQueue(std::string name_, std::size_t capacity_)
+    : name(std::move(name_)), capacity(capacity_)
+{
+    slots.resize(capacity);
+}
+
+std::size_t
+FillQueue::slotOf(std::uint32_t id) const
+{
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+        if (slots[s].valid && slots[s].id == id)
+            return s;
+    }
+    throw std::logic_error(name + ": unknown fill queue entry id");
+}
+
+std::uint32_t
+FillQueue::allocate(LineAddr line, const ReqMeta &meta, bool is_prefetch)
+{
+    assert(!full() && "caller must check full() before allocating");
+    for (auto &slot : slots) {
+        if (!slot.valid) {
+            slot.valid = true;
+            slot.line = line;
+            slot.hasData = false;
+            slot.readyAt = 0;
+            slot.isPrefetch = is_prefetch;
+            slot.meta = meta;
+            slot.id = nextId++;
+            fifo.push_back(slot.id);
+            ++liveEntries;
+            return slot.id;
+        }
+    }
+    throw std::logic_error(name + ": no free slot despite !full()");
+}
+
+void
+FillQueue::release(std::uint32_t id)
+{
+    const std::size_t s = slotOf(id);
+    slots[s].valid = false;
+    --liveEntries;
+    for (auto it = fifo.begin(); it != fifo.end(); ++it) {
+        if (*it == id) {
+            fifo.erase(it);
+            break;
+        }
+    }
+}
+
+void
+FillQueue::fillData(std::uint32_t id, Cycle ready_at)
+{
+    const std::size_t s = slotOf(id);
+    slots[s].hasData = true;
+    slots[s].readyAt = ready_at;
+}
+
+std::uint32_t
+FillQueue::allocateWithData(LineAddr line, const ReqMeta &meta,
+                            bool is_prefetch, Cycle ready_at)
+{
+    const std::uint32_t id = allocate(line, meta, is_prefetch);
+    fillData(id, ready_at);
+    return id;
+}
+
+FillQueueEntry *
+FillQueue::find(LineAddr line)
+{
+    for (auto &slot : slots) {
+        if (slot.valid && slot.line == line)
+            return &slot;
+    }
+    return nullptr;
+}
+
+const FillQueueEntry *
+FillQueue::find(LineAddr line) const
+{
+    for (const auto &slot : slots) {
+        if (slot.valid && slot.line == line)
+            return &slot;
+    }
+    return nullptr;
+}
+
+FillQueueEntry *
+FillQueue::peekReady(Cycle now)
+{
+    for (auto it = fifo.begin(); it != fifo.end(); ++it) {
+        const std::size_t s = slotOf(*it);
+        FillQueueEntry &slot = slots[s];
+        if (slot.hasData && slot.readyAt <= now)
+            return &slot;
+    }
+    return nullptr;
+}
+
+std::optional<FillQueueEntry>
+FillQueue::popReady(Cycle now)
+{
+    for (auto it = fifo.begin(); it != fifo.end(); ++it) {
+        const std::size_t s = slotOf(*it);
+        FillQueueEntry &slot = slots[s];
+        if (slot.hasData && slot.readyAt <= now) {
+            FillQueueEntry copy = slot;
+            slot.valid = false;
+            --liveEntries;
+            fifo.erase(it);
+            return copy;
+        }
+    }
+    return std::nullopt;
+}
+
+FillQueueEntry &
+FillQueue::entry(std::uint32_t id)
+{
+    return slots[slotOf(id)];
+}
+
+} // namespace bop

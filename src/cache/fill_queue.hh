@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Cache fill queue with associative (CAM) search — the paper's
+ * replacement for L2/L3 MSHRs (Sec. 5.4).
+ *
+ * Life cycle of an entry:
+ *   - allocate(): reserved when a miss request is issued to the next
+ *     level ("a request is not issued until there is a free entry");
+ *   - fillData(): the next level hit, the block is written into the
+ *     queue and waits to be inserted into the cache;
+ *   - release(): the next level missed too — the entry is freed and the
+ *     request travels on (it will come back later via
+ *     allocateWithData() when the block is forwarded from outer levels);
+ *   - popReady(): the cache inserts blocks from the queue.
+ *
+ * The CAM supports the late-prefetch optimisation: a demand miss that
+ * matches an in-flight prefetch entry is dropped and the entry promoted
+ * from prefetch to demand.
+ */
+
+#ifndef BOP_CACHE_FILL_QUEUE_HH
+#define BOP_CACHE_FILL_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/req.hh"
+#include "common/types.hh"
+
+namespace bop
+{
+
+/** One fill-queue slot. */
+struct FillQueueEntry
+{
+    bool valid = false;
+    LineAddr line = 0;
+    bool hasData = false;
+    Cycle readyAt = 0;      ///< earliest cycle the block may be inserted
+    bool isPrefetch = false;///< live status; cleared by promotion
+    ReqMeta meta;
+    std::uint32_t id = 0;
+};
+
+/** Fixed-capacity fill queue with FIFO-ish drain and CAM search. */
+class FillQueue
+{
+  public:
+    FillQueue(std::string name, std::size_t capacity);
+
+    bool full() const { return liveEntries >= capacity; }
+    std::size_t size() const { return liveEntries; }
+    std::size_t cap() const { return capacity; }
+
+    /**
+     * Data-less ("waiting") allocations keep a couple of slots in
+     * reserve for returning data, so the queue can never be entirely
+     * occupied by entries that depend on further downstream progress
+     * (deadlock avoidance; see MemHierarchy).
+     */
+    bool
+    canAllocateWaiting() const
+    {
+        return liveEntries + waitingReserve < capacity;
+    }
+
+    /** Reserve an entry for a miss issued to the next level. */
+    std::uint32_t allocate(LineAddr line, const ReqMeta &meta,
+                           bool is_prefetch);
+
+    /** Free an entry whose request missed in the next level. */
+    void release(std::uint32_t id);
+
+    /** Data for a previously allocated entry arrived. */
+    void fillData(std::uint32_t id, Cycle ready_at);
+
+    /** Allocate an entry that already carries data (forwarded block). */
+    std::uint32_t allocateWithData(LineAddr line, const ReqMeta &meta,
+                                   bool is_prefetch, Cycle ready_at);
+
+    /** CAM search by line address; nullptr if absent. */
+    FillQueueEntry *find(LineAddr line);
+    const FillQueueEntry *find(LineAddr line) const;
+
+    /**
+     * Remove and return the oldest entry whose data is ready at @p now.
+     * (The paper drains the queue in FIFO order; entries still waiting
+     * for next-level data are skipped, which can only reorder an L3-hit
+     * fill ahead of an older in-flight allocation.)
+     */
+    std::optional<FillQueueEntry> popReady(Cycle now);
+
+    /**
+     * Peek at the oldest ready entry without removing it (so the caller
+     * can test backpressure gates first); nullptr if none.
+     */
+    FillQueueEntry *peekReady(Cycle now);
+
+    /** Remove a specific (peeked) entry. */
+    void removeById(std::uint32_t id) { release(id); }
+
+    /** Entry lookup by id (must be live). */
+    FillQueueEntry &entry(std::uint32_t id);
+
+  private:
+    std::size_t slotOf(std::uint32_t id) const;
+
+    /** Slots reserved against waiting-entry exhaustion. */
+    static constexpr std::size_t waitingReserve = 2;
+
+    std::string name;
+    std::size_t capacity;
+    std::size_t liveEntries = 0;
+    std::uint32_t nextId = 1;
+    std::vector<FillQueueEntry> slots;
+    std::deque<std::uint32_t> fifo; ///< ids in allocation order
+};
+
+} // namespace bop
+
+#endif // BOP_CACHE_FILL_QUEUE_HH

@@ -1,0 +1,74 @@
+#include "cache/mshr.hh"
+
+#include <cassert>
+
+namespace bop
+{
+
+MshrFile::MshrFile(std::size_t capacity)
+{
+    entries.resize(capacity);
+}
+
+MshrEntry *
+MshrFile::find(LineAddr line)
+{
+    for (auto &e : entries) {
+        if (e.valid && e.line == line)
+            return &e;
+    }
+    return nullptr;
+}
+
+std::uint32_t
+MshrFile::allocate(LineAddr line, bool prefetch_only, Cycle now)
+{
+    assert(!full());
+    assert(!find(line) && "caller must coalesce instead of reallocating");
+    for (auto &e : entries) {
+        if (!e.valid) {
+            e.valid = true;
+            e.line = line;
+            e.prefetchOnly = prefetch_only;
+            e.storeIntent = false;
+            e.storeWaiters = 0;
+            e.waiters.clear();
+            e.issuedAt = now;
+            e.id = nextId++;
+            ++live;
+            return e.id;
+        }
+    }
+    assert(false);
+    return 0;
+}
+
+std::optional<MshrEntry>
+MshrFile::complete(LineAddr line)
+{
+    for (auto &e : entries) {
+        if (e.valid && e.line == line) {
+            MshrEntry copy = e;
+            e.valid = false;
+            --live;
+            return copy;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<MshrEntry>
+MshrFile::completeById(std::uint32_t id)
+{
+    for (auto &e : entries) {
+        if (e.valid && e.id == id) {
+            MshrEntry copy = e;
+            e.valid = false;
+            --live;
+            return copy;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace bop

@@ -1,0 +1,62 @@
+#include "cache/prefetch_queue.hh"
+
+namespace bop
+{
+
+bool
+PrefetchQueue::insert(const PrefetchRequest &req)
+{
+    bool cancelled = false;
+    if (queue.size() >= capacity) {
+        queue.pop_front();
+        cancelled = true;
+    }
+    queue.push_back(req);
+    return cancelled;
+}
+
+bool
+PrefetchQueue::contains(LineAddr line) const
+{
+    for (const auto &req : queue) {
+        if (req.line == line)
+            return true;
+    }
+    return false;
+}
+
+const PrefetchRequest *
+PrefetchQueue::peekReady(Cycle now) const
+{
+    for (const auto &req : queue) {
+        if (req.readyAt <= now)
+            return &req;
+    }
+    return nullptr;
+}
+
+void
+PrefetchQueue::popFront(Cycle now)
+{
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+        if (it->readyAt <= now) {
+            queue.erase(it);
+            return;
+        }
+    }
+}
+
+std::optional<PrefetchRequest>
+PrefetchQueue::popReady(Cycle now)
+{
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+        if (it->readyAt <= now) {
+            PrefetchRequest req = *it;
+            queue.erase(it);
+            return req;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace bop

@@ -1,0 +1,90 @@
+#include "cache/replacement.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bop
+{
+
+void
+StackPolicy::reset(std::size_t sets, unsigned ways)
+{
+    numWays = ways;
+    stacks.assign(sets, {});
+    for (auto &stack : stacks) {
+        stack.resize(ways);
+        for (unsigned w = 0; w < ways; ++w)
+            stack[w] = static_cast<std::uint8_t>(w);
+    }
+}
+
+unsigned
+StackPolicy::victim(std::size_t set)
+{
+    return stacks[set].back();
+}
+
+unsigned
+StackPolicy::victimPeek(std::size_t set) const
+{
+    return stacks[set].back();
+}
+
+void
+StackPolicy::onHit(std::size_t set, unsigned way)
+{
+    touchMru(set, way);
+}
+
+unsigned
+StackPolicy::positionOf(std::size_t set, unsigned way) const
+{
+    const auto &stack = stacks[set];
+    for (unsigned p = 0; p < stack.size(); ++p) {
+        if (stack[p] == way)
+            return p;
+    }
+    assert(false && "way not present in recency stack");
+    return 0;
+}
+
+void
+StackPolicy::touchMru(std::size_t set, unsigned way)
+{
+    auto &stack = stacks[set];
+    auto it = std::find(stack.begin(), stack.end(),
+                        static_cast<std::uint8_t>(way));
+    assert(it != stack.end());
+    stack.erase(it);
+    stack.insert(stack.begin(), static_cast<std::uint8_t>(way));
+}
+
+void
+StackPolicy::touchLru(std::size_t set, unsigned way)
+{
+    auto &stack = stacks[set];
+    auto it = std::find(stack.begin(), stack.end(),
+                        static_cast<std::uint8_t>(way));
+    assert(it != stack.end());
+    stack.erase(it);
+    stack.push_back(static_cast<std::uint8_t>(way));
+}
+
+void
+LruPolicy::onFill(std::size_t set, unsigned way, const FillInfo &info)
+{
+    (void)info;
+    touchMru(set, way);
+}
+
+void
+BipPolicy::onFill(std::size_t set, unsigned way, const FillInfo &info)
+{
+    (void)info;
+    if (rng.below(invProb) == 0)
+        touchMru(set, way);
+    else
+        touchLru(set, way);
+}
+
+} // namespace bop

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Cache replacement policy interface plus the simple stack-based policies
+ * (LRU, BIP). The paper's 5P policy and DRRIP live in their own files.
+ *
+ * Policies manage a per-set recency/age state and answer three questions:
+ * which way to evict, what to do on a hit, and where to insert a fill.
+ * The cache itself prefers invalid ways before consulting the policy.
+ */
+
+#ifndef BOP_CACHE_REPLACEMENT_HH
+#define BOP_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace bop
+{
+
+/**
+ * Metadata describing the fill that is being inserted, used by
+ * prefetch-aware / core-aware insertion policies.
+ */
+struct FillInfo
+{
+    CoreId core = 0;        ///< core the block was fetched for
+    bool demand = true;     ///< true: demand miss; false: prefetch fill
+};
+
+/** Abstract replacement policy for one set-associative array. */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** (Re)size internal state for a sets x ways array; clears state. */
+    virtual void reset(std::size_t sets, unsigned ways) = 0;
+
+    /** Choose a victim way in a full set. */
+    virtual unsigned victim(std::size_t set) = 0;
+
+    /**
+     * Predict the victim way without mutating policy state (used to
+     * test backpressure conditions before committing an insertion).
+     * Must return the same way victim() would.
+     */
+    virtual unsigned victimPeek(std::size_t set) const = 0;
+
+    /** Update state after a hit on @p way. */
+    virtual void onHit(std::size_t set, unsigned way) = 0;
+
+    /** Update state after filling @p way with a new block. */
+    virtual void onFill(std::size_t set, unsigned way,
+                        const FillInfo &info) = 0;
+};
+
+/**
+ * Base class for policies keeping an explicit per-set recency stack
+ * (position 0 = MRU, position ways-1 = LRU).
+ */
+class StackPolicy : public ReplacementPolicy
+{
+  public:
+    void reset(std::size_t sets, unsigned ways) override;
+    unsigned victim(std::size_t set) override;
+    unsigned victimPeek(std::size_t set) const override;
+    void onHit(std::size_t set, unsigned way) override;
+
+    /** Recency position of a way (0 = MRU). Exposed for tests. */
+    unsigned positionOf(std::size_t set, unsigned way) const;
+
+  protected:
+    /** Move a way to the MRU position. */
+    void touchMru(std::size_t set, unsigned way);
+    /** Move a way to the LRU position. */
+    void touchLru(std::size_t set, unsigned way);
+
+    unsigned numWays = 0;
+    /** stacks[set] lists way indices from MRU (front) to LRU (back). */
+    std::vector<std::vector<std::uint8_t>> stacks;
+};
+
+/** Classical LRU: always insert at MRU. */
+class LruPolicy : public StackPolicy
+{
+  public:
+    void onFill(std::size_t set, unsigned way, const FillInfo &info) override;
+};
+
+/**
+ * Bimodal insertion (BIP): insert at LRU, promoting to MRU with
+ * probability 1/32 [Qureshi et al., ISCA'07]. Used standalone and as the
+ * IP2 component of the 5P policy.
+ */
+class BipPolicy : public StackPolicy
+{
+  public:
+    explicit BipPolicy(std::uint64_t seed = 0xb1b0, unsigned inv_prob = 32)
+        : rng(seed), invProb(inv_prob)
+    {
+    }
+
+    void onFill(std::size_t set, unsigned way, const FillInfo &info) override;
+
+  private:
+    Rng rng;
+    unsigned invProb;
+};
+
+} // namespace bop
+
+#endif // BOP_CACHE_REPLACEMENT_HH

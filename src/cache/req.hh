@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Request metadata that travels with a block through the memory
+ * hierarchy (paper Sec. 5.4: "Some metadata (a few bits) is associated
+ * with each request as it travels through the memory hierarchy,
+ * indicating its type ... and in which cache levels the block will have
+ * to be inserted").
+ */
+
+#ifndef BOP_CACHE_REQ_HH
+#define BOP_CACHE_REQ_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace bop
+{
+
+/** What kind of request originally produced this block. */
+enum class ReqType : std::uint8_t
+{
+    DemandRead,  ///< DL1 load/store miss
+    L1Prefetch,  ///< DL1 stride-prefetcher request
+    L2Prefetch,  ///< L2 prefetcher request (BO / next-line / SBP / ...)
+    Writeback,   ///< dirty eviction moving down the hierarchy
+};
+
+/** Sentinel for "no MSHR attached". */
+constexpr std::uint32_t invalidMshr = 0xffffffffu;
+
+/** Per-request metadata carried through queues and fill queues. */
+struct ReqMeta
+{
+    CoreId core = 0;
+    ReqType type = ReqType::DemandRead;
+
+    /** Block must be forwarded into the DL1 when inserted into the L2. */
+    bool needL1 = false;
+    /** Block must be forwarded into the L2 when inserted into the L3. */
+    bool needL2 = false;
+
+    /**
+     * The request started life as an L2 prefetch. Unlike the live
+     * "is prefetch" status (which late-prefetch promotion clears), this
+     * survives promotion: the BO prefetcher records the base address of
+     * *completed* prefetches in its RR table whether or not a demand
+     * caught up with them in flight.
+     */
+    bool wasL2Prefetch = false;
+
+    /** DL1 prefetch-bit marking when the block reaches the DL1. */
+    bool l1PrefetchBit = false;
+
+    /** Offset D in effect when an L2 prefetch was issued (RR base). */
+    int prefetchOffset = 0;
+
+    /** DL1 MSHR to complete when the block arrives (if needL1). */
+    std::uint32_t mshrId = invalidMshr;
+
+    /** L2 fill-queue entry reserved for this request (if any). */
+    std::uint32_t l2FillId = invalidMshr;
+
+    /** L3 fill-queue entry reserved for this request (if any). */
+    std::uint32_t l3FillId = invalidMshr;
+
+    /** Cycle the originating access started (latency bookkeeping). */
+    Cycle birth = 0;
+};
+
+} // namespace bop
+
+#endif // BOP_CACHE_REQ_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Small deterministic pseudo-random number generator.
+ *
+ * Every stochastic decision in the simulator (BIP insertion, workload
+ * generators, virtual-to-physical randomisation) draws from a seeded
+ * Xoshiro-style generator so that runs are exactly reproducible.
+ */
+
+#ifndef BOP_COMMON_RNG_HH
+#define BOP_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace bop
+{
+
+/** splitmix64 step; also used standalone as a mixing/hash function. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * xorshift128+ generator. Fast, good enough statistical quality for
+ * simulation purposes, and trivially seedable/deterministic.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x5eed)
+    {
+        reseed(seed);
+    }
+
+    /** Re-seed the generator deterministically. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        s0 = splitmix64(seed);
+        s1 = splitmix64(s0 ^ 0xdeadbeefcafef00dull);
+        if (s0 == 0 && s1 == 0)
+            s1 = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0;
+        const std::uint64_t y = s1;
+        s0 = y;
+        x ^= x << 23;
+        s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1 + y;
+    }
+
+    /** Uniform integer in [0, bound) (bound > 0). */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw: true with probability p (clamped to [0,1]). */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return static_cast<double>(next() >> 11) *
+                   (1.0 / 9007199254740992.0) < p;
+    }
+
+  private:
+    std::uint64_t s0 = 0;
+    std::uint64_t s1 = 0;
+};
+
+} // namespace bop
+
+#endif // BOP_COMMON_RNG_HH

@@ -1,0 +1,93 @@
+#include "common/table.hh"
+
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
+namespace bop
+{
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+std::size_t
+TextTable::dataRows() const
+{
+    return rows.empty() ? 0 : rows.size() - 1;
+}
+
+std::string
+TextTable::fmt(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    if (rows.empty())
+        return;
+
+    if (std::getenv("BOP_CSV")) {
+        printCsv(os);
+        return;
+    }
+
+    std::vector<std::size_t> widths;
+    for (const auto &row : rows) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+            if (c + 1 < row.size())
+                os << "  ";
+        }
+        os << '\n';
+    };
+
+    print_row(rows[0]);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    for (std::size_t r = 1; r < rows.size(); ++r)
+        print_row(rows[r]);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto quote = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string quoted = "\"";
+        for (const char ch : cell) {
+            if (ch == '"')
+                quoted += '"';
+            quoted += ch;
+        }
+        quoted += '"';
+        return quoted;
+    };
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << quote(row[c]);
+        }
+        os << '\n';
+    }
+}
+
+} // namespace bop

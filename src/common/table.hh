@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal fixed-width text table printer used by the benchmark harness to
+ * render paper figures/tables as aligned console output.
+ */
+
+#ifndef BOP_COMMON_TABLE_HH
+#define BOP_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bop
+{
+
+/**
+ * Accumulates rows of cells and prints them with per-column alignment.
+ * The first row added is treated as the header and is underlined.
+ */
+class TextTable
+{
+  public:
+    /** Append a row of cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: build a row from heterogeneous printable parts. */
+    template <typename... Ts>
+    void
+    row(const Ts &...parts)
+    {
+        addRow(std::vector<std::string>{toCell(parts)...});
+    }
+
+    /**
+     * Render the table to a stream: aligned text normally, or CSV when
+     * the BOP_CSV environment variable is set (so every bench binary's
+     * output becomes machine-readable for plotting without touching
+     * the benches themselves).
+     */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (RFC-4180 quoting for cells that need it). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows (excluding the header). */
+    std::size_t dataRows() const;
+
+    /** Format a double with fixed precision (helper for callers). */
+    static std::string fmt(double v, int precision = 3);
+
+  private:
+    static std::string toCell(const std::string &s) { return s; }
+    static std::string toCell(const char *s) { return s; }
+    static std::string toCell(double v) { return fmt(v); }
+    static std::string toCell(int v) { return std::to_string(v); }
+    static std::string toCell(unsigned v) { return std::to_string(v); }
+    static std::string toCell(long v) { return std::to_string(v); }
+    static std::string toCell(unsigned long v) { return std::to_string(v); }
+    static std::string toCell(long long v) { return std::to_string(v); }
+    static std::string
+    toCell(unsigned long long v)
+    {
+        return std::to_string(v);
+    }
+
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace bop
+
+#endif // BOP_COMMON_TABLE_HH

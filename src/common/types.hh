@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fundamental types and address arithmetic shared by every module.
+ *
+ * The whole simulator works on 64-byte cache lines. Addresses are byte
+ * addresses unless a variable is explicitly named `line` (line address =
+ * byte address >> 6). Page arithmetic is parameterised by the page size
+ * because the paper evaluates both 4KB and 4MB pages.
+ */
+
+#ifndef BOP_COMMON_TYPES_HH
+#define BOP_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace bop
+{
+
+/** Byte address (virtual or physical; context-dependent). */
+using Addr = std::uint64_t;
+
+/** Line address, i.e. byte address >> lineShift. */
+using LineAddr = std::uint64_t;
+
+/** Core clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Identifier of a core in the simulated quad-core (0..3). */
+using CoreId = int;
+
+/** log2(cache line size): 64-byte lines throughout (Table 1). */
+constexpr unsigned lineShift = 6;
+
+/** Cache line size in bytes. */
+constexpr std::uint64_t lineBytes = 1ull << lineShift;
+
+/** Maximum number of cores the simulated chip supports. */
+constexpr int maxCores = 4;
+
+/** Convert a byte address to a line address. */
+constexpr LineAddr
+lineOf(Addr addr)
+{
+    return addr >> lineShift;
+}
+
+/** Convert a line address back to the byte address of its first byte. */
+constexpr Addr
+lineToAddr(LineAddr line)
+{
+    return line << lineShift;
+}
+
+/**
+ * Memory page size configuration. The paper evaluates 4KB pages and 4MB
+ * superpages; prefetchers must not cross page boundaries, so the page
+ * size directly bounds the useful offset range.
+ */
+enum class PageSize : std::uint64_t
+{
+    FourKB = 4ull * 1024,
+    FourMB = 4ull * 1024 * 1024,
+};
+
+/** Number of bytes in a page. */
+constexpr std::uint64_t
+pageBytes(PageSize ps)
+{
+    return static_cast<std::uint64_t>(ps);
+}
+
+/** Number of cache lines in a page. */
+constexpr std::uint64_t
+pageLines(PageSize ps)
+{
+    return pageBytes(ps) >> lineShift;
+}
+
+/** True iff two line addresses fall in the same memory page. */
+constexpr bool
+samePage(LineAddr a, LineAddr b, PageSize ps)
+{
+    const std::uint64_t page_line_mask = ~(pageLines(ps) - 1);
+    return (a & page_line_mask) == (b & page_line_mask);
+}
+
+} // namespace bop
+
+#endif // BOP_COMMON_TYPES_HH

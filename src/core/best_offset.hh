@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The Best-Offset (BO) prefetcher — the paper's contribution (Sec. 4).
+ *
+ * BO is an offset prefetcher: on an eligible L2 access to line X (miss
+ * or prefetched hit) it prefetches X+D, where the offset D is re-learned
+ * continuously. Learning tests every offset d in a fixed 52-entry list
+ * round-robin, one offset per eligible access: d scores a point when
+ * X-d hits in the Recent-Requests table, which records the base address
+ * of *completed* prefetches — so a point means "a prefetch issued with
+ * offset d for this very access would have been timely". A learning
+ * phase ends at the end of a round once some score reaches SCOREMAX or
+ * after ROUNDMAX rounds; the best-scoring offset becomes the new D.
+ *
+ * Throttling (Sec. 4.3): if the best score is not greater than BADSCORE
+ * the prefetcher turns itself off — but learning continues, with the RR
+ * table then recording every fetched line (as if D=0), so prefetching
+ * can resume when the access pattern becomes regular again.
+ */
+
+#ifndef BOP_CORE_BEST_OFFSET_HH
+#define BOP_CORE_BEST_OFFSET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/offset_list.hh"
+#include "core/rr_table.hh"
+#include "prefetch/l2_prefetcher.hh"
+
+namespace bop
+{
+
+/** BO prefetcher parameters; defaults are the paper's Table 2. */
+struct BoConfig
+{
+    std::size_t rrEntries = 256;  ///< RR table entries
+    unsigned rrTagBits = 12;      ///< RR partial tag width
+    int scoreMax = 31;            ///< SCOREMAX (5-bit scores)
+    int roundMax = 100;           ///< ROUNDMAX
+    int badScore = 1;             ///< BADSCORE throttling threshold
+    int maxOffset = 256;          ///< offset-list generation bound
+    bool includeNegative = false; ///< extension: test negative offsets
+    int degree = 1;               ///< 1 = paper; 2 = best + 2nd best
+    /** Non-empty overrides the generated offset list. */
+    std::vector<int> offsetOverride;
+
+    // -- future-work extensions (paper Sec. 7), all off by default -------
+
+    /**
+     * Adjust the throttling threshold dynamically: when a learning
+     * phase produced more useless prefetches (evicted with the
+     * prefetch bit set) than useful ones (prefetched hits + late
+     * promotions), BADSCORE doubles (throttle more eagerly); otherwise
+     * it decays by one. The paper's conclusion names this adjustment
+     * as future work ("Future work may try to adjust dynamically the
+     * throttling parameter").
+     */
+    bool adaptiveBadScore = false;
+    int badScoreMin = 0;          ///< adaptive floor
+    int badScoreMax = 15;         ///< adaptive ceiling
+
+    /**
+     * Mix coverage into the timeliness-only score (the paper's other
+     * future-work item: "striving for prefetch timeliness is not
+     * always optimal", cf. the 462.libquantum analysis in Sec. 6).
+     * When non-zero, scoring uses half-points: an RR (timely) hit
+     * scores 2, and an offset whose prefetch would merely have
+     * *covered* the access — the tested base address hits a second
+     * table recording every recent eligible access — scores
+     * `coverageWeight` (1 = half credit, 2 = equal credit). 0 keeps
+     * the paper's scoring exactly.
+     */
+    int coverageWeight = 0;
+};
+
+/** The Best-Offset L2 prefetcher. */
+class BestOffsetPrefetcher : public L2Prefetcher
+{
+  public:
+    BestOffsetPrefetcher(PageSize page_size, BoConfig cfg = {});
+
+    void onAccess(const L2AccessEvent &ev,
+                  std::vector<LineAddr> &out) override;
+    void onFill(const L2FillEvent &ev) override;
+    void onEvict(const L2EvictEvent &ev) override;
+    void onLatePromotion(LineAddr line, Cycle now) override;
+
+    std::string name() const override { return "bo"; }
+    int currentOffset() const override { return prefetchOffset; }
+    bool prefetchEnabled() const override { return prefetchOn; }
+
+    // -- introspection (tests, stats, examples) --------------------------
+    const std::vector<int> &offsetList() const { return offsets; }
+    const std::vector<int> &scoreTable() const { return scores; }
+    const RrTable &rrTable() const { return rr; }
+    int currentRound() const { return round; }
+    std::uint64_t learningPhases() const { return phaseCount; }
+    std::uint64_t offPhases() const { return offPhaseCount; }
+    int lastPhaseBestScore() const { return lastBestScore; }
+    int lastPhaseBestOffset() const { return lastBestOffset; }
+    int secondBestOffset() const { return secondOffset; }
+    /** Current throttling threshold (== cfg value unless adaptive). */
+    int effectiveBadScore() const { return dynBadScore; }
+
+    /** Directly seed the RR table (tests / standalone experiments). */
+    void recordCompletedPrefetchBase(LineAddr base) { rr.insert(base); }
+
+  private:
+    /** One best-offset learning step for the accessed line X. */
+    void learnStep(LineAddr x);
+    /** Close the current learning phase and start a new one. */
+    void endPhase();
+
+    /**
+     * Score granularity: 1 in the paper's scheme, 2 under hybrid
+     * coverage scoring (so a coverage-only hit can count half).
+     */
+    int scoreScale() const { return cfg.coverageWeight > 0 ? 2 : 1; }
+
+    BoConfig cfg;
+    std::vector<int> offsets;
+    std::vector<int> scores;
+    RrTable rr;
+    RrTable rrAny;              ///< every recent eligible access (hybrid)
+
+    std::size_t testIndex = 0;  ///< next offset to test in this round
+    int round = 0;
+    bool scoreMaxHit = false;   ///< some score reached SCOREMAX
+    int bestScoreInPhase = 0;   ///< incremental best (paper footnote 3)
+    int bestOffsetInPhase = 1;
+
+    int prefetchOffset = 1;     ///< current D (starts as next-line)
+    bool prefetchOn = true;
+    int secondOffset = 0;       ///< degree-2 extension companion offset
+
+    std::uint64_t phaseCount = 0;
+    std::uint64_t offPhaseCount = 0;
+    int lastBestScore = 0;
+    int lastBestOffset = 1;
+
+    // future-work extension state
+    int dynBadScore;            ///< live threshold (adaptive extension)
+    std::uint64_t usefulInPhase = 0;
+    std::uint64_t uselessInPhase = 0;
+};
+
+} // namespace bop
+
+#endif // BOP_CORE_BEST_OFFSET_HH

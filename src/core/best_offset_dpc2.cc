@@ -1,0 +1,122 @@
+#include "core/best_offset_dpc2.hh"
+
+#include <cassert>
+
+namespace bop
+{
+
+BestOffsetDpc2Prefetcher::BestOffsetDpc2Prefetcher(PageSize page_size,
+                                                   BoDpc2Config cfg_)
+    : L2Prefetcher(page_size),
+      cfg(cfg_),
+      offsets(makeOffsetList(cfg_.maxOffset)),
+      rrBank0(cfg_.rrEntriesPerBank, cfg_.rrTagBits),
+      rrBank1(cfg_.rrEntriesPerBank, cfg_.rrTagBits)
+{
+    assert(!offsets.empty());
+    scores.assign(offsets.size(), 0);
+    bestOffsetInPhase = offsets.front();
+}
+
+bool
+BestOffsetDpc2Prefetcher::rrContains(LineAddr line) const
+{
+    return bankOf(line).contains(line);
+}
+
+void
+BestOffsetDpc2Prefetcher::drainDelayQueue(Cycle now)
+{
+    while (!delayQueue.empty() && delayQueue.front().due <= now) {
+        rrInsert(delayQueue.front().line);
+        delayQueue.pop_front();
+    }
+}
+
+void
+BestOffsetDpc2Prefetcher::endPhase()
+{
+    ++phaseCount;
+    lastBestScore = bestScoreInPhase;
+
+    prefetchOn = bestScoreInPhase > cfg.badScore;
+    if (prefetchOn)
+        prefetchOffset = bestOffsetInPhase;
+
+    for (auto &s : scores)
+        s = 0;
+    round = 0;
+    testIndex = 0;
+    scoreMaxHit = false;
+    bestScoreInPhase = 0;
+    bestOffsetInPhase = offsets.front();
+}
+
+void
+BestOffsetDpc2Prefetcher::learnStep(LineAddr x)
+{
+    const int d = offsets[testIndex];
+    const std::int64_t candidate =
+        static_cast<std::int64_t>(x) - static_cast<std::int64_t>(d);
+    if (candidate >= 0 && rrContains(static_cast<LineAddr>(candidate))) {
+        const int s = ++scores[testIndex];
+        if (s > bestScoreInPhase) {
+            bestScoreInPhase = s;
+            bestOffsetInPhase = d;
+        }
+        if (s >= cfg.scoreMax)
+            scoreMaxHit = true;
+    }
+
+    if (++testIndex >= offsets.size()) {
+        testIndex = 0;
+        ++round;
+        if (scoreMaxHit || round >= cfg.roundMax)
+            endPhase();
+    }
+}
+
+void
+BestOffsetDpc2Prefetcher::onAccess(const L2AccessEvent &ev,
+                                   std::vector<LineAddr> &out)
+{
+    if (!ev.miss && !ev.prefetchedHit)
+        return;
+
+    drainDelayQueue(ev.cycle);
+    learnStep(ev.line);
+
+    // Feed the delay queue with this access: once `delayCycles` have
+    // elapsed the address becomes timeliness evidence in the RR table.
+    // A full queue drops the oldest entry (cheap hardware FIFO).
+    if (delayQueue.size() >= cfg.delayQueueEntries)
+        delayQueue.pop_front();
+    delayQueue.push_back({ev.line, ev.cycle + cfg.delayCycles});
+
+    if (!prefetchOn)
+        return;
+
+    const std::int64_t target =
+        static_cast<std::int64_t>(ev.line) + prefetchOffset;
+    if (target >= 0 &&
+        inSamePage(ev.line, static_cast<LineAddr>(target))) {
+        out.push_back(static_cast<LineAddr>(target));
+    }
+}
+
+void
+BestOffsetDpc2Prefetcher::onFill(const L2FillEvent &ev)
+{
+    // Completed-prefetch bases still train the RR table exactly as in
+    // the base prefetcher; the delay queue adds to (rather than
+    // replaces) this stream. The off-state D=0 rule is gone: delayed
+    // demand inserts carry the learning signal instead.
+    if (!prefetchOn || !ev.wasPrefetch)
+        return;
+    const std::int64_t base =
+        static_cast<std::int64_t>(ev.line) - prefetchOffset;
+    if (base >= 0 && inSamePage(ev.line, static_cast<LineAddr>(base)))
+        rrInsert(static_cast<LineAddr>(base));
+}
+
+} // namespace bop

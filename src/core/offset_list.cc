@@ -1,0 +1,40 @@
+#include "core/offset_list.hh"
+
+namespace bop
+{
+
+bool
+isSmooth(int n, int max_prime)
+{
+    if (n < 1)
+        return false;
+    for (int p = 2; p <= max_prime; ++p) {
+        while (n % p == 0)
+            n /= p;
+    }
+    return n == 1;
+}
+
+std::vector<int>
+makeOffsetList(int max_offset, int max_prime)
+{
+    std::vector<int> offsets;
+    for (int d = 1; d <= max_offset; ++d) {
+        if (isSmooth(d, max_prime))
+            offsets.push_back(d);
+    }
+    return offsets;
+}
+
+std::vector<int>
+makeSignedOffsetList(int max_offset, int max_prime)
+{
+    std::vector<int> signed_offsets;
+    for (int d : makeOffsetList(max_offset, max_prime)) {
+        signed_offsets.push_back(d);
+        signed_offsets.push_back(-d);
+    }
+    return signed_offsets;
+}
+
+} // namespace bop

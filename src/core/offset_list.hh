@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The BO prefetcher's offset list (paper Sec. 4.2).
+ *
+ * The paper samples the offsets between 1 and 256 algorithmically: an
+ * offset is included iff its prime factorization contains no prime
+ * greater than 5 (i.e. offsets of the form 2^i * 3^j * 5^k). This gives
+ * 52 offsets, biases the list towards small offsets, keeps the score
+ * table small, and guarantees that the least common multiple of any two
+ * listed offsets is also listed when it is not too large — which is what
+ * makes interleaved streams (Sec. 3.3) prefetchable with one offset.
+ */
+
+#ifndef BOP_CORE_OFFSET_LIST_HH
+#define BOP_CORE_OFFSET_LIST_HH
+
+#include <vector>
+
+namespace bop
+{
+
+/**
+ * Build the offset list: all d in [1, max_offset] whose prime factors
+ * are all <= @p max_prime. Defaults reproduce the paper's 52 offsets.
+ */
+std::vector<int> makeOffsetList(int max_offset = 256, int max_prime = 5);
+
+/**
+ * Same list extended with the negated offsets (paper Sec. 4.2 notes
+ * negative offsets are possible but were not beneficial on CPU2006;
+ * provided for experimentation). Order: 1, -1, 2, -2, ...
+ */
+std::vector<int> makeSignedOffsetList(int max_offset = 256,
+                                      int max_prime = 5);
+
+/** True iff all prime factors of n are <= max_prime (n >= 1). */
+bool isSmooth(int n, int max_prime);
+
+} // namespace bop
+
+#endif // BOP_CORE_OFFSET_LIST_HH

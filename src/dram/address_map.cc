@@ -1,0 +1,39 @@
+#include "dram/address_map.hh"
+
+namespace bop
+{
+
+namespace
+{
+
+/** Extract bit @p i of @p v. */
+inline std::uint64_t
+bit(Addr v, unsigned i)
+{
+    return (v >> i) & 1;
+}
+
+} // namespace
+
+DramCoord
+mapToDram(Addr paddr)
+{
+    DramCoord c;
+    c.channel = static_cast<int>(bit(paddr, 11) ^ bit(paddr, 10) ^
+                                 bit(paddr, 9) ^ bit(paddr, 8));
+
+    const std::uint64_t b2 = bit(paddr, 16) ^ bit(paddr, 13);
+    const std::uint64_t b1 = bit(paddr, 15) ^ bit(paddr, 12);
+    const std::uint64_t b0 = bit(paddr, 14) ^ bit(paddr, 11);
+    c.bank = static_cast<int>((b2 << 2) | (b1 << 1) | b0);
+
+    c.rowOffset = static_cast<std::uint32_t>(
+        (bit(paddr, 13) << 6) | (bit(paddr, 12) << 5) |
+        (bit(paddr, 11) << 4) | (bit(paddr, 10) << 3) |
+        (bit(paddr, 9) << 2) | (bit(paddr, 7) << 1) | bit(paddr, 6));
+
+    c.row = paddr >> 17;
+    return c;
+}
+
+} // namespace bop

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Physical-address-to-DRAM mapping (paper Sec. 5.3).
+ *
+ * With a32..a6 the line-address bits of a byte address (a5..a0 the line
+ * offset), the paper maps:
+ *
+ *   Channel (1 bit) : a11 ^ a10 ^ a9 ^ a8
+ *   Bank    (3 bits): (a16^a13, a15^a12, a14^a11)
+ *   Row off (7 bits): (a13,a12,a11,a10,a9,a7,a6)
+ *   Row             : (a32, ..., a17)
+ *
+ * The XOR folding spreads sequential streams over both channels and all
+ * eight banks while keeping 8KB of spatial locality per row buffer.
+ */
+
+#ifndef BOP_DRAM_ADDRESS_MAP_HH
+#define BOP_DRAM_ADDRESS_MAP_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace bop
+{
+
+/** Decomposed DRAM coordinates of a physical address. */
+struct DramCoord
+{
+    int channel = 0;        ///< 0..1
+    int bank = 0;           ///< 0..7
+    std::uint32_t rowOffset = 0; ///< line within the row (0..127)
+    std::uint64_t row = 0;  ///< row id within the bank
+};
+
+/** Number of memory channels (Table 1). */
+constexpr int numChannels = 2;
+
+/** Banks per channel (8 banks/chip, one rank of 8 chips lock-stepped). */
+constexpr int numBanks = 8;
+
+/** Map a physical byte address to DRAM coordinates. */
+DramCoord mapToDram(Addr paddr);
+
+} // namespace bop
+
+#endif // BOP_DRAM_ADDRESS_MAP_HH

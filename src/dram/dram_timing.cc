@@ -1,0 +1,101 @@
+#include "dram/dram_timing.hh"
+
+#include <algorithm>
+
+namespace bop
+{
+
+DramChannelTiming::DramChannelTiming(const DramTiming &timing_)
+    : timing(timing_)
+{
+}
+
+bool
+DramChannelTiming::isRowHit(const DramCoord &c) const
+{
+    const BankState &b = banks[c.bank];
+    return b.rowOpen && b.row == c.row;
+}
+
+bool
+DramChannelTiming::openRowOf(int bank, std::uint64_t &row_out) const
+{
+    if (!banks[bank].rowOpen)
+        return false;
+    row_out = banks[bank].row;
+    return true;
+}
+
+DramAccessTiming
+DramChannelTiming::preview(const DramCoord &c, bool is_write,
+                           BusCycle now) const
+{
+    const BankState &b = banks[c.bank];
+    DramAccessTiming t;
+
+    BusCycle cas_at = 0;
+    if (b.rowOpen && b.row == c.row) {
+        t.rowResult = RowResult::Hit;
+        cas_at = std::max(now, b.readyAt);
+        t.issueAt = cas_at;
+    } else if (!b.rowOpen) {
+        t.rowResult = RowResult::Closed;
+        const BusCycle act_at = std::max(now, b.readyAt);
+        cas_at = act_at + timing.tRCD;
+        t.issueAt = act_at;
+    } else {
+        t.rowResult = RowResult::Conflict;
+        // Precharge must respect tRAS since activate, tRTP since the
+        // last read CAS and tWR since the last write's data end.
+        BusCycle pre_at = std::max(now, b.readyAt);
+        pre_at = std::max(pre_at, b.lastActAt + timing.tRAS);
+        pre_at = std::max(pre_at, b.lastReadCasAt + timing.tRTP);
+        pre_at = std::max(pre_at, b.lastWriteDataEnd + timing.tWR);
+        const BusCycle act_at = pre_at + timing.tRP;
+        cas_at = act_at + timing.tRCD;
+        t.issueAt = pre_at;
+    }
+
+    // Write-to-read turnaround on the channel.
+    if (!is_write && lastWriteBurstEnd > 0)
+        cas_at = std::max(cas_at, lastWriteBurstEnd + timing.tWTR);
+
+    const unsigned cas_lat = is_write ? timing.tCWL : timing.tCL;
+    BusCycle data_start = cas_at + cas_lat;
+    data_start = std::max(data_start, dataBusFreeAt);
+    t.dataStart = data_start;
+    t.dataEnd = data_start + timing.tBURST;
+    return t;
+}
+
+DramAccessTiming
+DramChannelTiming::apply(const DramCoord &c, bool is_write, BusCycle now)
+{
+    const DramAccessTiming t = preview(c, is_write, now);
+    BankState &b = banks[c.bank];
+
+    if (t.rowResult != RowResult::Hit) {
+        b.lastActAt = (t.rowResult == RowResult::Closed)
+                          ? t.issueAt
+                          : t.issueAt + timing.tRP;
+    }
+    b.rowOpen = true;
+    b.row = c.row;
+
+    // The CAS time is the data start minus the CAS latency (the data
+    // start may have been pushed by the shared bus).
+    const unsigned cas_lat = is_write ? timing.tCWL : timing.tCL;
+    const BusCycle cas_at = t.dataStart - cas_lat;
+    b.readyAt = cas_at + timing.tBURST;
+    if (is_write) {
+        b.lastWriteDataEnd = t.dataEnd;
+        lastWriteBurstEnd = t.dataEnd;
+    } else {
+        b.lastReadCasAt = cas_at;
+    }
+
+    dataBusFreeAt = t.dataEnd;
+    return t;
+}
+
+} // namespace bop

@@ -1,0 +1,259 @@
+#include "dram/mem_controller.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bop
+{
+
+MemoryController::MemoryController(const DramTiming &timing_,
+                                   int channel_id)
+    : timing(timing_), channelId(channel_id)
+{
+}
+
+bool
+MemoryController::readQueueFull(CoreId core) const
+{
+    return readQueues[core].size() >= queueCapacity;
+}
+
+bool
+MemoryController::writeQueueFull(CoreId core) const
+{
+    return writeQueues[core].size() >= queueCapacity;
+}
+
+bool
+MemoryController::readQueueContains(LineAddr line) const
+{
+    for (const auto &q : readQueues) {
+        for (const auto &r : q) {
+            if (r.line == line)
+                return true;
+        }
+    }
+    return false;
+}
+
+void
+MemoryController::enqueueRead(LineAddr line, const ReqMeta &meta, Cycle now)
+{
+    assert(!readQueueFull(meta.core));
+    readQueues[meta.core].push_back(
+        {line, meta, now, mapToDram(lineToAddr(line))});
+}
+
+void
+MemoryController::enqueueWrite(LineAddr line, CoreId core, Cycle now)
+{
+    assert(!writeQueueFull(core));
+    writeQueues[core].push_back(
+        {line, core, now, mapToDram(lineToAddr(line))});
+}
+
+std::size_t
+MemoryController::readQueueSize(CoreId core) const
+{
+    return readQueues[core].size();
+}
+
+std::size_t
+MemoryController::writeQueueSize(CoreId core) const
+{
+    return writeQueues[core].size();
+}
+
+bool
+MemoryController::anyPending() const
+{
+    for (int c = 0; c < maxCores; ++c) {
+        if (!readQueues[c].empty() || !writeQueues[c].empty())
+            return true;
+    }
+    return !completedReads.empty();
+}
+
+CoreId
+MemoryController::laggingCore() const
+{
+    CoreId best = -1;
+    for (CoreId c = 0; c < maxCores; ++c) {
+        if (readQueues[c].empty())
+            continue;
+        if (best < 0 ||
+            fairness.value(static_cast<std::size_t>(c)) <
+                fairness.value(static_cast<std::size_t>(best))) {
+            best = c;
+        }
+    }
+    return best;
+}
+
+bool
+MemoryController::servedHasRowHit() const
+{
+    for (const auto &r : readQueues[served]) {
+        if (timing.isRowHit(r.coord))
+            return true;
+    }
+    return false;
+}
+
+bool
+MemoryController::issueReadFrom(CoreId core, BusCycle bc)
+{
+    auto &q = readQueues[core];
+    if (q.empty())
+        return false;
+
+    // FR-FCFS: oldest row-hit first, else oldest request.
+    auto pick = q.end();
+    for (auto it = q.begin(); it != q.end(); ++it) {
+        if (timing.isRowHit(it->coord)) {
+            pick = it;
+            break;
+        }
+    }
+    if (pick == q.end())
+        pick = q.begin();
+
+    const DramAccessTiming t = timing.apply(pick->coord, false, bc);
+    ++chanStats.reads;
+    if (t.rowResult == RowResult::Hit)
+        ++chanStats.rowHits;
+    else
+        ++chanStats.rowMisses;
+
+    CompletedRead done;
+    done.line = pick->line;
+    done.meta = pick->meta;
+    done.finishCycle = t.dataEnd * timing.params().busRatio;
+    completedReads.push_back(done);
+
+    fairness.increment(static_cast<std::size_t>(core));
+    q.erase(pick);
+    return true;
+}
+
+bool
+MemoryController::issueWrite(BusCycle bc)
+{
+    // Out-of-order write selection: any row-hit write first, preferring
+    // the fullest queue; otherwise the oldest write of the fullest queue.
+    CoreId best_core = -1;
+    std::deque<WriteReq>::iterator best_it;
+    bool best_is_hit = false;
+    std::size_t best_len = 0;
+
+    for (CoreId c = 0; c < maxCores; ++c) {
+        auto &q = writeQueues[c];
+        if (q.empty())
+            continue;
+        for (auto it = q.begin(); it != q.end(); ++it) {
+            const bool hit = timing.isRowHit(it->coord);
+            if (best_core < 0 || (hit && !best_is_hit) ||
+                (hit == best_is_hit && q.size() > best_len)) {
+                best_core = c;
+                best_it = it;
+                best_is_hit = hit;
+                best_len = q.size();
+            }
+            if (hit)
+                break; // oldest row hit in this queue is enough
+        }
+    }
+    if (best_core < 0)
+        return false;
+
+    const DramAccessTiming t = timing.apply(best_it->coord, true, bc);
+    ++chanStats.writes;
+    if (t.rowResult == RowResult::Hit)
+        ++chanStats.rowHits;
+    else
+        ++chanStats.rowMisses;
+    writeQueues[best_core].erase(best_it);
+    return true;
+}
+
+bool
+MemoryController::scheduleStep(BusCycle bc)
+{
+    // Enter write-drain mode when a write queue fills up.
+    if (writeDrainRemaining == 0) {
+        for (CoreId c = 0; c < maxCores; ++c) {
+            if (writeQueueFull(c)) {
+                writeDrainRemaining = writeBatchSize;
+                ++chanStats.writeBatches;
+                break;
+            }
+        }
+    }
+
+    if (writeDrainRemaining > 0) {
+        if (issueWrite(bc)) {
+            --writeDrainRemaining;
+            return true;
+        }
+        writeDrainRemaining = 0; // queues drained early
+    }
+
+    const CoreId lagging = laggingCore();
+    if (lagging < 0) {
+        // No reads pending: opportunistically drain a write so idle
+        // phases do not strand dirty data and stall L3 evictions.
+        return issueWrite(bc);
+    }
+
+    // Urgent mode preempts steady mode (Sec. 5.3).
+    if (!l3FillFull && lagging != served &&
+        fairness.value(static_cast<std::size_t>(served)) >
+            fairness.value(static_cast<std::size_t>(lagging)) +
+                urgentThreshold) {
+        ++chanStats.urgentIssues;
+        return issueReadFrom(lagging, bc);
+    }
+
+    // Steady mode: re-pick the served core only when it has no pending
+    // row-buffer-hitting read (Sec. 5.3); the proportional counters
+    // then pick the least-served core.
+    if (readQueues[served].empty() || !servedHasRowHit())
+        served = lagging;
+    return issueReadFrom(served, bc);
+}
+
+void
+MemoryController::tick(Cycle now)
+{
+    const unsigned ratio = timing.params().busRatio;
+    if (now % ratio != 0)
+        return;
+    const BusCycle bc = now / ratio;
+
+    // Issue at most one request per bus cycle, and never run the
+    // command stream more than a couple of bursts ahead of the data
+    // bus: a real controller's scheduling window stays adaptive, and
+    // locking decisions arbitrarily far into the future would defeat
+    // FR-FCFS and the fairness counters.
+    if (timing.busFreeAt() <= bc + 2 * timing.params().tBURST)
+        scheduleStep(bc);
+    lastTicked = now;
+}
+
+std::vector<CompletedRead>
+MemoryController::popCompleted(Cycle now)
+{
+    std::vector<CompletedRead> out;
+    auto it = completedReads.begin();
+    while (it != completedReads.end()) {
+        if (it->finishCycle <= now) {
+            out.push_back(*it);
+            it = completedReads.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return out;
+}
+
+} // namespace bop

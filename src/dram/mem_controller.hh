@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Per-channel memory controller (paper Sec. 5.3).
+ *
+ * Each channel has its own controller working independently. For
+ * fairness, every core owns a 32-entry read queue and a 32-entry write
+ * queue in each controller. Scheduling:
+ *
+ *  - steady mode: a "served core" is selected through four 7-bit
+ *    proportional counters (one per core, incremented when a read from
+ *    that core issues). The served core changes only when a write queue
+ *    fills up or when the served core has no pending read hitting an
+ *    open row buffer. Reads use FR-FCFS; rows are left open. Writes
+ *    drain in batches of 16, selected out-of-order for row locality
+ *    and bank parallelism.
+ *  - urgent mode (preempts steady): the lagging core is the one with
+ *    the smallest counter among non-empty read queues; if the L3 fill
+ *    queue is not full and served-minus-lagging counter difference
+ *    exceeds 31, a lagging-core read issues instead.
+ *
+ * Demand and prefetch reads are treated identically. The read queues
+ * are associatively searched before insertion (redundant prefetch
+ * removal, Sec. 6.3 footnote).
+ */
+
+#ifndef BOP_DRAM_MEM_CONTROLLER_HH
+#define BOP_DRAM_MEM_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cache/req.hh"
+#include "common/prop_counter.hh"
+#include "common/types.hh"
+#include "dram/address_map.hh"
+#include "dram/dram_timing.hh"
+
+namespace bop
+{
+
+/** Aggregate DRAM statistics for one channel. */
+struct DramChannelStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    std::uint64_t urgentIssues = 0;
+    std::uint64_t writeBatches = 0;
+};
+
+/** A finished read travelling back up the hierarchy. */
+struct CompletedRead
+{
+    LineAddr line = 0;
+    ReqMeta meta;
+    Cycle finishCycle = 0; ///< core cycle the data is available at the L3
+};
+
+/** One memory channel's controller + timing state. */
+class MemoryController
+{
+  public:
+    /** Queue capacity per core per direction (Table 1). */
+    static constexpr std::size_t queueCapacity = 32;
+    /** Write-drain batch size (Sec. 5.3). */
+    static constexpr int writeBatchSize = 16;
+    /** Urgent-mode counter-difference threshold (Sec. 5.3). */
+    static constexpr std::uint32_t urgentThreshold = 31;
+
+    MemoryController(const DramTiming &timing, int channel_id);
+
+    // -- enqueue side -----------------------------------------------------
+    bool readQueueFull(CoreId core) const;
+    bool writeQueueFull(CoreId core) const;
+    /** Associative search of all read queues (prefetch dedup). */
+    bool readQueueContains(LineAddr line) const;
+    void enqueueRead(LineAddr line, const ReqMeta &meta, Cycle now);
+    void enqueueWrite(LineAddr line, CoreId core, Cycle now);
+
+    /** Urgent mode needs to know whether the L3 fill queue has room. */
+    void setL3FillQueueFull(bool full) { l3FillFull = full; }
+
+    // -- scheduling --------------------------------------------------------
+    /** Advance to @p now (core cycles); schedules on bus-cycle edges. */
+    void tick(Cycle now);
+
+    /** Drain reads whose data is available by @p now. */
+    std::vector<CompletedRead> popCompleted(Cycle now);
+
+    // -- observability -----------------------------------------------------
+    const DramChannelStats &stats() const { return chanStats; }
+    CoreId servedCore() const { return served; }
+    std::size_t readQueueSize(CoreId core) const;
+    std::size_t writeQueueSize(CoreId core) const;
+    bool anyPending() const;
+
+  private:
+    struct ReadReq
+    {
+        LineAddr line;
+        ReqMeta meta;
+        Cycle enqueued;
+        DramCoord coord;
+    };
+    struct WriteReq
+    {
+        LineAddr line;
+        CoreId core;
+        Cycle enqueued;
+        DramCoord coord;
+    };
+
+    /** One scheduling decision at bus cycle @p bc. Returns true if a
+     *  request issued. */
+    bool scheduleStep(BusCycle bc);
+    bool issueWrite(BusCycle bc);
+    bool issueReadFrom(CoreId core, BusCycle bc);
+    /** Core with smallest counter among non-empty read queues; -1. */
+    CoreId laggingCore() const;
+    bool servedHasRowHit() const;
+
+    DramChannelTiming timing;
+    int channelId;
+    std::deque<ReadReq> readQueues[maxCores];
+    std::deque<WriteReq> writeQueues[maxCores];
+    PropCounterGroup fairness{maxCores, 7};
+    CoreId served = 0;
+    int writeDrainRemaining = 0;
+    bool l3FillFull = false;
+    Cycle lastTicked = 0;
+    std::vector<CompletedRead> completedReads;
+    DramChannelStats chanStats;
+};
+
+} // namespace bop
+
+#endif // BOP_DRAM_MEM_CONTROLLER_HH

@@ -1,0 +1,124 @@
+#include "harness/experiment.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "trace/workloads.hh"
+
+namespace bop
+{
+
+Budget
+Budget::fromEnv()
+{
+    Budget b;
+    if (const char *w = std::getenv("BOP_WARMUP"))
+        b.warmup = std::strtoull(w, nullptr, 10);
+    if (const char *m = std::getenv("BOP_INSTR"))
+        b.measure = std::strtoull(m, nullptr, 10);
+    return b;
+}
+
+SystemConfig
+baselineConfig(int cores, PageSize page)
+{
+    SystemConfig cfg;
+    cfg.activeCores = cores;
+    cfg.pageSize = page;
+    cfg.l2Prefetcher = L2PrefetcherKind::NextLine;
+    cfg.l3Policy = L3PolicyKind::P5;
+    cfg.dl1StridePrefetcher = true;
+    return cfg;
+}
+
+std::vector<std::pair<int, PageSize>>
+baselineGrid()
+{
+    return {{1, PageSize::FourKB}, {2, PageSize::FourKB},
+            {4, PageSize::FourKB}, {1, PageSize::FourMB},
+            {2, PageSize::FourMB}, {4, PageSize::FourMB}};
+}
+
+std::string
+gridLabel(int cores, PageSize page)
+{
+    std::ostringstream oss;
+    oss << cores << "-core/"
+        << (page == PageSize::FourKB ? "4KB" : "4MB");
+    return oss.str();
+}
+
+std::string
+configFingerprint(const SystemConfig &cfg)
+{
+    std::ostringstream oss;
+    oss << cfg.describe() << "|seed=" << cfg.seed
+        << "|bo=" << cfg.bo.rrEntries << "," << cfg.bo.scoreMax << ","
+        << cfg.bo.roundMax << "," << cfg.bo.badScore << ","
+        << cfg.bo.maxOffset << "," << cfg.bo.degree << ","
+        << cfg.bo.includeNegative << ","
+        << cfg.bo.adaptiveBadScore << "," << cfg.bo.coverageWeight
+        << "|sbp=" << cfg.sbp.evalPeriod << "," << cfg.sbp.maxActiveOffsets
+        << "|fdp=" << cfg.fdp.initialLevel << "," << cfg.fdp.sampleInterval
+        << "|ghb=" << cfg.ghb.adaptiveZones << ","
+        << cfg.ghb.zoneLineBitsCandidates.front() << "," << cfg.ghb.degree
+        << "|sbuf=" << cfg.streamBuf.buffers << "," << cfg.streamBuf.depth
+        << "|dpc2=" << cfg.boDpc2.badScore << ","
+        << cfg.boDpc2.delayCycles
+        << "|D=" << cfg.fixedOffset;
+    return oss.str();
+}
+
+std::vector<std::unique_ptr<TraceSource>>
+makeTraces(const std::string &benchmark, const SystemConfig &cfg)
+{
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    traces.push_back(makeWorkload(benchmark, cfg.seed));
+    for (int c = 1; c < cfg.activeCores; ++c)
+        traces.push_back(makeThrasher(cfg.seed + static_cast<unsigned>(c)));
+    return traces;
+}
+
+const RunStats &
+ExperimentRunner::run(const std::string &benchmark, const SystemConfig &cfg)
+{
+    const std::string key = benchmark + "##" + configFingerprint(cfg);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    System system(cfg, makeTraces(benchmark, cfg));
+    RunStats stats = system.run(budget.warmup, budget.measure);
+
+    if (std::getenv("BOP_VERBOSE")) {
+        std::fprintf(stderr, "  [run] %-16s %-44s IPC=%.3f\n",
+                     benchmark.c_str(), cfg.describe().c_str(),
+                     stats.ipc());
+    }
+    return cache.emplace(key, stats).first->second;
+}
+
+double
+ExperimentRunner::speedup(const std::string &benchmark,
+                          const SystemConfig &cfg,
+                          const SystemConfig &base)
+{
+    const double a = run(benchmark, cfg).ipc();
+    const double b = run(benchmark, base).ipc();
+    return b > 0.0 ? a / b : 0.0;
+}
+
+double
+ExperimentRunner::geomeanSpeedup(const std::vector<std::string> &benchmarks,
+                                 const SystemConfig &cfg,
+                                 const SystemConfig &base)
+{
+    std::vector<double> speedups;
+    speedups.reserve(benchmarks.size());
+    for (const auto &bench : benchmarks)
+        speedups.push_back(speedup(bench, cfg, base));
+    return geomean(speedups);
+}
+
+} // namespace bop

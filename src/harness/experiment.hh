@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Experiment harness shared by all bench binaries.
+ *
+ * Provides the paper's six baseline configurations (1/2/4 active cores
+ * x 4KB/4MB pages, Sec. 5.1), workload/trace assembly (core 0 runs the
+ * benchmark; other active cores run the cache-thrashing
+ * micro-benchmark), instruction budgets (overridable through the
+ * BOP_WARMUP / BOP_INSTR environment variables), and a memoising runner
+ * so figures that share baselines do not re-simulate them.
+ */
+
+#ifndef BOP_HARNESS_EXPERIMENT_HH
+#define BOP_HARNESS_EXPERIMENT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/config.hh"
+#include "sim/system.hh"
+
+namespace bop
+{
+
+/** Instruction budgets for one simulation run. */
+struct Budget
+{
+    std::uint64_t warmup = 100000;
+    std::uint64_t measure = 400000;
+
+    /** Defaults overridden by BOP_WARMUP / BOP_INSTR. */
+    static Budget fromEnv();
+};
+
+/**
+ * The paper's baseline: next-line L2 prefetcher, 5P L3 policy, DL1
+ * stride prefetcher on.
+ */
+SystemConfig baselineConfig(int cores, PageSize page);
+
+/** All six (cores, page) baseline combinations, in paper order. */
+std::vector<std::pair<int, PageSize>> baselineGrid();
+
+/** Human-readable label like "1-core/4KB". */
+std::string gridLabel(int cores, PageSize page);
+
+/** Unique key of a configuration (for memoisation). */
+std::string configFingerprint(const SystemConfig &cfg);
+
+/** Assemble traces: benchmark on core 0, thrashers elsewhere. */
+std::vector<std::unique_ptr<TraceSource>>
+makeTraces(const std::string &benchmark, const SystemConfig &cfg);
+
+/** Memoising simulation runner. */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(Budget budget = Budget::fromEnv())
+        : budget(budget)
+    {
+    }
+
+    /** Run (or recall) one benchmark under one configuration. */
+    const RunStats &run(const std::string &benchmark,
+                        const SystemConfig &cfg);
+
+    /** Speedup of @p cfg over @p base for one benchmark (IPC ratio). */
+    double speedup(const std::string &benchmark, const SystemConfig &cfg,
+                   const SystemConfig &base);
+
+    /** Geometric-mean speedup over a set of benchmarks. */
+    double geomeanSpeedup(const std::vector<std::string> &benchmarks,
+                          const SystemConfig &cfg,
+                          const SystemConfig &base);
+
+    const Budget &budgets() const { return budget; }
+
+  private:
+    Budget budget;
+    std::map<std::string, RunStats> cache;
+};
+
+} // namespace bop
+
+#endif // BOP_HARNESS_EXPERIMENT_HH

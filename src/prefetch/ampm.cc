@@ -1,0 +1,112 @@
+#include "prefetch/ampm.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace bop
+{
+
+AmpmPrefetcher::AmpmPrefetcher(PageSize page_size, AmpmConfig cfg_)
+    : L2Prefetcher(page_size),
+      cfg(cfg_),
+      zoneShift(static_cast<unsigned>(
+          std::countr_zero(static_cast<unsigned>(cfg_.zoneLines))))
+{
+    assert(cfg.zoneLines > 0 && cfg.zoneLines <= 64 &&
+           (cfg.zoneLines & (cfg.zoneLines - 1)) == 0);
+    zones.resize(static_cast<std::size_t>(cfg.zones));
+}
+
+std::uint64_t
+AmpmPrefetcher::zoneOf(LineAddr line) const
+{
+    return line >> zoneShift;
+}
+
+const AmpmPrefetcher::Zone *
+AmpmPrefetcher::findZone(std::uint64_t zone_id) const
+{
+    for (const auto &z : zones) {
+        if (z.valid && z.id == zone_id)
+            return &z;
+    }
+    return nullptr;
+}
+
+AmpmPrefetcher::Zone &
+AmpmPrefetcher::touchZone(std::uint64_t zone_id)
+{
+    Zone *victim = &zones[0];
+    for (auto &z : zones) {
+        if (z.valid && z.id == zone_id) {
+            z.lruStamp = ++stamp;
+            return z;
+        }
+        if (!z.valid)
+            victim = &z;
+        else if (victim->valid && z.lruStamp < victim->lruStamp)
+            victim = &z;
+    }
+    *victim = Zone{};
+    victim->valid = true;
+    victim->id = zone_id;
+    victim->lruStamp = ++stamp;
+    return *victim;
+}
+
+bool
+AmpmPrefetcher::accessed(LineAddr line) const
+{
+    const Zone *z = findZone(zoneOf(line));
+    if (!z)
+        return false;
+    const unsigned bit =
+        static_cast<unsigned>(line & (static_cast<LineAddr>(
+                                          cfg.zoneLines) - 1));
+    return (z->map >> bit) & 1;
+}
+
+bool
+AmpmPrefetcher::lineMarked(LineAddr line) const
+{
+    return accessed(line);
+}
+
+void
+AmpmPrefetcher::onAccess(const L2AccessEvent &ev,
+                         std::vector<LineAddr> &out)
+{
+    if (!ev.miss && !ev.prefetchedHit)
+        return;
+
+    // Mark the access in its zone map.
+    Zone &z = touchZone(zoneOf(ev.line));
+    const unsigned bit = static_cast<unsigned>(
+        ev.line & (static_cast<LineAddr>(cfg.zoneLines) - 1));
+    z.map |= 1ull << bit;
+
+    // Pattern matching: stride k is confirmed when X-k and X-2k were
+    // both accessed; then X+k is a likely future access. Small strides
+    // first (they dominate), positive before negative.
+    int issued = 0;
+    for (int k = 1; k <= cfg.maxStride && issued < cfg.maxDegree; ++k) {
+        for (const int dir : {+1, -1}) {
+            if (issued >= cfg.maxDegree)
+                break;
+            const std::int64_t s = static_cast<std::int64_t>(dir) * k;
+            const std::int64_t x = static_cast<std::int64_t>(ev.line);
+            if (x - s < 0 || x - 2 * s < 0 || x + s < 0)
+                continue;
+            if (accessed(static_cast<LineAddr>(x - s)) &&
+                accessed(static_cast<LineAddr>(x - 2 * s))) {
+                const LineAddr target = static_cast<LineAddr>(x + s);
+                if (inSamePage(ev.line, target)) {
+                    out.push_back(target);
+                    ++issued;
+                }
+            }
+        }
+    }
+}
+
+} // namespace bop

@@ -1,0 +1,63 @@
+#include "prefetch/bloom.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace bop
+{
+
+BloomFilter::BloomFilter(std::size_t bits, unsigned hashes,
+                         std::uint64_t seed_)
+    : bitCount(bits), numHashes(hashes), seed(seed_)
+{
+    assert(bits >= 64 && (bits & (bits - 1)) == 0);
+    words.assign(bits / 64, 0);
+}
+
+std::size_t
+BloomFilter::indexOf(LineAddr line, unsigned k) const
+{
+    // Independent hash functions from one mixer by folding in the
+    // function index and the filter seed.
+    const std::uint64_t h =
+        splitmix64(line ^ seed ^ (static_cast<std::uint64_t>(k) << 56));
+    return static_cast<std::size_t>(h & (bitCount - 1));
+}
+
+void
+BloomFilter::insert(LineAddr line)
+{
+    for (unsigned k = 0; k < numHashes; ++k) {
+        const std::size_t bit = indexOf(line, k);
+        words[bit >> 6] |= 1ull << (bit & 63);
+    }
+}
+
+bool
+BloomFilter::maybeContains(LineAddr line) const
+{
+    for (unsigned k = 0; k < numHashes; ++k) {
+        const std::size_t bit = indexOf(line, k);
+        if (!(words[bit >> 6] & (1ull << (bit & 63))))
+            return false;
+    }
+    return true;
+}
+
+void
+BloomFilter::clear()
+{
+    for (auto &w : words)
+        w = 0;
+}
+
+std::size_t
+BloomFilter::popcount() const
+{
+    std::size_t n = 0;
+    for (auto w : words)
+        n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+}
+
+} // namespace bop

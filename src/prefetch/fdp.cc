@@ -1,0 +1,210 @@
+#include "prefetch/fdp.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace bop
+{
+
+const std::vector<FdpPrefetcher::Level> &
+FdpPrefetcher::levels()
+{
+    // The five aggressiveness presets of Srinath et al. (Table 4):
+    // very conservative ... very aggressive.
+    static const std::vector<Level> presets = {
+        {4, 1}, {8, 1}, {16, 2}, {32, 4}, {64, 4},
+    };
+    return presets;
+}
+
+FdpPrefetcher::FdpPrefetcher(PageSize page_size, FdpConfig cfg_)
+    : L2Prefetcher(page_size),
+      cfg(cfg_),
+      trackers(static_cast<std::size_t>(cfg_.trackers)),
+      level(std::clamp(cfg_.initialLevel, 0,
+                       static_cast<int>(levels().size()) - 1)),
+      pollution(cfg_.pollutionBits, cfg_.pollutionHashes, cfg_.seed)
+{
+}
+
+FdpPrefetcher::Tracker *
+FdpPrefetcher::findTracker(LineAddr line)
+{
+    // A tracker matches when the line falls inside the training window
+    // around its head, in either direction.
+    Tracker *best = nullptr;
+    for (Tracker &t : trackers) {
+        if (!t.valid)
+            continue;
+        const std::int64_t delta = static_cast<std::int64_t>(line) -
+                                   static_cast<std::int64_t>(t.head);
+        if (std::abs(delta) <= cfg.trainWindow) {
+            if (!best || t.lruStamp > best->lruStamp)
+                best = &t;
+        }
+    }
+    return best;
+}
+
+FdpPrefetcher::Tracker &
+FdpPrefetcher::allocateTracker(LineAddr line)
+{
+    Tracker *lru = &trackers[0];
+    for (Tracker &t : trackers) {
+        if (!t.valid) {
+            lru = &t;
+            break;
+        }
+        if (t.lruStamp < lru->lruStamp)
+            lru = &t;
+    }
+    *lru = Tracker{};
+    lru->valid = true;
+    lru->head = line;
+    return *lru;
+}
+
+void
+FdpPrefetcher::issueFromTracker(Tracker &t, std::vector<LineAddr> &out)
+{
+    const Level lv = levels()[static_cast<std::size_t>(level)];
+    for (int i = 1; i <= lv.degree; ++i) {
+        const std::int64_t target =
+            static_cast<std::int64_t>(t.head) +
+            t.direction * (lv.distance + i - 1);
+        if (target < 0)
+            break;
+        const LineAddr line = static_cast<LineAddr>(target);
+        if (!inSamePage(t.head, line))
+            break;
+        out.push_back(line);
+        ++issued;
+    }
+}
+
+void
+FdpPrefetcher::onAccess(const L2AccessEvent &ev, std::vector<LineAddr> &out)
+{
+    if (ev.prefetchedHit)
+        ++used; // first demand touch of a prefetched line
+
+    if (ev.miss) {
+        ++demandMisses;
+        if (pollution.maybeContains(ev.line))
+            ++polMisses;
+    }
+
+    Tracker *t = findTracker(ev.line);
+    if (!t) {
+        if (ev.miss)
+            allocateTracker(ev.line);
+    } else {
+        t->lruStamp = ++stamp;
+        const std::int64_t delta = static_cast<std::int64_t>(ev.line) -
+                                   static_cast<std::int64_t>(t->head);
+        if (delta != 0) {
+            const int dir = delta > 0 ? 1 : -1;
+            if (t->direction == 0 || t->direction == dir) {
+                t->direction = dir;
+                t->confidence =
+                    std::min(t->confidence + 1, cfg.trainThreshold);
+            } else {
+                // Direction flip: retrain in place.
+                t->direction = dir;
+                t->confidence = 0;
+            }
+            t->head = ev.line;
+            if (t->confidence >= cfg.trainThreshold)
+                issueFromTracker(*t, out);
+        }
+    }
+
+    if (++accessesThisInterval >= cfg.sampleInterval)
+        endInterval();
+}
+
+void
+FdpPrefetcher::onFill(const L2FillEvent &ev)
+{
+    (void)ev; // issue counting happens at issue time
+}
+
+void
+FdpPrefetcher::onEvict(const L2EvictEvent &ev)
+{
+    // Remember lines displaced by prefetch fills: if the core demand
+    // misses on one of them soon, the prefetcher polluted the cache.
+    if (ev.byPrefetchFill)
+        pollution.insert(ev.line);
+}
+
+void
+FdpPrefetcher::onLatePromotion(LineAddr line, Cycle now)
+{
+    (void)line;
+    (void)now;
+    ++used;
+    ++late;
+}
+
+void
+FdpPrefetcher::endInterval()
+{
+    lastAcc = issued ? static_cast<double>(used) /
+                           static_cast<double>(issued)
+                     : 0.0;
+    lastLate = used ? static_cast<double>(late) /
+                          static_cast<double>(used)
+                    : 0.0;
+    lastPol = demandMisses ? static_cast<double>(polMisses) /
+                                 static_cast<double>(demandMisses)
+                           : 0.0;
+
+    // Classify and adjust (the decision structure of [37], Table 5):
+    // high accuracy pushes up unless prefetches are late *and*
+    // polluting; low accuracy pushes down; polluting mid-accuracy
+    // states also push down.
+    const bool acc_high = lastAcc >= cfg.accHigh;
+    const bool acc_low = lastAcc < cfg.accLow;
+    const bool is_late = lastLate > cfg.lateThreshold;
+    const bool is_pol = lastPol > cfg.polThreshold;
+
+    int adjust = 0;
+    if (acc_high) {
+        // Late prefetches at high accuracy mean we are not aggressive
+        // enough — unless we are also polluting, in which case hold.
+        adjust = is_pol ? (is_late ? 0 : -1) : 1;
+    } else if (acc_low) {
+        adjust = -1;
+    } else {
+        // Medium accuracy: back off when hurting (pollution), hold
+        // otherwise — even when late. Only high accuracy justifies
+        // more aggressiveness ([37], Table 5); pushing on medium
+        // accuracy oscillates against the page-boundary clipping that
+        // caps the useful distance on small pages.
+        if (is_pol)
+            adjust = -1;
+    }
+    level = std::clamp(level + adjust, 0,
+                       static_cast<int>(levels().size()) - 1);
+
+    issued = used = late = polMisses = demandMisses = 0;
+    accessesThisInterval = 0;
+    // Ageing: forget old pollution evidence each interval so the filter
+    // does not saturate (the original uses a periodically-reset filter).
+    pollution.clear();
+    ++intervals;
+}
+
+int
+FdpPrefetcher::trainedStreams() const
+{
+    int n = 0;
+    for (const Tracker &t : trackers) {
+        if (t.valid && t.confidence >= cfg.trainThreshold)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace bop

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fixed-offset L2 prefetcher: prefetch X+D for a constant D.
+ *
+ * D=1 is the paper's default next-line prefetcher (Sec. 5.6, [Smith'82]
+ * with prefetch bits); Figs. 7 and 8 sweep D. The same-page constraint
+ * applies as with every L2 prefetcher.
+ */
+
+#ifndef BOP_PREFETCH_FIXED_OFFSET_HH
+#define BOP_PREFETCH_FIXED_OFFSET_HH
+
+#include "prefetch/l2_prefetcher.hh"
+
+namespace bop
+{
+
+/** Prefetch line X+D on every eligible access to line X. */
+class FixedOffsetPrefetcher : public L2Prefetcher
+{
+  public:
+    FixedOffsetPrefetcher(PageSize page_size, int offset)
+        : L2Prefetcher(page_size), offset(offset)
+    {
+    }
+
+    void
+    onAccess(const L2AccessEvent &ev, std::vector<LineAddr> &out) override
+    {
+        if (!ev.miss && !ev.prefetchedHit)
+            return;
+        const LineAddr target = ev.line + static_cast<LineAddr>(offset);
+        if (inSamePage(ev.line, target))
+            out.push_back(target);
+    }
+
+    std::string
+    name() const override
+    {
+        return offset == 1 ? "next-line" : "offset-" + std::to_string(offset);
+    }
+
+    int currentOffset() const override { return offset; }
+
+  private:
+    int offset;
+};
+
+/** Convenience alias matching the paper's terminology. */
+class NextLinePrefetcher : public FixedOffsetPrefetcher
+{
+  public:
+    explicit NextLinePrefetcher(PageSize page_size)
+        : FixedOffsetPrefetcher(page_size, 1)
+    {
+    }
+};
+
+} // namespace bop
+
+#endif // BOP_PREFETCH_FIXED_OFFSET_HH

@@ -1,0 +1,179 @@
+#include "prefetch/ghb.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bop
+{
+
+GhbAcdcPrefetcher::GhbAcdcPrefetcher(PageSize page_size, GhbConfig cfg_)
+    : L2Prefetcher(page_size),
+      cfg(cfg_),
+      history(cfg_.historyEntries),
+      index(cfg_.indexEntries),
+      candScores(cfg_.zoneLineBitsCandidates.size(), 0)
+{
+    assert(!cfg.zoneLineBitsCandidates.empty());
+    zoneBits = cfg.zoneLineBitsCandidates.front();
+    if (!cfg.adaptiveZones)
+        exploiting = true; // stay on the first candidate forever
+}
+
+std::vector<LineAddr>
+GhbAcdcPrefetcher::correlate(const std::vector<LineAddr> &history,
+                             int degree)
+{
+    std::vector<LineAddr> out;
+    if (history.size() < 4 || degree <= 0)
+        return out;
+
+    // Delta stream, oldest-first. Deltas are signed line strides.
+    std::vector<std::int64_t> deltas;
+    deltas.reserve(history.size() - 1);
+    for (std::size_t i = 1; i < history.size(); ++i) {
+        deltas.push_back(static_cast<std::int64_t>(history[i]) -
+                         static_cast<std::int64_t>(history[i - 1]));
+    }
+
+    // Correlation key: the last two deltas.
+    const std::size_t n = deltas.size();
+    if (n < 3)
+        return out;
+    const std::int64_t k1 = deltas[n - 2];
+    const std::int64_t k2 = deltas[n - 1];
+
+    // Find the key's earliest occurrence strictly before the end.
+    std::size_t match = n; // sentinel: not found
+    for (std::size_t j = 0; j + 2 < n; ++j) {
+        if (deltas[j] == k1 && deltas[j + 1] == k2) {
+            match = j;
+            break;
+        }
+    }
+    if (match == n)
+        return out;
+
+    // Replay the deltas that followed the match, wrapping around the
+    // replay window like C/DC does (the periodic pattern repeats).
+    std::int64_t addr = static_cast<std::int64_t>(history.back());
+    std::size_t pos = match + 2;
+    for (int i = 0; i < degree; ++i) {
+        if (pos >= n) {
+            // Wrap: continue replaying from the match point, so a
+            // periodic delta sequence extends indefinitely.
+            pos = match;
+        }
+        addr += deltas[pos++];
+        if (addr < 0)
+            break;
+        out.push_back(static_cast<LineAddr>(addr));
+    }
+    return out;
+}
+
+std::vector<LineAddr>
+GhbAcdcPrefetcher::chainHistory(std::uint64_t key) const
+{
+    std::vector<LineAddr> newest_first;
+
+    const IndexEntry &ie = index[key % index.size()];
+    if (!ie.valid || ie.key != key)
+        return newest_first;
+
+    std::uint64_t serial = ie.serial;
+    for (int walked = 0; walked < cfg.maxChainWalk; ++walked) {
+        // A serial is still resident iff it is within the last N
+        // insertions (the buffer is circular).
+        if (serial == 0 || serial + history.size() < nextSerial)
+            break;
+        const GhbEntry &e = history[serial % history.size()];
+        newest_first.push_back(e.line);
+        if (!e.hasPrev)
+            break;
+        serial = e.prevSerial;
+    }
+
+    std::reverse(newest_first.begin(), newest_first.end());
+    return newest_first; // now oldest-first
+}
+
+void
+GhbAcdcPrefetcher::record(LineAddr line)
+{
+    const std::uint64_t key = zoneKey(line);
+    IndexEntry &ie = index[key % index.size()];
+
+    GhbEntry entry;
+    entry.line = line;
+    if (ie.valid && ie.key == key &&
+        ie.serial + history.size() >= nextSerial) {
+        entry.prevSerial = ie.serial;
+        entry.hasPrev = true;
+    }
+
+    const std::uint64_t serial = nextSerial++;
+    history[serial % history.size()] = entry;
+    ie.valid = true;
+    ie.key = key;
+    ie.serial = serial;
+}
+
+void
+GhbAcdcPrefetcher::onAccess(const L2AccessEvent &ev,
+                            std::vector<LineAddr> &out)
+{
+    // Epoch scoring: count accesses this prefetcher had predicted.
+    if (cfg.adaptiveZones) {
+        if (predicted.erase(ev.line))
+            ++scoreThisEpoch;
+    }
+
+    record(ev.line);
+
+    scratch = correlate(chainHistory(zoneKey(ev.line)), cfg.degree);
+    for (const LineAddr target : scratch) {
+        if (!inSamePage(ev.line, target))
+            continue; // later replay steps may fold back into the page
+        out.push_back(target);
+        if (cfg.adaptiveZones && predicted.size() < 4096)
+            predicted.insert(target);
+    }
+
+    if (cfg.adaptiveZones &&
+        ++accessesThisEpoch >= cfg.epochAccesses) {
+        endEpoch();
+    }
+}
+
+void
+GhbAcdcPrefetcher::endEpoch()
+{
+    lastScore = scoreThisEpoch;
+    ++epochs;
+
+    if (exploiting) {
+        if (--epochsLeft <= 0)
+            exploiting = false; // next epoch starts a new evaluation pass
+    } else {
+        candScores[candIdx] = scoreThisEpoch;
+        ++candIdx;
+        if (candIdx >= cfg.zoneLineBitsCandidates.size()) {
+            // Pass complete: exploit the best-scoring zone size.
+            const std::size_t best = static_cast<std::size_t>(
+                std::max_element(candScores.begin(), candScores.end()) -
+                candScores.begin());
+            zoneBits = cfg.zoneLineBitsCandidates[best];
+            candIdx = 0;
+            exploiting = true;
+            epochsLeft = cfg.exploitEpochs;
+        } else {
+            zoneBits = cfg.zoneLineBitsCandidates[candIdx];
+        }
+    }
+
+    accessesThisEpoch = 0;
+    scoreThisEpoch = 0;
+    predicted.clear();
+}
+
+} // namespace bop

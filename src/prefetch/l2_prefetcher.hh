@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Common interface for L2 prefetchers (paper Sec. 5.6).
+ *
+ * All L2 prefetchers studied in the paper share these properties: they
+ * ignore load/store PCs, operate on physical line addresses, never cross
+ * page boundaries (prefetch addresses are formed by modifying page-offset
+ * bits only), and are triggered by core-side L2 *read* accesses that miss
+ * or hit a line whose prefetch bit is set ("prefetched hit"). The input
+ * stream includes L1 prefetch requests.
+ */
+
+#ifndef BOP_PREFETCH_L2_PREFETCHER_HH
+#define BOP_PREFETCH_L2_PREFETCHER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace bop
+{
+
+/** A core-side read access observed at the L2. */
+struct L2AccessEvent
+{
+    LineAddr line = 0;       ///< physical line address
+    bool miss = false;       ///< L2 miss
+    bool prefetchedHit = false; ///< L2 hit with prefetch bit set
+    Cycle cycle = 0;
+};
+
+/** A block fill observed at the L2. */
+struct L2FillEvent
+{
+    LineAddr line = 0;       ///< physical line address inserted
+    bool wasPrefetch = false;///< issued as an L2 prefetch (even if promoted)
+    Cycle cycle = 0;
+};
+
+/** A block evicted from the L2 by a fill. */
+struct L2EvictEvent
+{
+    LineAddr line = 0;          ///< victim line address
+    bool victimWasPrefetch = false; ///< victim's prefetch bit still set
+    bool byPrefetchFill = false;///< the evicting fill was a prefetch
+    Cycle cycle = 0;
+};
+
+/**
+ * Abstract L2 prefetcher.
+ *
+ * The memory hierarchy calls onAccess() for every core-side read access
+ * and onFill() for every block inserted into the L2, and issues the
+ * prefetch line addresses the prefetcher returns (after the same-page
+ * check, queue dedup, and — if requiresTagCheck() — an L2 tag probe).
+ */
+class L2Prefetcher
+{
+  public:
+    explicit L2Prefetcher(PageSize page_size) : pageSize(page_size) {}
+    virtual ~L2Prefetcher() = default;
+
+    /**
+     * Observe a core-side read access; append prefetch candidates (line
+     * addresses, already page-checked by the implementation) to @p out.
+     */
+    virtual void onAccess(const L2AccessEvent &ev,
+                          std::vector<LineAddr> &out) = 0;
+
+    /** Observe a fill into the L2. Default: ignore. */
+    virtual void onFill(const L2FillEvent &ev) { (void)ev; }
+
+    /**
+     * Observe an eviction from the L2. Default: ignore. Feedback-driven
+     * prefetchers (FDP) use this to measure pollution and uselessness;
+     * the adaptive-throttling BO extension uses it to tune BADSCORE.
+     */
+    virtual void onEvict(const L2EvictEvent &ev) { (void)ev; }
+
+    /**
+     * A demand miss caught one of this prefetcher's requests still in
+     * flight (late-prefetch promotion, Sec. 5.4). Default: ignore.
+     * This is the hardware-observable "prefetch was useful but late"
+     * signal FDP's lateness feedback is built on.
+     */
+    virtual void onLatePromotion(LineAddr line, Cycle now)
+    {
+        (void)line;
+        (void)now;
+    }
+
+    /**
+     * Whether the hierarchy must probe the L2 tags and drop the prefetch
+     * if the line is already cached. Degree-N prefetchers (SBP) need
+     * this; degree-one prefetchers do not (paper Sec. 4.3 / 6.3).
+     */
+    virtual bool requiresTagCheck() const { return false; }
+
+    /** Human-readable name. */
+    virtual std::string name() const = 0;
+
+    /** Current prefetch offset if meaningful (debug/stats); else 0. */
+    virtual int currentOffset() const { return 0; }
+
+    /** Whether prefetch issue is currently enabled (throttling state). */
+    virtual bool prefetchEnabled() const { return true; }
+
+    PageSize page() const { return pageSize; }
+
+  protected:
+    /** Same-page helper available to implementations. */
+    bool
+    inSamePage(LineAddr a, LineAddr b) const
+    {
+        return samePage(a, b, pageSize);
+    }
+
+    PageSize pageSize;
+};
+
+/** A prefetcher that never prefetches (the "no prefetch" baseline). */
+class NullPrefetcher : public L2Prefetcher
+{
+  public:
+    using L2Prefetcher::L2Prefetcher;
+
+    void
+    onAccess(const L2AccessEvent &ev, std::vector<LineAddr> &out) override
+    {
+        (void)ev;
+        (void)out;
+    }
+
+    std::string name() const override { return "none"; }
+    bool prefetchEnabled() const override { return false; }
+};
+
+} // namespace bop
+
+#endif // BOP_PREFETCH_L2_PREFETCHER_HH

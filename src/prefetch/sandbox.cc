@@ -1,0 +1,117 @@
+#include "prefetch/sandbox.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bop
+{
+
+SandboxPrefetcher::SandboxPrefetcher(PageSize page_size,
+                                     std::vector<int> offsets_,
+                                     SbpConfig cfg_)
+    : L2Prefetcher(page_size),
+      cfg(cfg_),
+      offsets(std::move(offsets_)),
+      scores(offsets.size(), 0),
+      evaluated(offsets.size(), false),
+      sandbox(cfg_.bloomBits, cfg_.bloomHashes, cfg_.seed)
+{
+    assert(!offsets.empty());
+}
+
+void
+SandboxPrefetcher::rotateCandidate()
+{
+    // Normalise the score to the number of fake prefetches that were
+    // actually inserted: with small pages, large candidate offsets
+    // cross the page boundary on a fraction of accesses and insert
+    // nothing — accuracy must be judged against the prefetches the
+    // offset *could* have issued, or large offsets can never qualify
+    // at 4KB pages no matter how accurate they are.
+    if (insertedThisPeriod > 0) {
+        scores[candIndex] = static_cast<int>(
+            static_cast<long long>(scoreThisPeriod) * cfg.evalPeriod /
+            insertedThisPeriod);
+    } else {
+        scores[candIndex] = 0;
+    }
+    evaluated[candIndex] = true;
+    candIndex = (candIndex + 1) % offsets.size();
+    accessesThisPeriod = 0;
+    scoreThisPeriod = 0;
+    insertedThisPeriod = 0;
+    sandbox.clear();
+    rebuildActiveSet();
+}
+
+void
+SandboxPrefetcher::rebuildActiveSet()
+{
+    active.clear();
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+        if (!evaluated[i] || scores[i] < cfg.cutoffDegree1)
+            continue;
+        int degree = 1;
+        if (scores[i] >= cfg.cutoffDegree3)
+            degree = 3;
+        else if (scores[i] >= cfg.cutoffDegree2)
+            degree = 2;
+        active.push_back({offsets[i], degree, scores[i]});
+    }
+    // Keep only the best-scoring offsets (stable towards small offsets
+    // on ties, matching the candidate list order).
+    std::stable_sort(active.begin(), active.end(),
+                     [](const ActiveOffset &a, const ActiveOffset &b) {
+                         return a.score > b.score;
+                     });
+    if (active.size() > static_cast<std::size_t>(cfg.maxActiveOffsets))
+        active.resize(static_cast<std::size_t>(cfg.maxActiveOffsets));
+}
+
+int
+SandboxPrefetcher::currentOffset() const
+{
+    return active.empty() ? 0 : active.front().offset;
+}
+
+void
+SandboxPrefetcher::onAccess(const L2AccessEvent &ev,
+                            std::vector<LineAddr> &out)
+{
+    if (!ev.miss && !ev.prefetchedHit)
+        return;
+
+    const LineAddr x = ev.line;
+    const int d = offsets[candIndex];
+
+    // Sandbox evaluation: score hits for X, X-D, X-2D, X-3D, then fake-
+    // prefetch X+D. Checking before inserting avoids the degenerate
+    // self-hit where X+D==X (cannot happen with positive offsets, but
+    // the order also matches hardware which reads before it writes).
+    for (int k = 0; k <= 3; ++k) {
+        const LineAddr probe = x - static_cast<LineAddr>(k) *
+                                       static_cast<LineAddr>(d);
+        if (sandbox.maybeContains(probe))
+            ++scoreThisPeriod;
+    }
+    const LineAddr fake = x + static_cast<LineAddr>(d);
+    if (inSamePage(x, fake)) {
+        sandbox.insert(fake);
+        ++insertedThisPeriod;
+    }
+
+    if (++accessesThisPeriod >= cfg.evalPeriod)
+        rotateCandidate();
+
+    // Real prefetches from the currently active set.
+    for (const auto &ao : active) {
+        for (int k = 1; k <= ao.degree; ++k) {
+            const LineAddr target = x + static_cast<LineAddr>(k) *
+                                            static_cast<LineAddr>(ao.offset);
+            if (inSamePage(x, target))
+                out.push_back(target);
+        }
+    }
+}
+
+} // namespace bop

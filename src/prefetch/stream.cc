@@ -1,0 +1,98 @@
+#include "prefetch/stream.hh"
+
+#include <cstdlib>
+
+namespace bop
+{
+
+StreamPrefetcher::StreamPrefetcher(PageSize page_size, StreamConfig cfg_)
+    : L2Prefetcher(page_size), cfg(cfg_)
+{
+    trackers.resize(static_cast<std::size_t>(cfg.trackers));
+}
+
+StreamPrefetcher::Tracker *
+StreamPrefetcher::findTracker(LineAddr line)
+{
+    Tracker *best = nullptr;
+    for (auto &t : trackers) {
+        if (!t.valid)
+            continue;
+        const std::int64_t delta = static_cast<std::int64_t>(line) -
+                                   static_cast<std::int64_t>(t.head);
+        if (delta != 0 && std::llabs(delta) <= cfg.windowLines) {
+            if (!best || t.lruStamp > best->lruStamp)
+                best = &t;
+        }
+    }
+    return best;
+}
+
+StreamPrefetcher::Tracker &
+StreamPrefetcher::allocateTracker(LineAddr line)
+{
+    Tracker *victim = &trackers[0];
+    for (auto &t : trackers) {
+        if (!t.valid) {
+            victim = &t;
+            break;
+        }
+        if (t.lruStamp < victim->lruStamp)
+            victim = &t;
+    }
+    *victim = Tracker{};
+    victim->valid = true;
+    victim->head = line;
+    return *victim;
+}
+
+int
+StreamPrefetcher::trainedStreams() const
+{
+    int n = 0;
+    for (const auto &t : trackers)
+        n += t.valid && t.confidence >= cfg.trainThreshold;
+    return n;
+}
+
+void
+StreamPrefetcher::onAccess(const L2AccessEvent &ev,
+                           std::vector<LineAddr> &out)
+{
+    if (!ev.miss && !ev.prefetchedHit)
+        return;
+
+    Tracker *t = findTracker(ev.line);
+    if (!t) {
+        allocateTracker(ev.line).lruStamp = ++stamp;
+        return;
+    }
+
+    const std::int64_t delta = static_cast<std::int64_t>(ev.line) -
+                               static_cast<std::int64_t>(t->head);
+    const int dir = delta > 0 ? 1 : -1;
+    if (t->direction == dir) {
+        ++t->confidence;
+    } else {
+        t->direction = dir;
+        t->confidence = 1;
+    }
+    t->head = ev.line;
+    t->lruStamp = ++stamp;
+
+    if (t->confidence < cfg.trainThreshold)
+        return;
+
+    // Trained: prefetch `degree` lines starting `distance` ahead.
+    for (int k = 0; k < cfg.degree; ++k) {
+        const std::int64_t target =
+            static_cast<std::int64_t>(ev.line) +
+            static_cast<std::int64_t>(dir) * (cfg.distance + k);
+        if (target >= 0 &&
+            inSamePage(ev.line, static_cast<LineAddr>(target))) {
+            out.push_back(static_cast<LineAddr>(target));
+        }
+    }
+}
+
+} // namespace bop

@@ -1,0 +1,114 @@
+#include "prefetch/stream_buffer.hh"
+
+#include <algorithm>
+
+namespace bop
+{
+
+StreamBufferPrefetcher::StreamBufferPrefetcher(PageSize page_size,
+                                               StreamBufferConfig cfg_)
+    : L2Prefetcher(page_size),
+      cfg(cfg_),
+      buffers(static_cast<std::size_t>(cfg_.buffers))
+{
+}
+
+StreamBufferPrefetcher::Buffer *
+StreamBufferPrefetcher::findBuffer(LineAddr line)
+{
+    for (Buffer &b : buffers) {
+        if (!b.valid)
+            continue;
+        if (std::find(b.fifo.begin(), b.fifo.end(), line) !=
+            b.fifo.end()) {
+            return &b;
+        }
+    }
+    return nullptr;
+}
+
+void
+StreamBufferPrefetcher::topUp(Buffer &b, std::vector<LineAddr> &out)
+{
+    while (static_cast<int>(b.fifo.size()) < cfg.depth) {
+        // Stop at the page boundary: the buffer simply stalls there,
+        // as every L2 prefetcher in this study must (Sec. 5.6). Use
+        // the previous requested line (or the stream origin) as the
+        // page reference.
+        const LineAddr ref = b.fifo.empty() ? b.nextLine - 1
+                                            : b.fifo.back();
+        if (!inSamePage(ref, b.nextLine))
+            break;
+        b.fifo.push_back(b.nextLine);
+        out.push_back(b.nextLine);
+        ++b.nextLine;
+    }
+}
+
+void
+StreamBufferPrefetcher::allocate(LineAddr line, std::vector<LineAddr> &out)
+{
+    Buffer *victim = &buffers[0];
+    for (Buffer &b : buffers) {
+        if (!b.valid) {
+            victim = &b;
+            break;
+        }
+        if (b.lruStamp < victim->lruStamp)
+            victim = &b;
+    }
+    victim->valid = true;
+    victim->fifo.clear();
+    victim->nextLine = line + 1;
+    victim->lruStamp = ++stamp;
+    topUp(*victim, out);
+}
+
+void
+StreamBufferPrefetcher::onAccess(const L2AccessEvent &ev,
+                                 std::vector<LineAddr> &out)
+{
+    Buffer *b = findBuffer(ev.line);
+
+    if (b) {
+        // A demand access consumed a line this buffer requested. In the
+        // original hardware only a *head* hit moves a line into the
+        // cache; accesses deeper in the FIFO (scrambling) squash the
+        // skipped entries, which is what popping up to the match models.
+        b->lruStamp = ++stamp;
+        while (!b->fifo.empty() && b->fifo.front() != ev.line)
+            b->fifo.pop_front();
+        if (!b->fifo.empty())
+            b->fifo.pop_front();
+        topUp(*b, out);
+        return;
+    }
+
+    if (!ev.miss)
+        return; // buffers allocate on misses only (Jouppi)
+
+    if (cfg.allocationFilter && findBuffer(ev.line + 1))
+        return; // an existing stream already covers what we'd fetch
+
+    allocate(ev.line, out);
+}
+
+int
+StreamBufferPrefetcher::activeBuffers() const
+{
+    int n = 0;
+    for (const Buffer &b : buffers) {
+        if (b.valid)
+            ++n;
+    }
+    return n;
+}
+
+std::vector<LineAddr>
+StreamBufferPrefetcher::bufferLines(int i) const
+{
+    const Buffer &b = buffers[static_cast<std::size_t>(i)];
+    return {b.fifo.begin(), b.fifo.end()};
+}
+
+} // namespace bop

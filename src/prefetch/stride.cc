@@ -1,0 +1,121 @@
+#include "prefetch/stride.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bop
+{
+
+StridePrefetcher::StridePrefetcher(StrideConfig cfg_)
+    : cfg(cfg_), numSets(cfg_.tableEntries / cfg_.ways)
+{
+    assert(numSets > 0 && (numSets & (numSets - 1)) == 0);
+    table.resize(cfg.tableEntries);
+}
+
+StridePrefetcher::Entry *
+StridePrefetcher::find(Addr pc)
+{
+    const std::size_t set = (pc >> 2) & (numSets - 1);
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Entry &e = table[set * cfg.ways + w];
+        if (e.valid && e.pc == pc)
+            return &e;
+    }
+    return nullptr;
+}
+
+const StridePrefetcher::Entry *
+StridePrefetcher::find(Addr pc) const
+{
+    return const_cast<StridePrefetcher *>(this)->find(pc);
+}
+
+StridePrefetcher::Entry &
+StridePrefetcher::allocate(Addr pc)
+{
+    const std::size_t set = (pc >> 2) & (numSets - 1);
+    Entry *victim = &table[set * cfg.ways];
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Entry &e = table[set * cfg.ways + w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lruStamp < victim->lruStamp)
+            victim = &e;
+    }
+    *victim = Entry{};
+    victim->valid = true;
+    victim->pc = pc;
+    return *victim;
+}
+
+void
+StridePrefetcher::onRetire(Addr pc, Addr vaddr)
+{
+    Entry *e = find(pc);
+    if (!e)
+        e = &allocate(pc);
+
+    const std::int64_t new_stride =
+        static_cast<std::int64_t>(vaddr) -
+        static_cast<std::int64_t>(e->lastAddr);
+
+    // Paper: if currentaddr == lastaddr + stride, increment confidence,
+    // otherwise reset it to zero; then update stride and lastaddr.
+    if (e->lastAddr != 0 && new_stride == e->stride) {
+        if (e->confidence < cfg.confidenceMax)
+            ++e->confidence;
+    } else {
+        e->confidence = 0;
+    }
+    e->stride = new_stride;
+    e->lastAddr = vaddr;
+    e->lruStamp = ++stamp;
+}
+
+bool
+StridePrefetcher::filterAllows(LineAddr line)
+{
+    if (std::find(filter.begin(), filter.end(), line) != filter.end())
+        return false;
+    if (filter.size() >= cfg.filterEntries)
+        filter.pop_front();
+    filter.push_back(line);
+    return true;
+}
+
+std::optional<Addr>
+StridePrefetcher::onAccess(Addr pc, Addr vaddr)
+{
+    Entry *e = find(pc);
+    if (!e || e->stride == 0 || e->confidence < cfg.confidenceMax)
+        return std::nullopt;
+    e->lruStamp = ++stamp;
+
+    const std::int64_t delta =
+        e->stride * static_cast<std::int64_t>(cfg.prefetchDistance);
+    const Addr target = static_cast<Addr>(
+        static_cast<std::int64_t>(vaddr) + delta);
+
+    if (!filterAllows(lineOf(target)))
+        return std::nullopt;
+    return target;
+}
+
+int
+StridePrefetcher::confidenceOf(Addr pc) const
+{
+    const Entry *e = find(pc);
+    return e ? e->confidence : -1;
+}
+
+std::int64_t
+StridePrefetcher::strideOf(Addr pc) const
+{
+    const Entry *e = find(pc);
+    return e ? e->stride : 0;
+}
+
+} // namespace bop

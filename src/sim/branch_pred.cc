@@ -1,0 +1,156 @@
+#include "sim/branch_pred.hh"
+
+#include <cassert>
+
+namespace bop
+{
+
+constexpr int TagePredictor::historyLengths[TagePredictor::numTables];
+
+TagePredictor::TagePredictor(std::uint64_t seed)
+    : bimodal(1u << bimodalBits, 0), rng(seed)
+{
+    for (auto &t : tables)
+        t.resize(1u << tableBits);
+}
+
+std::uint64_t
+TagePredictor::foldHistory(int length, unsigned width) const
+{
+    // XOR-fold the low `length` history bits down to `width` bits.
+    std::uint64_t h = length >= 64 ? ghist
+                                   : (ghist & ((1ull << length) - 1));
+    std::uint64_t folded = 0;
+    while (h) {
+        folded ^= h & ((1ull << width) - 1);
+        h >>= width;
+    }
+    return folded;
+}
+
+unsigned
+TagePredictor::tableIndex(Addr pc, int table) const
+{
+    const std::uint64_t h = foldHistory(historyLengths[table], tableBits);
+    const std::uint64_t mix = (pc >> 2) ^ (pc >> (tableBits + 2)) ^ h ^
+                              (static_cast<std::uint64_t>(table) << 3);
+    return static_cast<unsigned>(mix & ((1u << tableBits) - 1));
+}
+
+std::uint16_t
+TagePredictor::tableTag(Addr pc, int table) const
+{
+    const std::uint64_t h = foldHistory(historyLengths[table], tagBits);
+    const std::uint64_t mix = (pc >> 2) ^ (pc >> (tagBits + 4)) ^
+                              (h << 1) ^ static_cast<std::uint64_t>(table);
+    return static_cast<std::uint16_t>(mix & ((1u << tagBits) - 1));
+}
+
+bool
+TagePredictor::predict(Addr pc)
+{
+    lastPc = pc;
+    providerTable = -1;
+    altTable = -1;
+
+    const unsigned bi =
+        static_cast<unsigned>((pc >> 2) & ((1u << bimodalBits) - 1));
+    bool pred = bimodal[bi] >= 0;
+    bool alt = pred;
+
+    // Longest-history matching component provides the prediction; the
+    // next matching one (or bimodal) is the alternate.
+    for (int t = numTables - 1; t >= 0; --t) {
+        const unsigned idx = tableIndex(pc, t);
+        const TaggedEntry &e = tables[t][idx];
+        if (e.tag == tableTag(pc, t)) {
+            if (providerTable < 0) {
+                providerTable = t;
+                providerIndex = idx;
+                pred = e.ctr >= 0;
+            } else if (altTable < 0) {
+                altTable = t;
+                alt = e.ctr >= 0;
+                break;
+            }
+        }
+    }
+    if (providerTable >= 0 && altTable < 0)
+        alt = bimodal[bi] >= 0;
+    if (providerTable < 0)
+        alt = pred;
+
+    lastPrediction = pred;
+    altPrediction = alt;
+    ++numPredictions;
+    return pred;
+}
+
+void
+TagePredictor::update(Addr pc, bool taken)
+{
+    assert(pc == lastPc && "update() must follow predict() for same pc");
+
+    const bool mispredicted = lastPrediction != taken;
+    if (mispredicted)
+        ++numMispredictions;
+
+    const unsigned bi =
+        static_cast<unsigned>((pc >> 2) & ((1u << bimodalBits) - 1));
+
+    if (providerTable >= 0) {
+        TaggedEntry &e = tables[providerTable][providerIndex];
+        // Usefulness: provider was right where the alternate was wrong.
+        if (lastPrediction != altPrediction) {
+            if (lastPrediction == taken) {
+                if (e.useful < 3)
+                    ++e.useful;
+            } else if (e.useful > 0) {
+                --e.useful;
+            }
+        }
+        if (taken) {
+            if (e.ctr < 3)
+                ++e.ctr;
+        } else {
+            if (e.ctr > -4)
+                --e.ctr;
+        }
+    } else {
+        if (taken) {
+            if (bimodal[bi] < 1)
+                ++bimodal[bi];
+        } else {
+            if (bimodal[bi] > -2)
+                --bimodal[bi];
+        }
+    }
+
+    // Allocate a new entry in a longer-history table on misprediction.
+    if (mispredicted && providerTable < numTables - 1) {
+        const int start = providerTable + 1;
+        bool allocated = false;
+        for (int t = start; t < numTables && !allocated; ++t) {
+            const unsigned idx = tableIndex(pc, t);
+            TaggedEntry &e = tables[t][idx];
+            if (e.useful == 0) {
+                e.tag = tableTag(pc, t);
+                e.ctr = taken ? 0 : -1;
+                allocated = true;
+            }
+        }
+        if (!allocated) {
+            // All candidates useful: age one at random (TAGE-style
+            // graceful degradation instead of a global useful reset).
+            const int t = start + static_cast<int>(
+                rng.below(static_cast<std::uint64_t>(numTables - start)));
+            TaggedEntry &e = tables[t][tableIndex(pc, t)];
+            if (e.useful > 0)
+                --e.useful;
+        }
+    }
+
+    ghist = (ghist << 1) | (taken ? 1 : 0);
+}
+
+} // namespace bop

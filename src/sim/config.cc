@@ -1,0 +1,69 @@
+#include "sim/config.hh"
+
+#include <sstream>
+
+namespace bop
+{
+
+namespace
+{
+
+const char *
+prefetcherName(L2PrefetcherKind kind)
+{
+    switch (kind) {
+      case L2PrefetcherKind::None:
+        return "none";
+      case L2PrefetcherKind::NextLine:
+        return "next-line";
+      case L2PrefetcherKind::FixedOffset:
+        return "fixed-offset";
+      case L2PrefetcherKind::BestOffset:
+        return "best-offset";
+      case L2PrefetcherKind::Sandbox:
+        return "sandbox";
+      case L2PrefetcherKind::Stream:
+        return "stream";
+      case L2PrefetcherKind::Fdp:
+        return "fdp";
+      case L2PrefetcherKind::Acdc:
+        return "acdc";
+      case L2PrefetcherKind::StreamBuffer:
+        return "streambuf";
+      case L2PrefetcherKind::BestOffsetDpc2:
+        return "bo-dpc2";
+    }
+    return "?";
+}
+
+const char *
+policyName(L3PolicyKind kind)
+{
+    switch (kind) {
+      case L3PolicyKind::P5:
+        return "5P";
+      case L3PolicyKind::Lru:
+        return "LRU";
+      case L3PolicyKind::Drrip:
+        return "DRRIP";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+SystemConfig::describe() const
+{
+    std::ostringstream oss;
+    oss << activeCores << "-core, "
+        << (pageSize == PageSize::FourKB ? "4KB" : "4MB") << " pages, L2 "
+        << prefetcherName(l2Prefetcher);
+    if (l2Prefetcher == L2PrefetcherKind::FixedOffset)
+        oss << "(D=" << fixedOffset << ")";
+    oss << ", L3 " << policyName(l3Policy)
+        << (dl1StridePrefetcher ? ", DL1 stride" : ", no DL1 prefetch");
+    return oss.str();
+}
+
+} // namespace bop

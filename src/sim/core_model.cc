@@ -1,0 +1,291 @@
+#include "sim/core_model.hh"
+
+#include <cassert>
+
+namespace bop
+{
+
+CoreModel::CoreModel(CoreId id, const CoreParams &params_,
+                     TraceSource &trace_, CoreMemInterface &mem_)
+    : coreId(id),
+      params(params_),
+      trace(trace_),
+      mem(mem_),
+      predictor(0x7a6e + static_cast<std::uint64_t>(id))
+{
+    rob.resize(params.robSize);
+}
+
+bool
+CoreModel::depResolved(const RobEntry &e, Cycle &dep_ready) const
+{
+    if (!e.waitingDep) {
+        dep_ready = 0;
+        return true;
+    }
+    const RobEntry &dep = rob[e.depIdx];
+    if (!dep.valid || dep.gen != e.depGen) {
+        // The producer already retired; its data has long been available.
+        dep_ready = 0;
+        return true;
+    }
+    if (dep.done) {
+        dep_ready = dep.readyAt;
+        return true;
+    }
+    return false;
+}
+
+void
+CoreModel::retire(Cycle now)
+{
+    for (unsigned n = 0; n < params.retireWidth && robCount > 0; ++n) {
+        RobEntry &head = rob[robHead];
+        if (!head.done || head.readyAt > now)
+            break;
+        if (head.kind == InstrKind::Load ||
+            head.kind == InstrKind::Store) {
+            mem.retireMemOp(coreId, head.pc, head.vaddr);
+        }
+        if (head.kind == InstrKind::Load) {
+            assert(loadsInFlight > 0);
+            --loadsInFlight;
+        }
+        head.valid = false;
+        robHead = (robHead + 1) % params.robSize;
+        --robCount;
+        ++retiredCount;
+    }
+}
+
+void
+CoreModel::issueWaiting(Cycle now)
+{
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < waiting.size(); ++i) {
+        const std::uint32_t idx = waiting[i];
+        RobEntry &e = rob[idx];
+        bool still_waiting = true;
+
+        if (e.valid && !e.done) {
+            Cycle dep_ready = 0;
+            if (depResolved(e, dep_ready)) {
+                const Cycle start = dep_ready > now ? dep_ready : now;
+                if (e.kind == InstrKind::Load) {
+                    if (start <= now &&
+                        loadsThisCycle < params.loadPorts) {
+                        ++loadsThisCycle;
+                        const LoadOutcome out = mem.coreLoad(
+                            coreId, e.vaddr, e.pc, idx, now);
+                        if (out.kind == LoadOutcome::Kind::Hit) {
+                            e.done = true;
+                            e.readyAt = out.readyAt;
+                            e.issued = true;
+                            still_waiting = false;
+                        } else if (out.kind == LoadOutcome::Kind::Pending) {
+                            e.issued = true;
+                            e.waitingDep = false;
+                            still_waiting = false;
+                        }
+                        // Retry: stays in the waiting list.
+                    }
+                } else if (e.kind == InstrKind::Branch) {
+                    // Load-dependent branch: resolves when the load data
+                    // arrives; a mispredict redirects fetch then.
+                    e.done = true;
+                    e.readyAt = start;
+                    if (e.mispredict) {
+                        fetchStallUntil = start + params.branchPenalty;
+                        stalledOnBranchDep = false;
+                    }
+                    still_waiting = false;
+                } else {
+                    e.done = true;
+                    e.readyAt = start + (e.kind == InstrKind::FpOp
+                                             ? params.fpLatency
+                                             : params.intLatency);
+                    still_waiting = false;
+                }
+            }
+        } else {
+            still_waiting = false;
+        }
+
+        if (still_waiting)
+            waiting[keep++] = idx;
+    }
+    waiting.resize(keep);
+}
+
+bool
+CoreModel::dispatchOne(const TraceInstr &instr, Cycle now)
+{
+    assert(robCount < params.robSize);
+
+    const std::uint32_t idx = robTail;
+    RobEntry &e = rob[idx];
+    e = RobEntry{};
+    e.valid = true;
+    e.kind = instr.kind;
+    e.pc = instr.pc;
+    e.vaddr = instr.vaddr;
+    e.gen = genCounter++;
+
+    Cycle dep_ready = 0;
+    bool dep_pending = false;
+    if (instr.dependsOnPrevLoad && lastLoadGen != 0) {
+        const RobEntry &dep = rob[lastLoadIdx];
+        if (dep.valid && dep.gen == lastLoadGen) {
+            if (dep.done) {
+                dep_ready = dep.readyAt;
+            } else {
+                dep_pending = true;
+                e.waitingDep = true;
+                e.depIdx = lastLoadIdx;
+                e.depGen = lastLoadGen;
+            }
+        }
+    }
+
+    switch (instr.kind) {
+      case InstrKind::IntOp:
+      case InstrKind::FpOp: {
+        // Dependent ALU latency hides behind the in-order retirement of
+        // the producing load, so it resolves at dep_ready + latency.
+        const Cycle start = dep_ready > now ? dep_ready : now;
+        const unsigned lat = instr.kind == InstrKind::FpOp
+                                 ? params.fpLatency
+                                 : params.intLatency;
+        e.done = true;
+        e.readyAt = start + lat;
+        e.waitingDep = false;
+        break;
+      }
+
+      case InstrKind::Load: {
+        if (loadsInFlight >= params.loadQueue) {
+            e.valid = false;
+            return false; // load queue full: dispatch stalls
+        }
+        ++loadsInFlight;
+        if (dep_pending || loadsThisCycle >= params.loadPorts) {
+            waiting.push_back(idx);
+        } else {
+            ++loadsThisCycle;
+            const LoadOutcome out =
+                mem.coreLoad(coreId, instr.vaddr, instr.pc, idx, now);
+            if (out.kind == LoadOutcome::Kind::Hit) {
+                e.done = true;
+                e.readyAt = out.readyAt;
+                e.issued = true;
+            } else if (out.kind == LoadOutcome::Kind::Pending) {
+                e.issued = true;
+            } else {
+                waiting.push_back(idx); // MSHRs full: retry
+            }
+        }
+        lastLoadIdx = idx;
+        lastLoadGen = e.gen;
+        break;
+      }
+
+      case InstrKind::Store: {
+        if (pendingStores >= params.storeQueue ||
+            storesThisCycle >= params.storePorts) {
+            --genCounter;
+            e.valid = false;
+            return false; // store queue/port full: dispatch stalls
+        }
+        const StoreOutcome out =
+            mem.coreStore(coreId, instr.vaddr, instr.pc, now);
+        if (!out.accepted) {
+            --genCounter;
+            e.valid = false;
+            return false; // MSHRs full: dispatch stalls
+        }
+        ++storesThisCycle;
+        if (!out.completedNow)
+            ++pendingStores;
+        // Stores retire without waiting for the write to complete.
+        e.done = true;
+        e.readyAt = now + 1;
+        e.waitingDep = false;
+        break;
+      }
+
+      case InstrKind::Branch: {
+        ++branches;
+        const bool pred = predictor.predict(instr.pc);
+        predictor.update(instr.pc, instr.taken);
+        const bool mispredicted = pred != instr.taken;
+        if (mispredicted)
+            ++mispredicts;
+        if (dep_pending) {
+            e.mispredict = mispredicted;
+            waiting.push_back(idx);
+            if (mispredicted) {
+                // Redirect happens when the branch executes, i.e. when
+                // the load it depends on returns.
+                stalledOnBranchDep = true;
+            }
+        } else {
+            const Cycle start = dep_ready > now ? dep_ready : now;
+            e.done = true;
+            e.readyAt = start + 1;
+            if (mispredicted)
+                fetchStallUntil = e.readyAt + params.branchPenalty;
+        }
+        break;
+      }
+    }
+
+    robTail = (robTail + 1) % params.robSize;
+    ++robCount;
+    return true;
+}
+
+void
+CoreModel::tick(Cycle now)
+{
+    loadsThisCycle = 0;
+    storesThisCycle = 0;
+
+    retire(now);
+    issueWaiting(now);
+
+    if (stalledOnBranchDep || now < fetchStallUntil)
+        return;
+
+    for (unsigned n = 0; n < params.dispatchWidth; ++n) {
+        if (robCount >= params.robSize)
+            break;
+        if (stalledOnBranchDep || now < fetchStallUntil)
+            break;
+
+        if (!holdValid) {
+            holdInstr = trace.next();
+            holdValid = true;
+        }
+        if (!dispatchOne(holdInstr, now))
+            break; // structural stall: retry the held instruction
+        holdValid = false;
+    }
+}
+
+void
+CoreModel::loadCompleted(std::uint32_t rob_tag, Cycle when)
+{
+    RobEntry &e = rob[rob_tag];
+    assert(e.valid && e.kind == InstrKind::Load && e.issued);
+    e.done = true;
+    e.readyAt = when;
+}
+
+void
+CoreModel::storeCompleted(int count)
+{
+    assert(pendingStores >= static_cast<std::size_t>(count));
+    pendingStores -= static_cast<std::size_t>(count);
+}
+
+} // namespace bop

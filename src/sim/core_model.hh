@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Out-of-order core approximation (paper Table 1, loosely Haswell).
+ *
+ * The model captures what matters for prefetcher evaluation: a 256-entry
+ * ROB bounding memory-level parallelism, dispatch/retire width limits,
+ * load/store port limits, a store queue, the DL1 MSHR limit (enforced by
+ * the hierarchy), TAGE-predicted branches with a 12-cycle minimum
+ * redirect penalty, and data-dependent loads that serialise behind the
+ * previous load (pointer chasing). Register renaming, functional units
+ * and wrong-path fetch are not modeled — the paper's own simulator also
+ * ignores wrong-path effects (Sec. 5).
+ *
+ * Mechanics per cycle: retire up to retireWidth completed entries from
+ * the ROB head; issue loads whose dependences resolved (bounded by load
+ * ports); dispatch up to dispatchWidth new trace instructions.
+ */
+
+#ifndef BOP_SIM_CORE_MODEL_HH
+#define BOP_SIM_CORE_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/branch_pred.hh"
+#include "sim/config.hh"
+#include "trace/trace.hh"
+
+namespace bop
+{
+
+/** Result of the hierarchy accepting (or not) a load access. */
+struct LoadOutcome
+{
+    enum class Kind
+    {
+        Hit,     ///< completes at readyAt
+        Pending, ///< completion delivered via loadCompleted()
+        Retry,   ///< structural hazard (MSHRs full): retry next cycle
+    };
+    Kind kind = Kind::Retry;
+    Cycle readyAt = 0;
+};
+
+/** Result of the hierarchy accepting (or not) a store access. */
+struct StoreOutcome
+{
+    bool accepted = false;   ///< false: MSHRs full, retry
+    bool completedNow = false; ///< DL1 hit: no store-queue pressure
+};
+
+/** Interface the core uses to talk to the memory hierarchy. */
+class CoreMemInterface
+{
+  public:
+    virtual ~CoreMemInterface() = default;
+    virtual LoadOutcome coreLoad(CoreId core, Addr vaddr, Addr pc,
+                                 std::uint32_t rob_tag, Cycle now) = 0;
+    virtual StoreOutcome coreStore(CoreId core, Addr vaddr, Addr pc,
+                                   Cycle now) = 0;
+    /** Retirement-time hook (updates the DL1 stride table in order). */
+    virtual void retireMemOp(CoreId core, Addr pc, Addr vaddr) = 0;
+};
+
+/** The trace-driven core model. */
+class CoreModel
+{
+  public:
+    CoreModel(CoreId id, const CoreParams &params, TraceSource &trace,
+              CoreMemInterface &mem);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    /** Hierarchy callback: a pending load's data arrived. */
+    void loadCompleted(std::uint32_t rob_tag, Cycle when);
+
+    /** Hierarchy callback: store-queue slots freed by a fill. */
+    void storeCompleted(int count);
+
+    // -- observability -----------------------------------------------------
+    std::uint64_t retired() const { return retiredCount; }
+    std::uint64_t branchCount() const { return branches; }
+    std::uint64_t mispredictCount() const { return mispredicts; }
+    std::size_t robOccupancy() const { return robCount; }
+    CoreId id() const { return coreId; }
+
+  private:
+    struct RobEntry
+    {
+        bool valid = false;
+        InstrKind kind = InstrKind::IntOp;
+        bool done = false;
+        Cycle readyAt = 0;
+        Addr pc = 0;
+        Addr vaddr = 0;
+        std::uint64_t gen = 0;       ///< generation (stale-dep detection)
+        bool waitingDep = false;
+        std::uint32_t depIdx = 0;
+        std::uint64_t depGen = 0;
+        bool issued = false;         ///< loads: access sent to the DL1
+        bool mispredict = false;     ///< branches: redirect when resolved
+    };
+
+    bool dispatchOne(const TraceInstr &instr, Cycle now);
+    void issueWaiting(Cycle now);
+    void retire(Cycle now);
+    /** True when the dependence of @p e has resolved; sets dep time. */
+    bool depResolved(const RobEntry &e, Cycle &dep_ready) const;
+
+    CoreId coreId;
+    CoreParams params;
+    TraceSource &trace;
+    CoreMemInterface &mem;
+    TagePredictor predictor;
+
+    std::vector<RobEntry> rob;
+    std::uint32_t robHead = 0;
+    std::uint32_t robTail = 0;
+    std::size_t robCount = 0;
+    std::uint64_t genCounter = 1;
+
+    std::vector<std::uint32_t> waiting; ///< rob indices awaiting dep/retry
+
+    bool holdValid = false;   ///< instruction stalled at dispatch
+    TraceInstr holdInstr;
+
+    Cycle fetchStallUntil = 0;
+    bool stalledOnBranchDep = false;
+
+    std::uint32_t lastLoadIdx = 0;
+    std::uint64_t lastLoadGen = 0;   ///< 0: no live previous load
+
+    unsigned loadsThisCycle = 0;
+    unsigned storesThisCycle = 0;
+    std::size_t loadsInFlight = 0;   ///< load-queue occupancy
+    std::size_t pendingStores = 0;   ///< store-queue occupancy
+
+    std::uint64_t retiredCount = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+};
+
+} // namespace bop
+
+#endif // BOP_SIM_CORE_MODEL_HH

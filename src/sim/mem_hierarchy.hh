@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The full memory hierarchy of the simulated quad-core (paper Sec. 5):
+ * per-core DL1 + private L2 with fill queue, stride prefetcher, L2
+ * prefetcher with 8-entry prefetch queue, two-level TLBs and a
+ * randomised page table; a shared non-inclusive L3 with its own fill
+ * queue and the 5P (or LRU/DRRIP) replacement policy; two DDR3 channels
+ * with fairness-aware controllers.
+ *
+ * The fill-queue protocol is the paper's MSHR-free design (Sec. 5.4):
+ * entries are allocated when a miss issues to the next level, released
+ * when that level misses too, refilled when data returns, and CAM
+ * searches promote in-flight prefetches hit by demand misses. Prefetch
+ * requests have lowest priority into the L3 and can be cancelled any
+ * time (oldest-first when the 8-entry prefetch queue overflows).
+ *
+ * Deadlock freedom: fill queues keep two slots in reserve that pure
+ * "waiting" allocations may not use, dirty victims of the L2 drain into
+ * an unbounded (in practice tiny) writeback buffer, and the memory
+ * controllers drain independently — so every blocked queue eventually
+ * observes progress downstream.
+ */
+
+#ifndef BOP_SIM_MEM_HIERARCHY_HH
+#define BOP_SIM_MEM_HIERARCHY_HH
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/fill_queue.hh"
+#include "cache/mshr.hh"
+#include "cache/prefetch_queue.hh"
+#include "cache/req.hh"
+#include "common/stats.hh"
+#include "dram/mem_controller.hh"
+#include "prefetch/l2_prefetcher.hh"
+#include "prefetch/stride.hh"
+#include "sim/config.hh"
+#include "sim/core_model.hh"
+#include "sim/tlb.hh"
+#include "sim/vmem.hh"
+
+namespace bop
+{
+
+/** Builds the L3 replacement policy selected by the config. */
+std::unique_ptr<ReplacementPolicy> makeL3Policy(const SystemConfig &cfg);
+
+/** Builds the L2 prefetcher selected by the config. */
+std::unique_ptr<L2Prefetcher> makeL2Prefetcher(const SystemConfig &cfg);
+
+/** The complete uncore + DL1s. */
+class MemHierarchy : public CoreMemInterface
+{
+  public:
+    explicit MemHierarchy(const SystemConfig &cfg);
+
+    /** Register the core object completion callbacks are routed to. */
+    void attachCore(CoreId core, CoreModel *model);
+
+    // -- CoreMemInterface ---------------------------------------------------
+    LoadOutcome coreLoad(CoreId core, Addr vaddr, Addr pc,
+                         std::uint32_t rob_tag, Cycle now) override;
+    StoreOutcome coreStore(CoreId core, Addr vaddr, Addr pc,
+                           Cycle now) override;
+    void retireMemOp(CoreId core, Addr pc, Addr vaddr) override;
+
+    /** Advance the uncore one core cycle. */
+    void tick(Cycle now);
+
+    /** Cumulative counters (take deltas across windows for results). */
+    RunStats collectStats() const;
+
+    /** True when no request is in flight anywhere (tests). */
+    bool quiescent() const;
+
+    // -- component access (tests, examples) ---------------------------------
+    SetAssocCache &dl1(CoreId core) { return sides[core]->dl1; }
+    SetAssocCache &l2(CoreId core) { return sides[core]->l2; }
+    SetAssocCache &l3() { return l3Cache; }
+    L2Prefetcher &l2Prefetcher(CoreId core) { return *sides[core]->l2pf; }
+    MemoryController &controller(int channel) { return *mcs[channel]; }
+    const SystemConfig &config() const { return cfg; }
+
+  private:
+    /** A request travelling between cache levels. */
+    struct PendingReq
+    {
+        LineAddr line = 0;
+        ReqMeta meta;
+        Cycle readyAt = 0;
+    };
+
+    /** A block scheduled to be written into a DL1. */
+    struct Dl1Delivery
+    {
+        LineAddr line = 0;
+        ReqMeta meta;
+        Cycle at = 0;
+    };
+
+    /** Everything private to one core. */
+    struct CoreSide
+    {
+        CoreSide(const SystemConfig &cfg, CoreId id);
+
+        CoreId id;
+        SetAssocCache dl1;
+        SetAssocCache l2;
+        MshrFile mshr;
+        FillQueue l2Fill;
+        PrefetchQueue prefetchQueue;
+        std::unique_ptr<L2Prefetcher> l2pf;
+        std::optional<StridePrefetcher> stride;
+        TlbHierarchy tlb;
+        VirtualMemory vmem;
+
+        std::deque<PendingReq> toL2;     ///< DL1 misses / L1 prefetches
+        std::deque<LineAddr> wbToL2;     ///< DL1 dirty victims
+        std::deque<Dl1Delivery> dl1Due;  ///< blocks headed into the DL1
+    };
+
+    // -- per-cycle stages ---------------------------------------------------
+    void processWbToL2(CoreSide &cs, Cycle now);
+    void processToL2(CoreSide &cs, Cycle now);
+    void processToL3(Cycle now);
+    void processPrefetchQueues(Cycle now);
+    void drainDramCompletions(Cycle now);
+    bool drainOneL3Fill(Cycle now);
+    void processWbToL3(Cycle now);
+    void drainL2Fill(CoreSide &cs, Cycle now);
+    void processDl1Deliveries(CoreSide &cs, Cycle now);
+
+    // -- helpers -------------------------------------------------------------
+    void triggerL2Prefetcher(CoreSide &cs, const L2AccessEvent &ev);
+    void issueL1Prefetch(CoreSide &cs, Addr pc, Addr vaddr, Cycle now);
+    void deliverToDl1(CoreSide &cs, LineAddr line, const ReqMeta &meta,
+                      Cycle at);
+    int channelOf(LineAddr line) const;
+
+    SystemConfig cfg;
+    std::vector<std::unique_ptr<CoreSide>> sides;
+    SetAssocCache l3Cache;
+    FillQueue l3Fill;
+    std::unique_ptr<MemoryController> mcs[numChannels];
+
+    std::deque<PendingReq> toL3;                ///< demand L2 misses
+    std::deque<std::pair<LineAddr, CoreId>> wbToL3; ///< L2 dirty victims
+
+    CoreModel *cores[maxCores] = {};
+    unsigned prefetchRr = 0;   ///< round-robin over cores' prefetch queues
+    RunStats stats;            ///< cumulative core-0 + chip counters
+    std::vector<LineAddr> prefetchScratch;
+
+    // per-cycle processing budgets
+    static constexpr unsigned l2ReqsPerCycle = 3;
+    static constexpr unsigned l3DemandsPerCycle = 4;
+    static constexpr unsigned l3PrefetchesPerCycle = 2;
+    static constexpr unsigned l3FillsPerCycle = 2;
+    static constexpr unsigned l2FillsPerCycle = 2;
+    static constexpr unsigned wbPerCycle = 2;
+};
+
+} // namespace bop
+
+#endif // BOP_SIM_MEM_HIERARCHY_HH

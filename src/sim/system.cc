@@ -1,0 +1,110 @@
+#include "sim/system.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace bop
+{
+
+RunStats
+deltaStats(const RunStats &end, const RunStats &begin)
+{
+    RunStats d = end;
+    d.cycles = end.cycles - begin.cycles;
+    d.instructions = end.instructions - begin.instructions;
+    d.dl1Accesses = end.dl1Accesses - begin.dl1Accesses;
+    d.dl1Misses = end.dl1Misses - begin.dl1Misses;
+    d.dl1PrefIssued = end.dl1PrefIssued - begin.dl1PrefIssued;
+    d.dl1PrefDropTlb = end.dl1PrefDropTlb - begin.dl1PrefDropTlb;
+    d.l2Accesses = end.l2Accesses - begin.l2Accesses;
+    d.l2Misses = end.l2Misses - begin.l2Misses;
+    d.l2PrefetchedHits = end.l2PrefetchedHits - begin.l2PrefetchedHits;
+    d.l2PrefIssued = end.l2PrefIssued - begin.l2PrefIssued;
+    d.l2PrefDropped = end.l2PrefDropped - begin.l2PrefDropped;
+    d.l2PrefFills = end.l2PrefFills - begin.l2PrefFills;
+    d.l2LatePromotions = end.l2LatePromotions - begin.l2LatePromotions;
+    d.l2PrefUselessEvicted =
+        end.l2PrefUselessEvicted - begin.l2PrefUselessEvicted;
+    d.l3Accesses = end.l3Accesses - begin.l3Accesses;
+    d.l3Misses = end.l3Misses - begin.l3Misses;
+    d.dtlb1Misses = end.dtlb1Misses - begin.dtlb1Misses;
+    d.tlb2Misses = end.tlb2Misses - begin.tlb2Misses;
+    d.branches = end.branches - begin.branches;
+    d.branchMispredicts = end.branchMispredicts - begin.branchMispredicts;
+    d.dramReads = end.dramReads - begin.dramReads;
+    d.dramWrites = end.dramWrites - begin.dramWrites;
+    d.dramRowHits = end.dramRowHits - begin.dramRowHits;
+    d.dramRowMisses = end.dramRowMisses - begin.dramRowMisses;
+    // boLearningPhases etc. are end-of-run state: keep end's values.
+    return d;
+}
+
+System::System(const SystemConfig &cfg_,
+               std::vector<std::unique_ptr<TraceSource>> traces_)
+    : cfg(cfg_), traces(std::move(traces_)), hier(cfg_)
+{
+    if (static_cast<int>(traces.size()) != cfg.activeCores) {
+        throw std::invalid_argument(
+            "System: need exactly one trace per active core");
+    }
+    for (int c = 0; c < cfg.activeCores; ++c) {
+        cores.push_back(std::make_unique<CoreModel>(c, cfg.core,
+                                                    *traces[c], hier));
+        hier.attachCore(c, cores.back().get());
+    }
+}
+
+void
+System::step()
+{
+    ++now;
+    for (auto &core : cores)
+        core->tick(now);
+    hier.tick(now);
+}
+
+void
+System::runUntilRetired(std::uint64_t target)
+{
+    std::uint64_t last_retired = cores[0]->retired();
+    Cycle last_progress = now;
+
+    while (cores[0]->retired() < target) {
+        step();
+        if (cores[0]->retired() != last_retired) {
+            last_retired = cores[0]->retired();
+            last_progress = now;
+        } else if (now - last_progress > 1000000) {
+            std::ostringstream oss;
+            oss << "System: core 0 made no progress for 1M cycles at "
+                << "cycle " << now << " (retired " << last_retired
+                << ", target " << target << ") — deadlock?";
+            throw std::runtime_error(oss.str());
+        }
+    }
+}
+
+RunStats
+System::run(std::uint64_t warmup_instr, std::uint64_t measure_instr)
+{
+    runUntilRetired(cores[0]->retired() + warmup_instr);
+
+    RunStats begin = hier.collectStats();
+    begin.branches = cores[0]->branchCount();
+    begin.branchMispredicts = cores[0]->mispredictCount();
+    const Cycle start_cycle = now;
+    const std::uint64_t start_instr = cores[0]->retired();
+
+    runUntilRetired(start_instr + measure_instr);
+
+    RunStats end = hier.collectStats();
+    end.branches = cores[0]->branchCount();
+    end.branchMispredicts = cores[0]->mispredictCount();
+
+    RunStats d = deltaStats(end, begin);
+    d.cycles = now - start_cycle;
+    d.instructions = cores[0]->retired() - start_instr;
+    return d;
+}
+
+} // namespace bop

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Top-level simulated system: N cores (Sec. 5.1: 1, 2 or 4 active),
+ * each driven by its own trace source, sharing the uncore. All reported
+ * numbers are for core 0; cores 1..3 (when active) run the
+ * cache-thrashing micro-benchmark, as in the paper.
+ */
+
+#ifndef BOP_SIM_SYSTEM_HH
+#define BOP_SIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/config.hh"
+#include "sim/core_model.hh"
+#include "sim/mem_hierarchy.hh"
+#include "trace/trace.hh"
+
+namespace bop
+{
+
+/**
+ * Counter delta helper: subtract the cumulative counters in @p begin
+ * from @p end (non-cumulative fields are copied from @p end).
+ */
+RunStats deltaStats(const RunStats &end, const RunStats &begin);
+
+/** The simulated chip. */
+class System
+{
+  public:
+    /**
+     * @param cfg     system configuration
+     * @param traces  one trace source per active core (core 0 first)
+     */
+    System(const SystemConfig &cfg,
+           std::vector<std::unique_ptr<TraceSource>> traces);
+
+    /**
+     * Warm up for @p warmup_instr core-0 instructions, then measure
+     * @p measure_instr instructions and return the window's statistics.
+     */
+    RunStats run(std::uint64_t warmup_instr, std::uint64_t measure_instr);
+
+    /** Advance the whole system one cycle (fine-grained control). */
+    void step();
+
+    Cycle currentCycle() const { return now; }
+    MemHierarchy &hierarchy() { return hier; }
+    CoreModel &core(CoreId id) { return *cores[id]; }
+    const SystemConfig &config() const { return cfg; }
+
+  private:
+    /** Run until core 0 has retired @p target instructions in total. */
+    void runUntilRetired(std::uint64_t target);
+
+    SystemConfig cfg;
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    MemHierarchy hier;
+    std::vector<std::unique_ptr<CoreModel>> cores;
+    Cycle now = 0;
+};
+
+} // namespace bop
+
+#endif // BOP_SIM_SYSTEM_HH

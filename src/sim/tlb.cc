@@ -1,0 +1,94 @@
+#include "sim/tlb.hh"
+
+#include <cassert>
+
+namespace bop
+{
+
+Tlb::Tlb(std::size_t entries, unsigned ways_)
+    : numSets(entries / ways_), ways(ways_)
+{
+    assert(numSets > 0 && (numSets & (numSets - 1)) == 0);
+    table.resize(entries);
+}
+
+bool
+Tlb::lookup(Addr vpn)
+{
+    const std::size_t set = setOf(vpn);
+    for (unsigned w = 0; w < ways; ++w) {
+        Entry &e = table[set * ways + w];
+        if (e.valid && e.vpn == vpn) {
+            e.stamp = ++clock;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Tlb::probe(Addr vpn) const
+{
+    const std::size_t set = setOf(vpn);
+    for (unsigned w = 0; w < ways; ++w) {
+        const Entry &e = table[set * ways + w];
+        if (e.valid && e.vpn == vpn)
+            return true;
+    }
+    return false;
+}
+
+void
+Tlb::insert(Addr vpn)
+{
+    const std::size_t set = setOf(vpn);
+    Entry *victim = &table[set * ways];
+    for (unsigned w = 0; w < ways; ++w) {
+        Entry &e = table[set * ways + w];
+        if (e.valid && e.vpn == vpn) {
+            e.stamp = ++clock;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.stamp < victim->stamp)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->stamp = ++clock;
+}
+
+void
+Tlb::flush()
+{
+    for (auto &e : table)
+        e.valid = false;
+}
+
+unsigned
+TlbHierarchy::demandAccess(Addr vpn, std::uint64_t &dtlb1_misses,
+                           std::uint64_t &tlb2_misses)
+{
+    if (dtlb1.lookup(vpn))
+        return 0;
+    ++dtlb1_misses;
+    if (tlb2.lookup(vpn)) {
+        dtlb1.insert(vpn);
+        return tlb2Latency;
+    }
+    ++tlb2_misses;
+    tlb2.insert(vpn);
+    dtlb1.insert(vpn);
+    return tlb2Latency + walkLatency;
+}
+
+bool
+TlbHierarchy::prefetchProbe(Addr vpn) const
+{
+    return dtlb1.probe(vpn) || tlb2.probe(vpn);
+}
+
+} // namespace bop

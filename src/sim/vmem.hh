@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Virtual-to-physical address translation (paper Sec. 5.1).
+ *
+ * The paper "simulate[s] virtual-to-physical address translation by
+ * applying a randomizing hash function on the virtual page number", so
+ * that core 0's physical addresses are independent of other cores'
+ * activity. We do the same: the physical page number is a splitmix64
+ * hash of (VPN, address-space id), truncated to the physical address
+ * width; the page offset passes through unchanged.
+ */
+
+#ifndef BOP_SIM_VMEM_HH
+#define BOP_SIM_VMEM_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace bop
+{
+
+/** Randomizing page-table stand-in for one address space. */
+class VirtualMemory
+{
+  public:
+    /** Physical address width in bits (64GB physical space). */
+    static constexpr unsigned physBits = 36;
+
+    /**
+     * @param page_size page size used for translation granularity
+     * @param asid      address-space id (differs per core)
+     * @param seed      per-run randomisation seed
+     */
+    VirtualMemory(PageSize page_size, std::uint64_t asid,
+                  std::uint64_t seed)
+        : pageShift(static_cast<unsigned>(
+              std::countr_zero(pageBytes(page_size)))),
+          mixin(splitmix64(seed ^ (asid * 0x9e3779b97f4a7c15ull)))
+    {
+    }
+
+    /** Virtual page number of an address. */
+    Addr
+    vpn(Addr vaddr) const
+    {
+        return vaddr >> pageShift;
+    }
+
+    /** Translate a virtual byte address to a physical byte address. */
+    Addr
+    translate(Addr vaddr) const
+    {
+        const Addr page = vpn(vaddr);
+        const Addr offset = vaddr & (pageMask());
+        const unsigned ppn_bits = physBits - pageShift;
+        const Addr ppn = splitmix64(page ^ mixin) &
+                         ((1ull << ppn_bits) - 1);
+        return (ppn << pageShift) | offset;
+    }
+
+    unsigned pageShiftBits() const { return pageShift; }
+
+  private:
+    Addr pageMask() const { return (1ull << pageShift) - 1; }
+
+    unsigned pageShift;
+    std::uint64_t mixin;
+};
+
+} // namespace bop
+
+#endif // BOP_SIM_VMEM_HH

@@ -1,0 +1,231 @@
+#include "trace/generators.hh"
+
+#include <cassert>
+
+namespace bop
+{
+
+SyntheticTrace::SyntheticTrace(WorkloadSpec spec_, std::uint64_t seed)
+    : spec(std::move(spec_)),
+      rng(seed ^ splitmix64(0xabcdef ^ spec.name.size()))
+{
+    assert(!spec.streams.empty());
+
+    double cum = 0.0;
+    for (std::size_t i = 0; i < spec.streams.size(); ++i) {
+        const StreamSpec &ss = spec.streams[i];
+        StreamState st;
+        st.spec = &spec.streams[i];
+
+        // Disjoint 16GB-aligned virtual regions per region id (streams
+        // sharing a regionId interleave within one region via phase).
+        const int region = ss.regionId >= 0 ? ss.regionId
+                                            : static_cast<int>(i) + 64;
+        st.base = (static_cast<Addr>(region) + 1) * (1ull << 34) +
+                  ss.phaseBytes;
+
+        // PC layout: shared groups collapse onto one PC range.
+        const int pc_group = ss.sharedPcGroup >= 0
+                                 ? ss.sharedPcGroup
+                                 : static_cast<int>(i) + 32;
+        st.pcBase = 0x400000 + static_cast<Addr>(pc_group) * 0x1000;
+
+        st.chase = splitmix64(seed + i);
+        streams.push_back(st);
+        cum += ss.weight;
+        cumWeights.push_back(cum);
+    }
+    opPc = 0x7f0000;
+}
+
+Addr
+SyntheticTrace::patternAddr(StreamState &st)
+{
+    const StreamSpec &ss = *st.spec;
+    switch (ss.pattern) {
+      case StreamPattern::Sequential:
+      case StreamPattern::Strided: {
+        const Addr a = st.base + st.cursor;
+        st.cursor = (st.cursor + static_cast<std::uint64_t>(ss.stepBytes)) %
+                    ss.regionBytes;
+        return a;
+      }
+      case StreamPattern::PointerChase: {
+        st.chase = splitmix64(st.chase);
+        const std::uint64_t region_lines = ss.regionBytes >> lineShift;
+        const std::uint64_t prev_line =
+            (st.elementAddr - st.base) >> lineShift;
+        std::uint64_t line;
+        if (st.elementAddr != 0 &&
+            static_cast<double>(st.chase & 0xffff) <
+                ss.chaseLocality * 65536.0) {
+            // Allocation-order locality: neighbour node, 1..4 lines on.
+            line = (prev_line + 1 + ((st.chase >> 16) & 3)) %
+                   region_lines;
+        } else {
+            line = (st.chase >> 16) % region_lines;
+        }
+        return st.base + (line << lineShift);
+      }
+      case StreamPattern::Random: {
+        const std::uint64_t line =
+            rng.next() % (ss.regionBytes >> lineShift);
+        return st.base + (line << lineShift);
+      }
+    }
+    return st.base;
+}
+
+Addr
+SyntheticTrace::streamAddr(StreamState &st)
+{
+    const StreamSpec &ss = *st.spec;
+
+    // Temporal reuse: revisit a random recent element (DL1-resident
+    // short-range locality).
+    st.lastWasReuse = false;
+    if (ss.reuseFraction > 0.0 && !st.recent.empty() &&
+        rng.chance(ss.reuseFraction)) {
+        st.lastWasReuse = true;
+        st.lastSubIndex = static_cast<int>(rng.below(8));
+        const Addr elem = st.recent[rng.below(st.recent.size())];
+        return elem + static_cast<Addr>(st.lastSubIndex) * 8;
+    }
+
+    // Multiple accesses per element: read several "fields" of the
+    // element (same line, +8B offsets — DL1 hits after the first)
+    // before moving the cursor on. Each field index is produced by a
+    // distinct PC (see next()), so per-PC strides remain constant and
+    // the DL1 stride prefetcher sees what it would see in real code.
+    if (ss.accessesPerElement > 1) {
+        if (st.subAccess == 0 || st.elementAddr == 0) {
+            st.elementAddr = ss.scramble > 0.0 ? scrambledAddr(st)
+                                               : patternAddr(st);
+            rememberElement(st, st.elementAddr);
+        }
+        st.lastSubIndex = st.subAccess;
+        const Addr a =
+            st.elementAddr + static_cast<Addr>(st.subAccess % 8) * 8;
+        st.subAccess = (st.subAccess + 1) % ss.accessesPerElement;
+        return a;
+    }
+
+    st.lastSubIndex = 0;
+    const Addr a = ss.scramble <= 0.0 ? patternAddr(st)
+                                      : scrambledAddr(st);
+    rememberElement(st, a);
+    return a;
+}
+
+void
+SyntheticTrace::rememberElement(StreamState &st, Addr elem)
+{
+    if (st.spec->reuseFraction <= 0.0)
+        return;
+    constexpr std::size_t ring = 16;
+    if (st.recent.size() < ring) {
+        st.recent.push_back(elem);
+    } else {
+        st.recent[st.recentPos] = elem;
+        st.recentPos = (st.recentPos + 1) % ring;
+    }
+}
+
+Addr
+SyntheticTrace::scrambledAddr(StreamState &st)
+{
+    const StreamSpec &ss = *st.spec;
+
+    // Scrambling (Sec. 3.1): keep a small pool of upcoming addresses
+    // and emit them mildly out of order.
+    constexpr std::size_t pool_size = 8;
+    while (st.pool.size() < pool_size)
+        st.pool.push_back(patternAddr(st));
+    std::size_t pick = 0;
+    if (rng.chance(ss.scramble))
+        pick = rng.below(st.pool.size());
+    const Addr a = st.pool[pick];
+    st.pool.erase(st.pool.begin() + static_cast<std::ptrdiff_t>(pick));
+    return a;
+}
+
+TraceInstr
+SyntheticTrace::next()
+{
+    TraceInstr instr;
+    const double r =
+        static_cast<double>(rng.next() >> 11) * (1.0 / 9007199254740992.0);
+
+    if (r < spec.memFraction) {
+        // Pick a stream by weight.
+        const double total = cumWeights.back();
+        const double pick = static_cast<double>(rng.next() >> 11) *
+                            (1.0 / 9007199254740992.0) * total;
+        std::size_t idx = 0;
+        while (idx + 1 < cumWeights.size() && pick >= cumWeights[idx])
+            ++idx;
+        StreamState &st = streams[idx];
+        const StreamSpec &ss = *st.spec;
+
+        instr.vaddr = streamAddr(st);
+        instr.kind = rng.chance(ss.storeRatio) ? InstrKind::Store
+                                               : InstrKind::Load;
+        // One PC per element field (so each PC's stride is constant);
+        // multi-PC streams additionally rotate through pcCount PCs.
+        // Reuse accesses are separate instructions in real code, so
+        // they use their own PC range and never pollute the stride
+        // history of the streaming PCs.
+        instr.pc = st.pcBase +
+                   static_cast<Addr>(st.lastSubIndex) * 4 +
+                   static_cast<Addr>(st.pcIndex) * 64 +
+                   (st.lastWasReuse ? 0x800 : 0);
+        if (ss.pcCount > 1)
+            st.pcIndex = (st.pcIndex + 1) % ss.pcCount;
+
+        instr.dependsOnPrevLoad =
+            ss.pattern == StreamPattern::PointerChase ||
+            rng.chance(spec.depFraction);
+    } else if (r < spec.memFraction + spec.branchFraction) {
+        instr.kind = InstrKind::Branch;
+        if (rng.chance(spec.branchRandomFraction)) {
+            // Data-dependent, hard-to-predict branch.
+            instr.pc = 0x500000;
+            instr.taken = rng.chance(spec.branchBias);
+            instr.dependsOnPrevLoad = rng.chance(0.5);
+        } else {
+            // Loop branch: taken except every loopPeriod-th execution.
+            instr.pc = 0x500100;
+            ++loopCounter;
+            instr.taken =
+                (loopCounter % static_cast<std::uint64_t>(
+                                   spec.loopPeriod)) != 0;
+        }
+    } else {
+        instr.kind = rng.chance(spec.fpFraction) ? InstrKind::FpOp
+                                                 : InstrKind::IntOp;
+        instr.pc = opPc;
+        instr.dependsOnPrevLoad = rng.chance(spec.opDepFraction);
+    }
+    return instr;
+}
+
+WorkloadSpec
+makeThrasherSpec()
+{
+    WorkloadSpec w;
+    w.name = "thrasher";
+    w.memFraction = 0.6;
+    w.branchFraction = 0.05;
+    w.branchRandomFraction = 0.0;
+    w.loopPeriod = 64;
+    w.opDepFraction = 0.0;
+    StreamSpec s;
+    s.pattern = StreamPattern::Sequential;
+    s.regionBytes = 64ull << 20; // 64MB: 8x the L3
+    s.stepBytes = 8;             // write every word, like a huge memset
+    s.storeRatio = 1.0;
+    w.streams.push_back(s);
+    return w;
+}
+
+} // namespace bop

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Instruction trace interface.
+ *
+ * The paper drives its simulator with Pin traces of SPEC CPU2006; we
+ * drive ours with deterministic synthetic generators (see workloads.hh)
+ * exposing the same information a trace record carries: instruction
+ * kind, PC, data virtual address for memory ops, and branch outcome.
+ *
+ * `dependsOnPrevLoad` models the data-dependence structure that decides
+ * memory-level parallelism: a dependent instruction cannot execute (and
+ * a dependent load cannot even issue its access) before the most recent
+ * preceding load completes. Pointer-chasing workloads set it on nearly
+ * every load; streaming workloads on almost none.
+ */
+
+#ifndef BOP_TRACE_TRACE_HH
+#define BOP_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+
+namespace bop
+{
+
+/** Kind of a trace instruction. */
+enum class InstrKind : std::uint8_t
+{
+    IntOp,   ///< short-latency ALU op
+    FpOp,    ///< longer-latency FP op
+    Load,
+    Store,
+    Branch,  ///< conditional branch
+};
+
+/** One trace record. */
+struct TraceInstr
+{
+    InstrKind kind = InstrKind::IntOp;
+    Addr pc = 0;
+    Addr vaddr = 0;          ///< loads/stores only
+    bool taken = false;      ///< branches only
+    bool dependsOnPrevLoad = false;
+};
+
+/** An endless, deterministic instruction stream. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next instruction (streams never end). */
+    virtual TraceInstr next() = 0;
+
+    /** Name of the workload (e.g. "462.libquantum"). */
+    virtual std::string name() const = 0;
+};
+
+} // namespace bop
+
+#endif // BOP_TRACE_TRACE_HH

@@ -1,0 +1,183 @@
+#include "trace/trace_io.hh"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace bop
+{
+
+namespace
+{
+
+void
+put64(unsigned char *buf, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint64_t
+get64(const unsigned char *buf)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+    return v;
+}
+
+constexpr unsigned char kindMask = 0x0f;
+constexpr unsigned char takenFlag = 0x10;
+constexpr unsigned char depFlag = 0x20;
+
+} // namespace
+
+void
+encodeTraceInstr(const TraceInstr &instr, unsigned char *buf)
+{
+    unsigned char head =
+        static_cast<unsigned char>(instr.kind) & kindMask;
+    if (instr.taken)
+        head |= takenFlag;
+    if (instr.dependsOnPrevLoad)
+        head |= depFlag;
+    buf[0] = head;
+    put64(buf + 1, instr.pc);
+    put64(buf + 9, instr.vaddr);
+    buf[17] = 0;
+    buf[18] = 0;
+}
+
+TraceInstr
+decodeTraceInstr(const unsigned char *buf)
+{
+    TraceInstr instr;
+    const unsigned char head = buf[0];
+    const unsigned char kind = head & kindMask;
+    if (kind > static_cast<unsigned char>(InstrKind::Branch))
+        throw std::runtime_error("trace record with invalid kind");
+    instr.kind = static_cast<InstrKind>(kind);
+    instr.taken = (head & takenFlag) != 0;
+    instr.dependsOnPrevLoad = (head & depFlag) != 0;
+    instr.pc = get64(buf + 1);
+    instr.vaddr = get64(buf + 9);
+    return instr;
+}
+
+// -- TraceWriter --------------------------------------------------------------
+
+TraceWriter::TraceWriter(const std::string &path_)
+    : out(path_, std::ios::binary | std::ios::trunc), path(path_)
+{
+    if (!out)
+        throw std::runtime_error("TraceWriter: cannot open " + path);
+    // Header: magic, version, record count (patched on close).
+    unsigned char header[16];
+    std::memcpy(header, traceMagic, 8);
+    std::uint32_t ver = traceVersion;
+    for (int i = 0; i < 4; ++i)
+        header[8 + i] = static_cast<unsigned char>(ver >> (8 * i));
+    header[12] = header[13] = header[14] = header[15] = 0;
+    out.write(reinterpret_cast<const char *>(header), sizeof(header));
+    // Record count lives after the fixed header.
+    unsigned char zero[8] = {};
+    out.write(reinterpret_cast<const char *>(zero), sizeof(zero));
+}
+
+TraceWriter::~TraceWriter()
+{
+    // Destructors must not throw: swallow close errors here. Callers
+    // that care about the result (captureTrace, the CLI) call close()
+    // explicitly and get the exception.
+    try {
+        close();
+    } catch (...) {
+    }
+}
+
+void
+TraceWriter::append(const TraceInstr &instr)
+{
+    if (closed)
+        throw std::runtime_error("TraceWriter: append after close");
+    unsigned char buf[traceRecordBytes];
+    encodeTraceInstr(instr, buf);
+    out.write(reinterpret_cast<const char *>(buf), sizeof(buf));
+    ++numRecords;
+}
+
+void
+TraceWriter::close()
+{
+    if (closed)
+        return;
+    closed = true;
+    // Patch the record count at offset 16.
+    out.seekp(16);
+    unsigned char buf[8];
+    put64(buf, numRecords);
+    out.write(reinterpret_cast<const char *>(buf), sizeof(buf));
+    out.close();
+    if (!out)
+        throw std::runtime_error("TraceWriter: error closing " + path);
+}
+
+// -- FileTrace ----------------------------------------------------------------
+
+FileTrace::FileTrace(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("FileTrace: cannot open " + path);
+
+    unsigned char header[24];
+    in.read(reinterpret_cast<char *>(header), sizeof(header));
+    if (!in || std::memcmp(header, traceMagic, 8) != 0)
+        throw std::runtime_error("FileTrace: bad magic in " + path);
+    std::uint32_t ver = 0;
+    for (int i = 0; i < 4; ++i)
+        ver |= static_cast<std::uint32_t>(header[8 + i]) << (8 * i);
+    if (ver != traceVersion)
+        throw std::runtime_error("FileTrace: unsupported version in " +
+                                 path);
+    const std::uint64_t count = get64(header + 16);
+    if (count == 0)
+        throw std::runtime_error("FileTrace: empty trace " + path);
+
+    instrs.reserve(count);
+    unsigned char buf[traceRecordBytes];
+    for (std::uint64_t i = 0; i < count; ++i) {
+        in.read(reinterpret_cast<char *>(buf), sizeof(buf));
+        if (!in) {
+            throw std::runtime_error(
+                "FileTrace: truncated trace " + path);
+        }
+        instrs.push_back(decodeTraceInstr(buf));
+    }
+
+    // Label = file name without directories.
+    const auto slash = path.find_last_of('/');
+    label = slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+TraceInstr
+FileTrace::next()
+{
+    const TraceInstr &instr = instrs[pos];
+    pos = (pos + 1) % instrs.size();
+    return instr;
+}
+
+// -- capture helper -----------------------------------------------------------
+
+std::uint64_t
+captureTrace(TraceSource &source, std::uint64_t count,
+             const std::string &path)
+{
+    TraceWriter writer(path);
+    for (std::uint64_t i = 0; i < count; ++i)
+        writer.append(source.next());
+    writer.close();
+    return writer.count();
+}
+
+} // namespace bop

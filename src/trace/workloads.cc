@@ -1,0 +1,540 @@
+#include "trace/workloads.hh"
+
+#include <map>
+#include <stdexcept>
+
+namespace bop
+{
+
+namespace
+{
+
+constexpr std::uint64_t KB = 1024;
+constexpr std::uint64_t MB = 1024 * 1024;
+
+/**
+ * Shorthand stream builders. The accesses-per-element defaults and the
+ * per-workload reuse fractions below were calibrated so the baseline
+ * (next-line + 5P + DL1 stride) lands in the paper's Fig. 2 / Fig. 13
+ * regimes: cache-resident benchmarks at L2 MPKI < 5 and IPC > 1,
+ * memory-heavy ones at 15-40 DRAM accesses per 1000 instructions.
+ */
+StreamSpec
+seqStream(std::uint64_t region, std::int64_t step, double weight,
+          double stores = 0.0, int accesses_per_element = 3,
+          double reuse = 0.0)
+{
+    StreamSpec s;
+    s.pattern = StreamPattern::Sequential;
+    s.regionBytes = region;
+    s.stepBytes = step;
+    s.weight = weight;
+    s.storeRatio = stores;
+    s.accessesPerElement = accesses_per_element;
+    s.reuseFraction = reuse;
+    return s;
+}
+
+StreamSpec
+stridedStream(std::uint64_t region, std::int64_t stride, double weight,
+              double stores = 0.0, int accesses_per_element = 12,
+              double reuse = 0.0)
+{
+    StreamSpec s;
+    s.pattern = StreamPattern::Strided;
+    s.regionBytes = region;
+    s.stepBytes = stride;
+    s.weight = weight;
+    s.storeRatio = stores;
+    s.accessesPerElement = accesses_per_element;
+    s.reuseFraction = reuse;
+    return s;
+}
+
+StreamSpec
+chaseStream(std::uint64_t region, double weight,
+            int accesses_per_element = 4, double reuse = 0.0)
+{
+    StreamSpec s;
+    s.pattern = StreamPattern::PointerChase;
+    s.regionBytes = region;
+    s.weight = weight;
+    s.accessesPerElement = accesses_per_element;
+    s.reuseFraction = reuse;
+    return s;
+}
+
+StreamSpec
+randomStream(std::uint64_t region, double weight, double stores = 0.0,
+             int accesses_per_element = 6, double reuse = 0.0)
+{
+    StreamSpec s;
+    s.pattern = StreamPattern::Random;
+    s.regionBytes = region;
+    s.weight = weight;
+    s.storeRatio = stores;
+    s.accessesPerElement = accesses_per_element;
+    s.reuseFraction = reuse;
+    return s;
+}
+
+/** Build the full spec table once. */
+std::map<std::string, WorkloadSpec>
+buildSpecs()
+{
+    std::map<std::string, WorkloadSpec> specs;
+
+    auto add = [&](WorkloadSpec w) { specs[w.name] = std::move(w); };
+
+    {   // 400.perlbench: interpreter; small hot WS, branchy, low MPKI.
+        WorkloadSpec w;
+        w.name = "400.perlbench";
+        w.depFraction = 0.35;
+        w.memFraction = 0.34;
+        w.branchFraction = 0.20;
+        w.branchRandomFraction = 0.08;
+        w.branchBias = 0.7;
+        w.streams = {randomStream(192 * KB, 0.55, 0.0, 6, 0.6),
+                     chaseStream(512 * KB, 0.15, 4, 0.5),
+                     seqStream(128 * KB, 8, 0.3, 0.3, 3, 0.5)};
+        add(w);
+    }
+    {   // 401.bzip2: block compression; medium WS, mixed strides.
+        WorkloadSpec w;
+        w.name = "401.bzip2";
+        w.depFraction = 0.3;
+        w.memFraction = 0.32;
+        w.branchFraction = 0.15;
+        w.branchRandomFraction = 0.12;
+        w.branchBias = 0.65;
+        w.streams = {stridedStream(2 * MB, 64, 0.5, 0.0, 12, 0.3),
+                     randomStream(768 * KB, 0.3, 0.0, 6, 0.5),
+                     seqStream(512 * KB, 8, 0.2, 0.4, 3, 0.3)};
+        add(w);
+    }
+    {   // 403.gcc: compiler; irregular + sequential, pollution-
+        // sensitive mix (IP3 of 5P helps here in the paper).
+        WorkloadSpec w;
+        w.name = "403.gcc";
+        w.depFraction = 0.35;
+        w.memFraction = 0.36;
+        w.branchFraction = 0.20;
+        w.branchRandomFraction = 0.10;
+        w.branchBias = 0.65;
+        w.streams = {randomStream(768 * KB, 0.35, 0.0, 6, 0.5),
+                     seqStream(1 * MB, 16, 0.35, 0.2, 3, 0.3),
+                     chaseStream(512 * KB, 0.3, 4, 0.4)};
+        add(w);
+    }
+    {   // 410.bwaves: FP; several long unit-stride streams, huge WS.
+        WorkloadSpec w;
+        w.name = "410.bwaves";
+        w.depFraction = 0.25;
+        w.memFraction = 0.40;
+        w.branchFraction = 0.06;
+        w.fpFraction = 0.7;
+        w.loopPeriod = 32;
+        w.streams = {seqStream(30 * MB, 8, 1.0),
+                     seqStream(30 * MB, 8, 1.0),
+                     seqStream(30 * MB, 8, 0.8, 0.5)};
+        add(w);
+    }
+    {   // 416.gamess: FP compute-bound, cache-resident.
+        WorkloadSpec w;
+        w.name = "416.gamess";
+        w.depFraction = 0.15;
+        w.memFraction = 0.26;
+        w.branchFraction = 0.10;
+        w.branchRandomFraction = 0.05;
+        w.branchBias = 0.7;
+        w.fpFraction = 0.8;
+        w.opDepFraction = 0.3;
+        w.streams = {stridedStream(256 * KB, 64, 0.7, 0.0, 12, 0.6),
+                     randomStream(128 * KB, 0.3, 0.0, 6, 0.6)};
+        add(w);
+    }
+    {   // 429.mcf: pointer chasing over a big graph; very high MPKI;
+        // the workload where throttling/RR-size effects show (Sec. 6.1,
+        // 6.2).
+        WorkloadSpec w;
+        w.name = "429.mcf";
+        w.depFraction = 0.4;
+        w.memFraction = 0.42;
+        w.branchFraction = 0.19;
+        w.branchRandomFraction = 0.25;
+        w.branchBias = 0.6;
+        w.opDepFraction = 0.3;
+        w.streams = {chaseStream(20 * MB, 0.55, 6, 0.2),
+                     randomStream(2 * MB, 0.2, 0.0, 4, 0.3),
+                     seqStream(4 * MB, 16, 0.25, 0.25, 3, 0.2)};
+        add(w);
+    }
+    {   // 433.milc: lattice QCD; strided with 32-line period, huge WS;
+        // multiple arrays through the same code defeat the PC-indexed
+        // DL1 stride prefetcher (paper fn. 11); peaks at k*32.
+        WorkloadSpec w;
+        w.name = "433.milc";
+        w.depFraction = 0.25;
+        w.memFraction = 0.35;
+        w.branchFraction = 0.05;
+        w.fpFraction = 0.75;
+        w.loopPeriod = 32;
+        for (int i = 0; i < 4; ++i) {
+            StreamSpec s = stridedStream(24 * MB, 32 * 64, 1.0,
+                                         i == 3 ? 0.5 : 0.0, 16);
+            s.sharedPcGroup = 7;
+            s.phaseBytes = static_cast<std::uint64_t>(i) * 8 * 64;
+            s.regionId = 40 + i;
+            w.streams.push_back(s);
+        }
+        add(w);
+    }
+    {   // 434.zeusmp: FP stencils, medium strides, large WS.
+        WorkloadSpec w;
+        w.name = "434.zeusmp";
+        w.depFraction = 0.25;
+        w.memFraction = 0.36;
+        w.branchFraction = 0.07;
+        w.fpFraction = 0.7;
+        w.streams = {stridedStream(16 * MB, 320, 0.6, 0.2, 16, 0.3),
+                     stridedStream(16 * MB, 192, 0.4, 0.0, 16, 0.3)};
+        add(w);
+    }
+    {   // 435.gromacs: molecular dynamics; mostly cache-resident.
+        WorkloadSpec w;
+        w.name = "435.gromacs";
+        w.depFraction = 0.15;
+        w.memFraction = 0.30;
+        w.branchFraction = 0.09;
+        w.branchRandomFraction = 0.06;
+        w.branchBias = 0.7;
+        w.fpFraction = 0.8;
+        w.streams = {seqStream(384 * KB, 8, 0.6, 0.0, 3, 0.5),
+                     randomStream(512 * KB, 0.4, 0.0, 6, 0.6)};
+        add(w);
+    }
+    {   // 436.cactusADM: FP stencil, 6-line stride, large WS.
+        WorkloadSpec w;
+        w.name = "436.cactusADM";
+        w.depFraction = 0.25;
+        w.memFraction = 0.38;
+        w.branchFraction = 0.05;
+        w.fpFraction = 0.75;
+        w.streams = {stridedStream(24 * MB, 6 * 64, 0.7, 0.3, 16, 0.2),
+                     seqStream(4 * MB, 8, 0.3, 0.0, 3, 0.2)};
+        add(w);
+    }
+    {   // 437.leslie3d: FP; several unit-stride streams, large WS.
+        WorkloadSpec w;
+        w.name = "437.leslie3d";
+        w.depFraction = 0.25;
+        w.memFraction = 0.40;
+        w.branchFraction = 0.06;
+        w.fpFraction = 0.75;
+        w.streams = {seqStream(20 * MB, 8, 1.0),
+                     seqStream(20 * MB, 8, 1.0, 0.3),
+                     stridedStream(12 * MB, 192, 0.5, 0.0, 16)};
+        add(w);
+    }
+    {   // 444.namd: FP compute-bound, small WS.
+        WorkloadSpec w;
+        w.name = "444.namd";
+        w.depFraction = 0.15;
+        w.memFraction = 0.28;
+        w.branchFraction = 0.08;
+        w.branchRandomFraction = 0.05;
+        w.branchBias = 0.7;
+        w.fpFraction = 0.85;
+        w.opDepFraction = 0.3;
+        w.streams = {stridedStream(512 * KB, 64, 0.6, 0.0, 12, 0.6),
+                     randomStream(384 * KB, 0.4, 0.0, 6, 0.6)};
+        add(w);
+    }
+    {   // 445.gobmk: game tree search; branchy, irregular, modest WS.
+        WorkloadSpec w;
+        w.name = "445.gobmk";
+        w.depFraction = 0.35;
+        w.memFraction = 0.30;
+        w.branchFraction = 0.22;
+        w.branchRandomFraction = 0.20;
+        w.branchBias = 0.6;
+        w.streams = {randomStream(512 * KB, 0.6, 0.0, 6, 0.6),
+                     seqStream(256 * KB, 8, 0.4, 0.3, 3, 0.4)};
+        add(w);
+    }
+    {   // 447.dealII: FEM; mixed pointer/sequential, medium WS.
+        WorkloadSpec w;
+        w.name = "447.dealII";
+        w.depFraction = 0.3;
+        w.memFraction = 0.35;
+        w.branchFraction = 0.14;
+        w.branchRandomFraction = 0.08;
+        w.branchBias = 0.7;
+        w.fpFraction = 0.5;
+        w.streams = {chaseStream(1 * MB, 0.3, 4, 0.4),
+                     seqStream(2 * MB, 8, 0.5, 0.0, 3, 0.3),
+                     randomStream(1 * MB, 0.2, 0.0, 6, 0.5)};
+        add(w);
+    }
+    {   // 450.soplex: LP solver; sparse matrix sweeps, high MPKI.
+        WorkloadSpec w;
+        w.name = "450.soplex";
+        w.depFraction = 0.3;
+        w.memFraction = 0.40;
+        w.branchFraction = 0.15;
+        w.branchRandomFraction = 0.10;
+        w.branchBias = 0.65;
+        w.streams = {stridedStream(16 * MB, 384, 0.4, 0.0, 16),
+                     randomStream(4 * MB, 0.35, 0.0, 6, 0.5),
+                     seqStream(4 * MB, 8, 0.2, 0.2, 3, 0.2)};
+        add(w);
+    }
+    {   // 453.povray: ray tracing; compute-bound, tiny WS.
+        WorkloadSpec w;
+        w.name = "453.povray";
+        w.depFraction = 0.15;
+        w.memFraction = 0.26;
+        w.branchFraction = 0.17;
+        w.branchRandomFraction = 0.10;
+        w.branchBias = 0.7;
+        w.fpFraction = 0.8;
+        w.streams = {randomStream(256 * KB, 0.7, 0.0, 6, 0.7),
+                     seqStream(128 * KB, 8, 0.3, 0.3, 3, 0.6)};
+        add(w);
+    }
+    {   // 454.calculix: FP; strided, mostly L3-resident.
+        WorkloadSpec w;
+        w.name = "454.calculix";
+        w.depFraction = 0.2;
+        w.memFraction = 0.30;
+        w.branchFraction = 0.09;
+        w.fpFraction = 0.75;
+        w.streams = {stridedStream(4 * MB, 128, 0.6, 0.0, 16, 0.4),
+                     seqStream(1 * MB, 8, 0.4, 0.2, 3, 0.4)};
+        add(w);
+    }
+    {   // 456.hmmer: dynamic programming over small tables; L2-resident.
+        WorkloadSpec w;
+        w.name = "456.hmmer";
+        w.depFraction = 0.2;
+        w.memFraction = 0.38;
+        w.branchFraction = 0.10;
+        w.branchRandomFraction = 0.05;
+        w.branchBias = 0.7;
+        w.streams = {seqStream(192 * KB, 8, 0.8, 0.3, 3, 0.5),
+                     randomStream(96 * KB, 0.2, 0.0, 6, 0.6)};
+        add(w);
+    }
+    {   // 458.sjeng: chess; branchy, hash-table randomness.
+        WorkloadSpec w;
+        w.name = "458.sjeng";
+        w.depFraction = 0.3;
+        w.memFraction = 0.28;
+        w.branchFraction = 0.21;
+        w.branchRandomFraction = 0.20;
+        w.branchBias = 0.6;
+        w.streams = {randomStream(1 * MB, 0.7, 0.0, 6, 0.55),
+                     seqStream(128 * KB, 8, 0.3, 0.3, 3, 0.4)};
+        add(w);
+    }
+    {   // 459.GemsFDTD: FDTD solver; stride 29.34 lines (1878B), so the
+        // best offsets are near — but not on — multiples of 29 and off
+        // the 52-entry list except for 30 (paper Fig. 8 discussion).
+        WorkloadSpec w;
+        w.name = "459.GemsFDTD";
+        w.depFraction = 0.25;
+        w.memFraction = 0.35;
+        w.branchFraction = 0.05;
+        w.fpFraction = 0.75;
+        for (int i = 0; i < 2; ++i) {
+            StreamSpec s = stridedStream(24 * MB, 1878, 1.0,
+                                         i == 1 ? 0.4 : 0.0, 24);
+            s.sharedPcGroup = 9;
+            s.regionId = 50 + i;
+            w.streams.push_back(s);
+        }
+        add(w);
+    }
+    {   // 462.libquantum: long sequential read-modify-write streams;
+        // bandwidth-hungry, needs very large offsets for timeliness.
+        WorkloadSpec w;
+        w.name = "462.libquantum";
+        w.depFraction = 0.25;
+        w.memFraction = 0.36;
+        w.branchFraction = 0.12;
+        w.loopPeriod = 64;
+        w.streams = {seqStream(48 * MB, 16, 1.0, 0.45)};
+        add(w);
+    }
+    {   // 464.h264ref: video coding; small strides, modest WS.
+        WorkloadSpec w;
+        w.name = "464.h264ref";
+        w.depFraction = 0.25;
+        w.memFraction = 0.34;
+        w.branchFraction = 0.14;
+        w.branchRandomFraction = 0.10;
+        w.branchBias = 0.65;
+        w.streams = {stridedStream(1 * MB, 320, 0.5, 0.0, 12, 0.4),
+                     seqStream(512 * KB, 8, 0.5, 0.3, 3, 0.4)};
+        add(w);
+    }
+    {   // 465.tonto: FP; clean constant strides from few PCs — the DL1
+        // stride prefetcher shines here (paper Fig. 4: up to +39%).
+        WorkloadSpec w;
+        w.name = "465.tonto";
+        w.depFraction = 0.25;
+        w.memFraction = 0.36;
+        w.branchFraction = 0.08;
+        w.fpFraction = 0.8;
+        w.streams = {stridedStream(4 * MB, 96, 0.7, 0.0, 12, 0.2),
+                     stridedStream(2 * MB, 64, 0.3, 0.3, 12, 0.2)};
+        add(w);
+    }
+    {   // 470.lbm: lattice Boltzmann; cell stride 5 lines with a second
+        // field at +3 lines: peaks at k*5, secondary peaks at k*5+3
+        // (paper Fig. 8). Store-heavy, huge WS.
+        WorkloadSpec w;
+        w.name = "470.lbm";
+        w.depFraction = 0.25;
+        w.memFraction = 0.38;
+        w.branchFraction = 0.04;
+        w.fpFraction = 0.8;
+        StreamSpec a = stridedStream(40 * MB, 5 * 64, 1.0, 0.3, 16);
+        a.regionId = 60;
+        a.sharedPcGroup = 11;
+        StreamSpec b = stridedStream(40 * MB, 5 * 64, 0.8, 0.5, 16);
+        b.regionId = 60;
+        b.phaseBytes = 3 * 64;
+        b.sharedPcGroup = 11;
+        w.streams = {a, b};
+        add(w);
+    }
+    {   // 471.omnetpp: discrete event simulation; pointer-heavy.
+        WorkloadSpec w;
+        w.name = "471.omnetpp";
+        w.depFraction = 0.4;
+        w.memFraction = 0.38;
+        w.branchFraction = 0.18;
+        w.branchRandomFraction = 0.12;
+        w.branchBias = 0.65;
+        w.streams = {chaseStream(3 * MB, 0.5, 6, 0.3),
+                     randomStream(1 * MB, 0.25, 0.0, 6, 0.5),
+                     seqStream(2 * MB, 16, 0.25, 0.3, 3, 0.3)};
+        add(w);
+    }
+    {   // 473.astar: path finding; pointer chasing, medium WS.
+        WorkloadSpec w;
+        w.name = "473.astar";
+        w.depFraction = 0.4;
+        w.memFraction = 0.40;
+        w.branchFraction = 0.17;
+        w.branchRandomFraction = 0.15;
+        w.branchBias = 0.6;
+        w.streams = {chaseStream(2 * MB, 0.5, 6, 0.3),
+                     stridedStream(2 * MB, 64, 0.3, 0.0, 12, 0.3),
+                     randomStream(512 * KB, 0.2, 0.0, 6, 0.5)};
+        add(w);
+    }
+    {   // 481.wrf: weather model; multi-stride FP stencils.
+        WorkloadSpec w;
+        w.name = "481.wrf";
+        w.depFraction = 0.25;
+        w.memFraction = 0.35;
+        w.branchFraction = 0.08;
+        w.fpFraction = 0.75;
+        w.streams = {seqStream(12 * MB, 8, 0.5, 0.0, 3, 0.2),
+                     stridedStream(8 * MB, 320, 0.3, 0.2, 16, 0.2),
+                     stridedStream(6 * MB, 192, 0.2, 0.0, 16, 0.2)};
+        add(w);
+    }
+    {   // 482.sphinx3: speech recognition; sequential scoring sweeps.
+        WorkloadSpec w;
+        w.name = "482.sphinx3";
+        w.depFraction = 0.25;
+        w.memFraction = 0.36;
+        w.branchFraction = 0.11;
+        w.fpFraction = 0.6;
+        w.streams = {seqStream(5 * MB, 8, 0.7, 0.0, 3, 0.2),
+                     randomStream(512 * KB, 0.3, 0.0, 6, 0.5)};
+        add(w);
+    }
+    {   // 483.xalancbmk: XSLT; pointer-heavy, branchy.
+        WorkloadSpec w;
+        w.name = "483.xalancbmk";
+        w.depFraction = 0.4;
+        w.memFraction = 0.38;
+        w.branchFraction = 0.21;
+        w.branchRandomFraction = 0.12;
+        w.branchBias = 0.65;
+        w.streams = {chaseStream(2 * MB, 0.45, 6, 0.35),
+                     randomStream(2 * MB, 0.3, 0.0, 6, 0.4),
+                     seqStream(1 * MB, 16, 0.25, 0.2, 3, 0.3)};
+        add(w);
+    }
+
+    return specs;
+}
+
+const std::map<std::string, WorkloadSpec> &
+specTable()
+{
+    static const std::map<std::string, WorkloadSpec> specs = buildSpecs();
+    return specs;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const auto &[name, spec] : specTable())
+            v.push_back(name);
+        return v; // std::map iterates in lexicographic = paper order
+    }();
+    return names;
+}
+
+std::string
+shortName(const std::string &benchmark)
+{
+    const auto dot = benchmark.find('.');
+    return dot == std::string::npos ? benchmark : benchmark.substr(0, dot);
+}
+
+WorkloadSpec
+workloadSpec(const std::string &benchmark)
+{
+    const auto it = specTable().find(benchmark);
+    if (it == specTable().end())
+        throw std::invalid_argument("unknown benchmark: " + benchmark);
+    return it->second;
+}
+
+std::unique_ptr<TraceSource>
+makeWorkload(const std::string &benchmark, std::uint64_t seed)
+{
+    return std::make_unique<SyntheticTrace>(workloadSpec(benchmark), seed);
+}
+
+std::unique_ptr<TraceSource>
+makeThrasher(std::uint64_t seed)
+{
+    return std::make_unique<SyntheticTrace>(makeThrasherSpec(), seed);
+}
+
+const std::vector<std::string> &
+memoryHeavyBenchmarks()
+{
+    static const std::vector<std::string> names = {
+        "403.gcc",     "410.bwaves",      "429.mcf",  "433.milc",
+        "434.zeusmp",  "436.cactusADM",   "437.leslie3d",
+        "447.dealII",  "450.soplex",      "459.GemsFDTD",
+        "462.libquantum", "470.lbm",      "471.omnetpp",
+        "473.astar",   "481.wrf",         "483.xalancbmk",
+    };
+    return names;
+}
+
+} // namespace bop

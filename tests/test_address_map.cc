@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the paper's DRAM address mapping (Sec. 5.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dram/address_map.hh"
+
+namespace bop
+{
+namespace
+{
+
+TEST(AddressMap, ChannelIsXorOfBits8to11)
+{
+    // Only bit 8 set: channel 1. Bits 8 and 9: channel 0.
+    EXPECT_EQ(mapToDram(1ull << 8).channel, 1);
+    EXPECT_EQ(mapToDram((1ull << 8) | (1ull << 9)).channel, 0);
+    EXPECT_EQ(mapToDram(0).channel, 0);
+}
+
+TEST(AddressMap, RowIsHighBits)
+{
+    const Addr a = 0x1234ull << 17;
+    EXPECT_EQ(mapToDram(a).row, 0x1234u);
+}
+
+TEST(AddressMap, RowOffsetSevenBits)
+{
+    for (Addr a = 0; a < (1ull << 20); a += 4093)
+        EXPECT_LT(mapToDram(a).rowOffset, 128u);
+}
+
+TEST(AddressMap, BankInRange)
+{
+    for (Addr a = 0; a < (1ull << 22); a += 8191)
+        EXPECT_LT(mapToDram(a).bank, 8);
+}
+
+TEST(AddressMap, SequentialLinesSpreadOverChannels)
+{
+    // A sequential stream must use both channels roughly equally
+    // (the XOR folding guarantees it at 256B granularity).
+    int chan_count[2] = {0, 0};
+    for (Addr line = 0; line < 4096; ++line)
+        ++chan_count[mapToDram(line << 6).channel];
+    EXPECT_EQ(chan_count[0], chan_count[1]);
+}
+
+TEST(AddressMap, SequentialLinesTouchAllBanks)
+{
+    std::set<int> banks;
+    for (Addr line = 0; line < 4096; ++line)
+        banks.insert(mapToDram(line << 6).bank);
+    EXPECT_EQ(banks.size(), 8u);
+}
+
+TEST(AddressMap, EightKbRowLocality)
+{
+    // The 128-line row offset * 64B = 8KB row buffer per rank: lines in
+    // the same 8KB-aligned region on one (channel, bank) share a row.
+    const Addr base = 0x40000000;
+    const DramCoord first = mapToDram(base);
+    int same_row = 0, total = 0;
+    for (Addr a = base; a < base + 8192; a += 64) {
+        const DramCoord c = mapToDram(a);
+        if (c.channel == first.channel && c.bank == first.bank) {
+            ++total;
+            same_row += c.row == first.row;
+        }
+    }
+    EXPECT_GT(total, 0);
+    EXPECT_EQ(same_row, total);
+}
+
+TEST(AddressMap, LineOffsetBitsIgnored)
+{
+    const DramCoord a = mapToDram(0x123440);
+    const DramCoord b = mapToDram(0x12347f);
+    EXPECT_EQ(a.channel, b.channel);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(a.rowOffset, b.rowOffset);
+}
+
+} // namespace
+} // namespace bop

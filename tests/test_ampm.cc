@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the AMPM-lite extension prefetcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "prefetch/ampm.hh"
+
+namespace bop
+{
+namespace
+{
+
+std::vector<LineAddr>
+access(AmpmPrefetcher &pf, LineAddr line)
+{
+    std::vector<LineAddr> out;
+    pf.onAccess({line, true, false, 0}, out);
+    return out;
+}
+
+TEST(Ampm, MarksAccessedLines)
+{
+    AmpmPrefetcher pf(PageSize::FourMB);
+    EXPECT_FALSE(pf.lineMarked(100));
+    access(pf, 100);
+    EXPECT_TRUE(pf.lineMarked(100));
+}
+
+TEST(Ampm, RequiresTagCheck)
+{
+    AmpmPrefetcher pf(PageSize::FourMB);
+    EXPECT_TRUE(pf.requiresTagCheck());
+}
+
+TEST(Ampm, DetectsUnitStrideAfterTwoAccesses)
+{
+    AmpmPrefetcher pf(PageSize::FourMB);
+    EXPECT_TRUE(access(pf, 100).empty());
+    EXPECT_TRUE(access(pf, 101).empty()) << "X-2k not yet set";
+    const auto targets = access(pf, 102);
+    ASSERT_FALSE(targets.empty());
+    EXPECT_EQ(targets[0], 103u);
+}
+
+TEST(Ampm, DetectsLargerStrides)
+{
+    AmpmPrefetcher pf(PageSize::FourMB);
+    access(pf, 200);
+    access(pf, 205);
+    const auto targets = access(pf, 210);
+    ASSERT_FALSE(targets.empty());
+    EXPECT_EQ(targets[0], 215u);
+}
+
+TEST(Ampm, DetectsDescendingStreams)
+{
+    AmpmPrefetcher pf(PageSize::FourMB);
+    access(pf, 500);
+    access(pf, 497);
+    const auto targets = access(pf, 494);
+    ASSERT_FALSE(targets.empty());
+    EXPECT_EQ(targets[0], 491u);
+}
+
+TEST(Ampm, DegreeCapRespected)
+{
+    AmpmConfig cfg;
+    cfg.maxDegree = 2;
+    AmpmPrefetcher pf(PageSize::FourMB, cfg);
+    // Dense map: many strides match simultaneously.
+    for (LineAddr l = 1000; l < 1030; ++l)
+        access(pf, l);
+    const auto targets = access(pf, 1030);
+    EXPECT_LE(targets.size(), 2u);
+}
+
+TEST(Ampm, RandomTrafficStaysQuiet)
+{
+    AmpmPrefetcher pf(PageSize::FourKB);
+    Rng rng(11);
+    int prefetches = 0;
+    for (int i = 0; i < 3000; ++i)
+        prefetches += static_cast<int>(
+            access(pf, rng.next() & 0xffffff).size());
+    EXPECT_LT(prefetches, 150);
+}
+
+TEST(Ampm, SamePageConstraint)
+{
+    AmpmPrefetcher pf(PageSize::FourKB);
+    access(pf, 61);
+    access(pf, 62);
+    const auto targets = access(pf, 63); // next line is page 2
+    for (const LineAddr t : targets)
+        EXPECT_TRUE(samePage(63, t, PageSize::FourKB)) << t;
+}
+
+TEST(Ampm, ZoneEvictionForgetsOldMaps)
+{
+    AmpmConfig cfg;
+    cfg.zones = 2;
+    AmpmPrefetcher pf(PageSize::FourMB, cfg);
+    access(pf, 100);             // zone 1
+    access(pf, 10000);           // zone 2
+    access(pf, 20000);           // zone 3: evicts zone of line 100
+    EXPECT_FALSE(pf.lineMarked(100));
+    EXPECT_TRUE(pf.lineMarked(20000));
+}
+
+TEST(Ampm, IneligibleAccessesIgnored)
+{
+    AmpmPrefetcher pf(PageSize::FourMB);
+    std::vector<LineAddr> out;
+    pf.onAccess({100, false, false, 0}, out);
+    EXPECT_FALSE(pf.lineMarked(100));
+    EXPECT_TRUE(out.empty());
+}
+
+} // namespace
+} // namespace bop

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Unit tests for the Best-Offset prefetcher's learning machinery
+ * (paper Sec. 4). These drive the prefetcher directly, without the
+ * simulator, by synthesising access and fill events.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/best_offset.hh"
+
+namespace bop
+{
+namespace
+{
+
+/** Drive one eligible access; returns issued prefetch targets. */
+std::vector<LineAddr>
+access(BestOffsetPrefetcher &bo, LineAddr line, Cycle cycle = 0)
+{
+    std::vector<LineAddr> out;
+    bo.onAccess({line, true, false, cycle}, out);
+    return out;
+}
+
+TEST(BestOffset, StartsAsNextLinePrefetcher)
+{
+    BestOffsetPrefetcher bo(PageSize::FourKB);
+    EXPECT_EQ(bo.currentOffset(), 1);
+    EXPECT_TRUE(bo.prefetchEnabled());
+    const auto targets = access(bo, 100);
+    ASSERT_EQ(targets.size(), 1u);
+    EXPECT_EQ(targets[0], 101u);
+}
+
+TEST(BestOffset, NoPrefetchAcrossPageBoundary)
+{
+    BestOffsetPrefetcher bo(PageSize::FourKB);
+    // 4KB pages = 64 lines; last line of a page must not prefetch.
+    const auto targets = access(bo, 63);
+    EXPECT_TRUE(targets.empty());
+}
+
+TEST(BestOffset, IneligibleAccessesDoNothing)
+{
+    BestOffsetPrefetcher bo(PageSize::FourKB);
+    std::vector<LineAddr> out;
+    bo.onAccess({100, false, false, 0}, out); // plain hit
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(BestOffset, LearnsAnOffsetSeededViaRr)
+{
+    // Seed the RR table so offset 4 always hits, then run enough
+    // eligible accesses for a learning phase to complete.
+    BoConfig cfg;
+    cfg.roundMax = 20;
+    BestOffsetPrefetcher bo(PageSize::FourMB, cfg);
+
+    LineAddr x = 1000;
+    while (bo.learningPhases() == 0) {
+        bo.recordCompletedPrefetchBase(x - 4);
+        access(bo, x);
+        ++x;
+    }
+    EXPECT_EQ(bo.lastPhaseBestOffset(), 4);
+    EXPECT_EQ(bo.currentOffset(), 4);
+    EXPECT_TRUE(bo.prefetchEnabled());
+    EXPECT_GT(bo.lastPhaseBestScore(), cfg.badScore);
+}
+
+TEST(BestOffset, PhaseEndsAtRoundMaxWithoutHits)
+{
+    BoConfig cfg;
+    cfg.roundMax = 3;
+    BestOffsetPrefetcher bo(PageSize::FourKB, cfg);
+    const std::size_t offsets = bo.offsetList().size();
+
+    // No RR hits at all: phase must end after roundMax full rounds.
+    for (std::size_t i = 0; i < cfg.roundMax * offsets; ++i)
+        access(bo, 64 * (i + 1)); // distinct pages, no RR contents
+    EXPECT_EQ(bo.learningPhases(), 1u);
+}
+
+TEST(BestOffset, ThrottlesOffWhenScoresAreBad)
+{
+    BoConfig cfg;
+    cfg.roundMax = 2;
+    BestOffsetPrefetcher bo(PageSize::FourKB, cfg);
+    const std::size_t steps = cfg.roundMax * bo.offsetList().size();
+    for (std::size_t i = 0; i < steps; ++i)
+        access(bo, 64 * (i + 1));
+    EXPECT_EQ(bo.learningPhases(), 1u);
+    EXPECT_FALSE(bo.prefetchEnabled()) << "best score 0 <= BADSCORE";
+    EXPECT_EQ(bo.offPhases(), 1u);
+
+    // While off, no prefetches are issued but learning continues.
+    const auto targets = access(bo, 5000);
+    EXPECT_TRUE(targets.empty());
+}
+
+TEST(BestOffset, RrInsertionUsesCurrentOffsetWhenOn)
+{
+    BestOffsetPrefetcher bo(PageSize::FourMB);
+    ASSERT_EQ(bo.currentOffset(), 1);
+    bo.onFill({500, true, 0}); // prefetched line 500 -> base 499
+    EXPECT_TRUE(bo.rrTable().contains(499));
+    EXPECT_FALSE(bo.rrTable().contains(500));
+}
+
+TEST(BestOffset, DemandFillsDoNotTouchRrWhenOn)
+{
+    BestOffsetPrefetcher bo(PageSize::FourMB);
+    bo.onFill({700, false, 0}); // demand fill
+    EXPECT_FALSE(bo.rrTable().contains(699));
+    EXPECT_FALSE(bo.rrTable().contains(700));
+}
+
+TEST(BestOffset, RrInsertionRecordsYWhenOff)
+{
+    // Turn prefetch off by finishing a scoreless phase, then check
+    // fills insert Y itself (the D=0 rule of Sec. 4.3).
+    BoConfig cfg;
+    cfg.roundMax = 1;
+    BestOffsetPrefetcher bo(PageSize::FourKB, cfg);
+    for (std::size_t i = 0; i < bo.offsetList().size(); ++i)
+        access(bo, 64 * (i + 1));
+    ASSERT_FALSE(bo.prefetchEnabled());
+
+    bo.onFill({900, false, 0});
+    EXPECT_TRUE(bo.rrTable().contains(900));
+}
+
+TEST(BestOffset, RecoversFromThrottling)
+{
+    BoConfig cfg;
+    cfg.roundMax = 4;
+    cfg.scoreMax = 8;
+    BestOffsetPrefetcher bo(PageSize::FourMB, cfg);
+
+    // Phase 1: nothing hits; prefetch turns off.
+    for (std::size_t i = 0; i < cfg.roundMax * bo.offsetList().size(); ++i)
+        access(bo, 64 * (i + 1));
+    ASSERT_FALSE(bo.prefetchEnabled());
+
+    // Now a regular pattern: every fill lands in the RR (off-mode) and
+    // offset 2 hits during learning.
+    LineAddr x = 1 << 20;
+    while (!bo.prefetchEnabled()) {
+        bo.onFill({x - 2, false, 0});
+        access(bo, x);
+        ++x;
+        ASSERT_LT(x, (1u << 20) + 100000u) << "never re-enabled";
+    }
+    EXPECT_EQ(bo.currentOffset(), 2);
+}
+
+TEST(BestOffset, ScoreMaxEndsPhaseAtEndOfRound)
+{
+    BoConfig cfg;
+    cfg.scoreMax = 2;
+    cfg.roundMax = 100;
+    BestOffsetPrefetcher bo(PageSize::FourMB, cfg);
+    const std::size_t n = bo.offsetList().size();
+
+    // Offset 1 hits on every test: score reaches SCOREMAX=2 in round 2;
+    // the phase must end exactly at the end of round 2, not later.
+    LineAddr x = 4096;
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+        bo.recordCompletedPrefetchBase(x - 1);
+        access(bo, x);
+        ++x;
+    }
+    EXPECT_EQ(bo.learningPhases(), 1u);
+    EXPECT_EQ(bo.lastPhaseBestOffset(), 1);
+}
+
+TEST(BestOffset, Degree2IssuesSecondOffset)
+{
+    BoConfig cfg;
+    cfg.degree = 2;
+    cfg.roundMax = 10;
+    BestOffsetPrefetcher bo(PageSize::FourMB, cfg);
+
+    // Make offsets 3 and 5 both score (3 more often).
+    LineAddr x = 1 << 16;
+    while (bo.learningPhases() == 0) {
+        bo.recordCompletedPrefetchBase(x - 3);
+        if (x % 2 == 0)
+            bo.recordCompletedPrefetchBase(x - 5);
+        access(bo, x);
+        ++x;
+    }
+    EXPECT_EQ(bo.currentOffset(), 3);
+    EXPECT_EQ(bo.secondBestOffset(), 5);
+
+    const auto targets = access(bo, 1u << 18);
+    ASSERT_EQ(targets.size(), 2u);
+    EXPECT_EQ(targets[0], (1u << 18) + 3u);
+    EXPECT_EQ(targets[1], (1u << 18) + 5u);
+}
+
+TEST(BestOffset, NegativeOffsetExtension)
+{
+    BoConfig cfg;
+    cfg.includeNegative = true;
+    cfg.roundMax = 10;
+    BestOffsetPrefetcher bo(PageSize::FourMB, cfg);
+
+    // A descending stream: X-(-2) = X+2 was accessed before X, so the
+    // RR contains X+2 when X arrives.
+    LineAddr x = 1 << 20;
+    while (bo.learningPhases() == 0) {
+        bo.recordCompletedPrefetchBase(x + 2);
+        access(bo, x);
+        --x;
+    }
+    EXPECT_EQ(bo.currentOffset(), -2);
+    // Use a mid-page line: 4MB pages = 65536 lines, so (1<<19)+100 is
+    // 100 lines into a page and X-2 stays inside it.
+    const LineAddr probe_line = (1u << 19) + 100u;
+    const auto targets = access(bo, probe_line);
+    ASSERT_EQ(targets.size(), 1u);
+    EXPECT_EQ(targets[0], probe_line - 2u);
+}
+
+TEST(BestOffset, Table2DefaultsMatchPaper)
+{
+    const BoConfig cfg;
+    EXPECT_EQ(cfg.rrEntries, 256u);
+    EXPECT_EQ(cfg.rrTagBits, 12u);
+    EXPECT_EQ(cfg.scoreMax, 31);
+    EXPECT_EQ(cfg.roundMax, 100);
+    EXPECT_EQ(cfg.badScore, 1);
+    BestOffsetPrefetcher bo(PageSize::FourKB, cfg);
+    EXPECT_EQ(bo.offsetList().size(), 52u);
+}
+
+} // namespace
+} // namespace bop

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the Bloom filter backing the SBP sandbox.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/bloom.hh"
+
+namespace bop
+{
+namespace
+{
+
+TEST(Bloom, NoFalseNegatives)
+{
+    BloomFilter bf(2048, 3);
+    for (LineAddr l = 0; l < 200; l += 7)
+        bf.insert(l);
+    for (LineAddr l = 0; l < 200; l += 7)
+        EXPECT_TRUE(bf.maybeContains(l)) << l;
+}
+
+TEST(Bloom, MostlyNoFalsePositivesWhenSparse)
+{
+    BloomFilter bf(2048, 3);
+    for (LineAddr l = 0; l < 64; ++l)
+        bf.insert(l);
+    int false_pos = 0;
+    for (LineAddr l = 100000; l < 101000; ++l)
+        false_pos += bf.maybeContains(l);
+    // 64 inserts in 2048 bits with 3 hashes: FP rate well under 1%.
+    EXPECT_LT(false_pos, 20);
+}
+
+TEST(Bloom, ClearEmptiesFilter)
+{
+    BloomFilter bf(2048, 3);
+    bf.insert(123);
+    EXPECT_GT(bf.popcount(), 0u);
+    bf.clear();
+    EXPECT_EQ(bf.popcount(), 0u);
+    EXPECT_FALSE(bf.maybeContains(123));
+}
+
+TEST(Bloom, InsertSetsAtMostKBits)
+{
+    BloomFilter bf(2048, 3);
+    bf.insert(55);
+    EXPECT_LE(bf.popcount(), 3u);
+    EXPECT_GE(bf.popcount(), 1u);
+}
+
+TEST(Bloom, SeedsProduceDifferentHashFamilies)
+{
+    BloomFilter a(2048, 3, 1);
+    BloomFilter b(2048, 3, 2);
+    a.insert(42);
+    // With a different seed, 42's bits land elsewhere with high
+    // probability; b must not report it present spuriously often.
+    EXPECT_FALSE(b.maybeContains(42));
+}
+
+TEST(Bloom, SaturatedFilterReportsEverything)
+{
+    BloomFilter bf(128, 3);
+    for (LineAddr l = 0; l < 1000; ++l)
+        bf.insert(l);
+    // Fully saturated: everything "contained" — the reason SBP clears
+    // the sandbox every evaluation period.
+    EXPECT_TRUE(bf.maybeContains(999999));
+    EXPECT_EQ(bf.popcount(), 128u);
+}
+
+} // namespace
+} // namespace bop

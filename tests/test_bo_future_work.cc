@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Tests for the two future-work extensions the paper's conclusion
+ * calls for (Sec. 7): dynamically adjusted BADSCORE, and hybrid
+ * timeliness/coverage scoring (the 462.libquantum weakness).
+ * Defaults-off behaviour is pinned so the paper configuration is
+ * bit-exact with and without the extension code paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/best_offset.hh"
+
+namespace bop
+{
+namespace
+{
+
+std::vector<LineAddr>
+access(BestOffsetPrefetcher &pf, LineAddr line, bool pref_hit = false)
+{
+    std::vector<LineAddr> out;
+    pf.onAccess({line, !pref_hit, pref_hit, 0}, out);
+    return out;
+}
+
+// -- defaults keep the paper behaviour --------------------------------------
+
+TEST(BoFutureWork, ExtensionsOffByDefault)
+{
+    const BoConfig cfg;
+    EXPECT_FALSE(cfg.adaptiveBadScore);
+    EXPECT_EQ(cfg.coverageWeight, 0);
+}
+
+TEST(BoFutureWork, FeedbackEventsAreInertWhenDisabled)
+{
+    BoConfig cfg; // defaults: both extensions off
+    BestOffsetPrefetcher pf(PageSize::FourMB, cfg);
+    for (int i = 0; i < 100; ++i) {
+        pf.onEvict({static_cast<LineAddr>(i), true, true, 0});
+        pf.onLatePromotion(static_cast<LineAddr>(i), 0);
+    }
+    EXPECT_EQ(pf.effectiveBadScore(), cfg.badScore);
+}
+
+// -- adaptive BADSCORE -------------------------------------------------------
+
+TEST(BoAdaptiveBadScore, RaisesThresholdOnUselessPhases)
+{
+    BoConfig cfg;
+    cfg.adaptiveBadScore = true;
+    cfg.badScore = 1;
+    cfg.badScoreMax = 15;
+    cfg.roundMax = 2;
+    BestOffsetPrefetcher pf(PageSize::FourMB, cfg);
+
+    // Phase producing only useless prefetches: evictions with the
+    // prefetch bit set and no prefetched hits.
+    std::uint64_t state = 99;
+    while (pf.learningPhases() < 1) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        access(pf, (state >> 24) & 0xfffff);
+        pf.onEvict({state & 0xffff, true, true, 0});
+    }
+    EXPECT_GT(pf.effectiveBadScore(), 1);
+}
+
+TEST(BoAdaptiveBadScore, RelaxesThresholdOnHealthyPhases)
+{
+    BoConfig cfg;
+    cfg.adaptiveBadScore = true;
+    cfg.badScore = 8;
+    cfg.badScoreMin = 1;
+    cfg.roundMax = 2;
+    BestOffsetPrefetcher pf(PageSize::FourMB, cfg);
+
+    // Healthy phases: plenty of prefetched hits, no useless evictions.
+    LineAddr x = 0;
+    const std::uint64_t start = pf.learningPhases();
+    while (pf.learningPhases() < start + 3)
+        access(pf, ++x, true);
+    EXPECT_LT(pf.effectiveBadScore(), 8);
+}
+
+TEST(BoAdaptiveBadScore, ThresholdStaysWithinBounds)
+{
+    BoConfig cfg;
+    cfg.adaptiveBadScore = true;
+    cfg.badScore = 4;
+    cfg.badScoreMin = 2;
+    cfg.badScoreMax = 12;
+    cfg.roundMax = 1;
+    BestOffsetPrefetcher pf(PageSize::FourMB, cfg);
+
+    // Alternate stretches of terrible and perfect feedback; the
+    // threshold must never leave [min, max].
+    std::uint64_t state = 7;
+    for (int phase = 0; phase < 30; ++phase) {
+        const bool bad = phase % 2 == 0;
+        const std::uint64_t until = pf.learningPhases() + 1;
+        LineAddr x = static_cast<LineAddr>(phase) << 20;
+        while (pf.learningPhases() < until) {
+            if (bad) {
+                state = state * 6364136223846793005ull + 12345;
+                access(pf, (state >> 24) & 0xfffff);
+                pf.onEvict({state & 0xffff, true, true, 0});
+            } else {
+                access(pf, ++x, true);
+            }
+        }
+        EXPECT_GE(pf.effectiveBadScore(), 2);
+        EXPECT_LE(pf.effectiveBadScore(), 12);
+    }
+}
+
+// -- hybrid coverage scoring --------------------------------------------------
+
+TEST(BoCoverage, CoverageOnlyEvidenceCanSustainPrefetching)
+{
+    // Construct the 462.libquantum situation of Sec. 6: accesses come
+    // so fast that *no* offset in the list is ever timely (the RR
+    // table stays empty), but small offsets would have full coverage.
+    // Pure timeliness scoring turns prefetch off; hybrid scoring must
+    // keep it on using coverage credit.
+    BoConfig timely;
+    timely.roundMax = 4;
+    timely.badScore = 1;
+    BestOffsetPrefetcher pure(PageSize::FourMB, timely);
+
+    BoConfig hybrid = timely;
+    hybrid.coverageWeight = 1;
+    BestOffsetPrefetcher hyb(PageSize::FourMB, hybrid);
+
+    LineAddr x = 0;
+    for (int i = 0; i < 52 * 10; ++i) {
+        ++x;
+        std::vector<LineAddr> out;
+        pure.onAccess({x, true, false, 0}, out);
+        out.clear();
+        hyb.onAccess({x, true, false, 0}, out);
+        // No onFill at all: no prefetch ever completes in time.
+    }
+    ASSERT_GE(pure.learningPhases(), 1u);
+    ASSERT_GE(hyb.learningPhases(), 1u);
+    EXPECT_FALSE(pure.prefetchEnabled());
+    EXPECT_TRUE(hyb.prefetchEnabled());
+}
+
+TEST(BoCoverage, TimelyOffsetsStillBeatCoverageOnlyOffsets)
+{
+    // Feed timely evidence for offset 8 (completed prefetches) while
+    // every offset gets coverage evidence: the timely offset must win
+    // because a timely hit scores twice a coverage-only hit.
+    BoConfig cfg;
+    cfg.coverageWeight = 1;
+    cfg.roundMax = 6;
+    BestOffsetPrefetcher pf(PageSize::FourMB, cfg);
+
+    LineAddr x = 1000;
+    for (int i = 0; i < 52 * 7; ++i) {
+        ++x;
+        // Simulate completed prefetches with offset 8: the RR table
+        // holds bases up to X-8, so offsets >= 8 test as timely and 8
+        // is the first of them in list order (it wins score ties).
+        pf.recordCompletedPrefetchBase(x - 8);
+        std::vector<LineAddr> out;
+        pf.onAccess({x, true, false, 0}, out);
+    }
+    EXPECT_EQ(pf.lastPhaseBestOffset() % 8, 0);
+}
+
+TEST(BoCoverage, HalfPointScoresScaleScoreMax)
+{
+    // With coverageWeight on, SCOREMAX semantics double internally; a
+    // phase saturated by coverage-only hits must still terminate (via
+    // SCOREMAX) and report a best score.
+    BoConfig cfg;
+    cfg.coverageWeight = 2; // equal credit
+    cfg.scoreMax = 8;
+    cfg.roundMax = 100;
+    BestOffsetPrefetcher pf(PageSize::FourMB, cfg);
+
+    LineAddr x = 0;
+    int guard = 0;
+    while (pf.learningPhases() < 1 && ++guard < 52 * 60)
+        access(pf, ++x);
+    ASSERT_GE(pf.learningPhases(), 1u);
+    // Saturation happened via SCOREMAX, well before ROUNDMAX rounds.
+    EXPECT_LT(guard, 52 * 40);
+    EXPECT_GE(pf.lastPhaseBestScore(), 16); // 8 * scale(2)
+}
+
+TEST(BoCoverage, AccessNeverScoresAgainstItself)
+{
+    // A single access repeated must not self-hit through the coverage
+    // table (insertion happens after the learning step).
+    BoConfig cfg;
+    cfg.coverageWeight = 2;
+    cfg.roundMax = 1;
+    BestOffsetPrefetcher pf(PageSize::FourMB, cfg);
+    for (int i = 0; i < 52; ++i)
+        access(pf, 4096); // same line every time; X-d never equals X
+    EXPECT_EQ(pf.lastPhaseBestScore(), 0);
+}
+
+/**
+ * Property sweep over coverage weights: on a stream where timeliness
+ * is achievable, the learned offset must be stride-compatible for
+ * every weight (the hybrid never *loses* the timely solution).
+ */
+class BoCoverageWeightProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BoCoverageWeightProperty, LearnsStrideCompatibleOffset)
+{
+    BoConfig cfg;
+    cfg.coverageWeight = GetParam();
+    cfg.roundMax = 8;
+    BestOffsetPrefetcher pf(PageSize::FourMB, cfg);
+
+    LineAddr x = 0;
+    for (int i = 0; i < 52 * 18; ++i) {
+        x += 2;
+        std::vector<LineAddr> out;
+        pf.onAccess({x, true, false, 0}, out);
+        for (const LineAddr t : out)
+            pf.onFill({t, true, 0});
+    }
+    ASSERT_GE(pf.learningPhases(), 1u);
+    EXPECT_TRUE(pf.prefetchEnabled());
+    EXPECT_EQ(pf.currentOffset() % 2, 0)
+        << "offset " << pf.currentOffset() << " with weight "
+        << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, BoCoverageWeightProperty,
+                         ::testing::Values(0, 1, 2));
+
+} // namespace
+} // namespace bop

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Property-style parameterized tests of the Best-Offset prefetcher:
+ * invariants that must hold across strides, page sizes, and RR sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/best_offset.hh"
+
+namespace bop
+{
+namespace
+{
+
+/** Drive BO on an ideal strided pattern where prefetches complete. */
+void
+driveStride(BestOffsetPrefetcher &bo, int stride, int accesses,
+            LineAddr base = 1 << 20)
+{
+    std::vector<LineAddr> out;
+    LineAddr x = base;
+    for (int i = 0; i < accesses; ++i) {
+        out.clear();
+        bo.onAccess({x, true, false, static_cast<Cycle>(i)}, out);
+        for (const LineAddr t : out)
+            bo.onFill({t, true, static_cast<Cycle>(i)});
+        x += static_cast<LineAddr>(stride);
+    }
+}
+
+class BoStrideSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BoStrideSweep, LearnedOffsetIsMultipleOfStride)
+{
+    // On a perfect stride-S stream where every prefetch completes
+    // before the next access, only offsets that are multiples of S can
+    // score: a multiple of S must be learned (Sec. 3.2).
+    const int stride = GetParam();
+    BoConfig cfg;
+    cfg.roundMax = 30;
+    BestOffsetPrefetcher bo(PageSize::FourMB, cfg);
+    driveStride(bo, stride, 9000);
+    ASSERT_GT(bo.learningPhases(), 0u);
+    EXPECT_TRUE(bo.prefetchEnabled()) << "stride " << stride;
+    EXPECT_EQ(bo.currentOffset() % stride, 0) << "stride " << stride;
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, BoStrideSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 10, 16));
+
+class BoPageSweep
+    : public ::testing::TestWithParam<std::pair<PageSize, int>>
+{
+};
+
+TEST_P(BoPageSweep, PrefetchesNeverCrossPages)
+{
+    const auto [page, stride] = GetParam();
+    BoConfig cfg;
+    cfg.roundMax = 10;
+    BestOffsetPrefetcher bo(page, cfg);
+    std::vector<LineAddr> out;
+    LineAddr x = 0;
+    for (int i = 0; i < 20000; ++i) {
+        out.clear();
+        bo.onAccess({x, true, false, static_cast<Cycle>(i)}, out);
+        for (const LineAddr t : out) {
+            EXPECT_TRUE(samePage(x, t, page))
+                << "X=" << x << " target=" << t;
+            bo.onFill({t, true, static_cast<Cycle>(i)});
+        }
+        x += static_cast<LineAddr>(stride);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PagesAndStrides, BoPageSweep,
+    ::testing::Values(std::pair{PageSize::FourKB, 1},
+                      std::pair{PageSize::FourKB, 3},
+                      std::pair{PageSize::FourKB, 7},
+                      std::pair{PageSize::FourMB, 1},
+                      std::pair{PageSize::FourMB, 5},
+                      std::pair{PageSize::FourMB, 97}));
+
+TEST(BoInvariants, ScoresNeverExceedScoreMax)
+{
+    BoConfig cfg;
+    cfg.scoreMax = 10;
+    cfg.roundMax = 50;
+    BestOffsetPrefetcher bo(PageSize::FourMB, cfg);
+    std::vector<LineAddr> out;
+    LineAddr x = 4096;
+    for (int i = 0; i < 30000; ++i) {
+        bo.recordCompletedPrefetchBase(x - 1);
+        bo.recordCompletedPrefetchBase(x - 2);
+        out.clear();
+        bo.onAccess({x, true, false, 0}, out);
+        for (const int s : bo.scoreTable())
+            ASSERT_LE(s, cfg.scoreMax);
+        ++x;
+    }
+    EXPECT_GT(bo.learningPhases(), 0u);
+}
+
+TEST(BoInvariants, PhaseLengthBoundedByRoundMax)
+{
+    // With no RR hits at all, a phase is exactly roundMax rounds.
+    BoConfig cfg;
+    cfg.roundMax = 7;
+    BestOffsetPrefetcher bo(PageSize::FourKB, cfg);
+    const std::size_t per_round = bo.offsetList().size();
+    std::vector<LineAddr> out;
+    for (std::size_t i = 0; i < 3 * 7 * per_round; ++i) {
+        out.clear();
+        bo.onAccess({64 * (i + 1), true, false, 0}, out);
+    }
+    EXPECT_EQ(bo.learningPhases(), 3u);
+}
+
+class BoRrSizes : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(BoRrSizes, LearningWorksAtAnyRrSize)
+{
+    // Fig. 10's sweep: every RR size must still learn a clean stride.
+    BoConfig cfg;
+    cfg.rrEntries = GetParam();
+    cfg.roundMax = 30;
+    BestOffsetPrefetcher bo(PageSize::FourMB, cfg);
+    driveStride(bo, 4, 9000);
+    EXPECT_EQ(bo.currentOffset() % 4, 0);
+    EXPECT_TRUE(bo.prefetchEnabled());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BoRrSizes,
+                         ::testing::Values(32, 64, 128, 256, 512));
+
+TEST(BoInvariants, RandomAccessesEventuallyThrottleOff)
+{
+    // A pattern with no offset structure must turn prefetch off
+    // (Sec. 4.3) — the RR table sees incoherent base addresses.
+    BoConfig cfg;
+    cfg.roundMax = 20;
+    BestOffsetPrefetcher bo(PageSize::FourKB, cfg);
+    Rng rng(99);
+    std::vector<LineAddr> out;
+    for (int i = 0; i < 30000 && bo.offPhases() == 0; ++i) {
+        const LineAddr x = rng.next() & 0x3fffffff;
+        out.clear();
+        bo.onAccess({x, true, false, 0}, out);
+        // Fills come back for the random demands, not prefetches.
+        bo.onFill({x, false, 0});
+    }
+    EXPECT_GT(bo.offPhases(), 0u);
+    EXPECT_FALSE(bo.prefetchEnabled());
+}
+
+TEST(BoInvariants, OffsetAlwaysFromList)
+{
+    BoConfig cfg;
+    cfg.roundMax = 5;
+    BestOffsetPrefetcher bo(PageSize::FourMB, cfg);
+    Rng rng(3);
+    std::vector<LineAddr> out;
+    LineAddr x = 0;
+    for (int i = 0; i < 50000; ++i) {
+        // Mixed stride pattern to keep learning churning.
+        x += 1 + (rng.next() % 3);
+        out.clear();
+        bo.onAccess({x, true, false, 0}, out);
+        for (const LineAddr t : out)
+            bo.onFill({t, true, 0});
+        const auto &list = bo.offsetList();
+        ASSERT_NE(std::find(list.begin(), list.end(),
+                            bo.currentOffset()),
+                  list.end())
+            << "offset " << bo.currentOffset() << " not in list";
+    }
+}
+
+TEST(BoInvariants, DeterministicGivenSameInputs)
+{
+    BoConfig cfg;
+    cfg.roundMax = 15;
+    BestOffsetPrefetcher a(PageSize::FourMB, cfg);
+    BestOffsetPrefetcher b(PageSize::FourMB, cfg);
+    driveStride(a, 6, 8000);
+    driveStride(b, 6, 8000);
+    EXPECT_EQ(a.currentOffset(), b.currentOffset());
+    EXPECT_EQ(a.learningPhases(), b.learningPhases());
+    EXPECT_EQ(a.lastPhaseBestScore(), b.lastPhaseBestScore());
+}
+
+} // namespace
+} // namespace bop

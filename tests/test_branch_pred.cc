@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the compact TAGE branch predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sim/branch_pred.hh"
+
+namespace bop
+{
+namespace
+{
+
+double
+mispredictRate(TagePredictor &bp, Addr pc, const std::vector<bool> &outs,
+               int reps)
+{
+    std::uint64_t miss = 0, total = 0;
+    for (int r = 0; r < reps; ++r) {
+        for (const bool taken : outs) {
+            const bool pred = bp.predict(pc);
+            bp.update(pc, taken);
+            miss += pred != taken;
+            ++total;
+        }
+    }
+    return static_cast<double>(miss) / static_cast<double>(total);
+}
+
+TEST(Tage, AlwaysTakenIsLearned)
+{
+    TagePredictor bp;
+    const double rate = mispredictRate(bp, 0x1000, {true}, 500);
+    EXPECT_LT(rate, 0.02);
+}
+
+TEST(Tage, ShortLoopPatternLearned)
+{
+    // Pattern TTTN (loop of 4): within the 4..32-bit histories.
+    TagePredictor bp;
+    mispredictRate(bp, 0x2000, {true, true, true, false}, 200); // warm
+    const double rate =
+        mispredictRate(bp, 0x2000, {true, true, true, false}, 200);
+    EXPECT_LT(rate, 0.05);
+}
+
+TEST(Tage, LongishPeriodicPatternLearned)
+{
+    // Period-16 pattern: needs the 16/32-bit history tables.
+    std::vector<bool> pattern(16, true);
+    pattern[15] = false;
+    TagePredictor bp;
+    mispredictRate(bp, 0x3000, pattern, 300);
+    const double rate = mispredictRate(bp, 0x3000, pattern, 300);
+    EXPECT_LT(rate, 0.08);
+}
+
+TEST(Tage, RandomBranchesMispredictNearBias)
+{
+    TagePredictor bp;
+    Rng rng(123);
+    std::uint64_t miss = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const bool taken = rng.chance(0.7);
+        const bool pred = bp.predict(0x4000);
+        bp.update(0x4000, taken);
+        miss += pred != taken;
+    }
+    const double rate = static_cast<double>(miss) / n;
+    // Ideal is min(p,1-p)=0.30; allow learning slack.
+    EXPECT_GT(rate, 0.20);
+    EXPECT_LT(rate, 0.45);
+}
+
+TEST(Tage, DistinctBranchesDoNotDestroyEachOther)
+{
+    TagePredictor bp;
+    // Interleave an always-taken and an always-not-taken branch.
+    std::uint64_t miss = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        const Addr pc = (i % 2 == 0) ? 0x5000 : 0x6000;
+        const bool taken = pc == 0x5000;
+        const bool pred = bp.predict(pc);
+        bp.update(pc, taken);
+        if (i > 200)
+            miss += pred != taken;
+    }
+    EXPECT_LT(static_cast<double>(miss) / (n - 200), 0.02);
+}
+
+TEST(Tage, CountersExposed)
+{
+    TagePredictor bp;
+    bp.predict(0x7000);
+    bp.update(0x7000, true);
+    EXPECT_EQ(bp.predictions(), 1u);
+    EXPECT_LE(bp.mispredictions(), 1u);
+}
+
+} // namespace
+} // namespace bop

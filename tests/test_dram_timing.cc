@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the DDR3 bank timing model (paper Table 1 / Sec. 5.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_timing.hh"
+
+namespace bop
+{
+namespace
+{
+
+DramCoord
+coord(int bank, std::uint64_t row, std::uint32_t off = 0)
+{
+    DramCoord c;
+    c.bank = bank;
+    c.row = row;
+    c.rowOffset = off;
+    return c;
+}
+
+TEST(DramTiming, FirstAccessIsRowClosed)
+{
+    DramChannelTiming t{DramTiming{}};
+    const auto a = t.apply(coord(0, 5), false, 0);
+    EXPECT_EQ(a.rowResult, RowResult::Closed);
+    // ACT at 0, CAS at tRCD, data at tRCD+tCL .. +tBURST.
+    EXPECT_EQ(a.dataStart, 11u + 11u);
+    EXPECT_EQ(a.dataEnd, 11u + 11u + 4u);
+}
+
+TEST(DramTiming, RowHitIsCasOnly)
+{
+    DramChannelTiming t{DramTiming{}};
+    t.apply(coord(0, 5), false, 0);
+    EXPECT_TRUE(t.isRowHit(coord(0, 5)));
+    const auto a = t.preview(coord(0, 5, 3), false, 100);
+    EXPECT_EQ(a.rowResult, RowResult::Hit);
+    EXPECT_EQ(a.dataEnd - a.dataStart, 4u);
+    EXPECT_EQ(a.dataStart, 100u + 11u); // CAS latency only
+}
+
+TEST(DramTiming, ConflictPaysPrechargeActivate)
+{
+    DramTiming p;
+    DramChannelTiming t{p};
+    t.apply(coord(0, 5), false, 0);
+    // Different row, same bank, late enough that tRAS is satisfied.
+    const auto a = t.preview(coord(0, 9), false, 100);
+    EXPECT_EQ(a.rowResult, RowResult::Conflict);
+    EXPECT_EQ(a.dataStart, 100u + p.tRP + p.tRCD + p.tCL);
+}
+
+TEST(DramTiming, TRasDelaysEarlyPrecharge)
+{
+    DramTiming p;
+    DramChannelTiming t{p};
+    t.apply(coord(0, 5), false, 0); // ACT at 0
+    // Conflict immediately: precharge cannot issue before tRAS=33.
+    const auto a = t.preview(coord(0, 9), false, 1);
+    EXPECT_EQ(a.rowResult, RowResult::Conflict);
+    EXPECT_GE(a.issueAt, p.tRAS);
+}
+
+TEST(DramTiming, BankParallelismOverlapsActivates)
+{
+    DramTiming p;
+    DramChannelTiming t{p};
+    const auto a = t.apply(coord(0, 1), false, 0);
+    const auto b = t.apply(coord(1, 1), false, 0);
+    // Second bank activates independently; only the shared data bus
+    // serialises the bursts.
+    EXPECT_EQ(b.rowResult, RowResult::Closed);
+    EXPECT_EQ(b.dataStart, a.dataEnd);
+}
+
+TEST(DramTiming, DataBusSerializesBursts)
+{
+    DramChannelTiming t{DramTiming{}};
+    t.apply(coord(0, 1), false, 0);
+    const auto a = t.apply(coord(0, 1, 1), false, 0);
+    const auto b = t.apply(coord(0, 1, 2), false, 0);
+    EXPECT_GE(b.dataStart, a.dataEnd);
+}
+
+TEST(DramTiming, WriteUsesCwl)
+{
+    DramTiming p;
+    DramChannelTiming t{p};
+    const auto a = t.apply(coord(2, 7), true, 0);
+    EXPECT_EQ(a.dataStart, p.tRCD + p.tCWL);
+}
+
+TEST(DramTiming, WriteToReadTurnaround)
+{
+    DramTiming p;
+    DramChannelTiming t{p};
+    const auto w = t.apply(coord(0, 1), true, 0);
+    // Read on the open row right after: CAS must wait tWTR after the
+    // write burst.
+    const auto r = t.preview(coord(0, 1, 5), false, w.dataEnd);
+    EXPECT_GE(r.dataStart, w.dataEnd + p.tWTR + p.tCL);
+}
+
+TEST(DramTiming, WriteRecoveryBeforePrecharge)
+{
+    DramTiming p;
+    DramChannelTiming t{p};
+    const auto w = t.apply(coord(0, 1), true, 0);
+    // Conflicting row: precharge waits for write recovery tWR.
+    const auto r = t.preview(coord(0, 2), false, w.dataEnd);
+    EXPECT_GE(r.issueAt, w.dataEnd + p.tWR);
+}
+
+TEST(DramTiming, OpenRowTracking)
+{
+    DramChannelTiming t{DramTiming{}};
+    std::uint64_t row = 0;
+    EXPECT_FALSE(t.openRowOf(3, row));
+    t.apply(coord(3, 42), false, 0);
+    ASSERT_TRUE(t.openRowOf(3, row));
+    EXPECT_EQ(row, 42u);
+}
+
+TEST(DramTiming, PreviewDoesNotMutate)
+{
+    DramChannelTiming t{DramTiming{}};
+    t.apply(coord(0, 5), false, 0);
+    const auto p1 = t.preview(coord(0, 9), false, 50);
+    const auto p2 = t.preview(coord(0, 9), false, 50);
+    EXPECT_EQ(p1.dataEnd, p2.dataEnd);
+    EXPECT_TRUE(t.isRowHit(coord(0, 5))) << "row must remain open";
+}
+
+} // namespace
+} // namespace bop

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Failure-injection tests: shrink every structural resource (fill
+ * queues, MSHRs, prefetch queue, memory queues can't be shrunk — they
+ * are Table 1 constants) to pathological sizes and verify the system
+ * still makes forward progress (no deadlock, instruction targets hit).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "sim/system.hh"
+#include "trace/generators.hh"
+#include "trace/workloads.hh"
+
+namespace bop
+{
+namespace
+{
+
+std::unique_ptr<TraceSource>
+mixedTrace(std::uint64_t seed)
+{
+    WorkloadSpec w;
+    w.name = "mixed";
+    w.memFraction = 0.45;
+    w.branchFraction = 0.1;
+    w.depFraction = 0.2;
+    StreamSpec seq;
+    seq.regionBytes = 16ull << 20;
+    seq.stepBytes = 8;
+    seq.storeRatio = 0.4;
+    StreamSpec chase;
+    chase.pattern = StreamPattern::PointerChase;
+    chase.regionBytes = 8ull << 20;
+    chase.weight = 0.5;
+    w.streams = {seq, chase};
+    return std::make_unique<SyntheticTrace>(w, seed);
+}
+
+RunStats
+runWith(SystemConfig cfg, std::uint64_t instr = 15000)
+{
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    traces.push_back(mixedTrace(7));
+    for (int c = 1; c < cfg.activeCores; ++c)
+        traces.push_back(makeThrasher(10 + static_cast<unsigned>(c)));
+    System sys(cfg, std::move(traces));
+    return sys.run(2000, instr);
+}
+
+TEST(FaultInjection, TinyL2FillQueue)
+{
+    SystemConfig cfg = baselineConfig(1, PageSize::FourKB);
+    cfg.caches.l2FillQueue = 3; // reserve is 2: one waiting slot only
+    const RunStats s = runWith(cfg);
+    EXPECT_GE(s.instructions, 15000u);
+}
+
+TEST(FaultInjection, TinyL3FillQueue)
+{
+    SystemConfig cfg = baselineConfig(1, PageSize::FourKB);
+    cfg.caches.l3FillQueue = 3;
+    const RunStats s = runWith(cfg);
+    EXPECT_GE(s.instructions, 15000u);
+}
+
+TEST(FaultInjection, BothFillQueuesTinyWithPrefetchers)
+{
+    SystemConfig cfg = baselineConfig(1, PageSize::FourKB);
+    cfg.caches.l2FillQueue = 3;
+    cfg.caches.l3FillQueue = 3;
+    cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
+    const RunStats s = runWith(cfg);
+    EXPECT_GE(s.instructions, 15000u);
+}
+
+TEST(FaultInjection, SingleMshr)
+{
+    SystemConfig cfg = baselineConfig(1, PageSize::FourKB);
+    cfg.caches.dl1Mshrs = 1; // fully serialised misses
+    const RunStats s = runWith(cfg);
+    EXPECT_GE(s.instructions, 15000u);
+    // With one MSHR the memory level parallelism collapses: the run
+    // must be much slower than the healthy configuration.
+    const RunStats healthy = runWith(baselineConfig(1, PageSize::FourKB));
+    EXPECT_LT(healthy.cycles, s.cycles);
+}
+
+TEST(FaultInjection, OneEntryPrefetchQueue)
+{
+    SystemConfig cfg = baselineConfig(1, PageSize::FourKB);
+    cfg.caches.prefetchQueue = 1; // every second prefetch cancelled
+    cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
+    const RunStats s = runWith(cfg);
+    EXPECT_GE(s.instructions, 15000u);
+}
+
+TEST(FaultInjection, SbpWithTinyQueuesFourCores)
+{
+    SystemConfig cfg = baselineConfig(4, PageSize::FourKB);
+    cfg.caches.l2FillQueue = 4;
+    cfg.caches.l3FillQueue = 4;
+    cfg.caches.prefetchQueue = 2;
+    cfg.l2Prefetcher = L2PrefetcherKind::Sandbox;
+    const RunStats s = runWith(cfg, 8000);
+    EXPECT_GE(s.instructions, 8000u);
+}
+
+TEST(FaultInjection, MinimalCaches)
+{
+    SystemConfig cfg = baselineConfig(1, PageSize::FourKB);
+    cfg.caches.dl1Bytes = 4 * 1024;
+    cfg.caches.l2Bytes = 16 * 1024;
+    cfg.caches.l3Bytes = 64 * 1024;
+    const RunStats s = runWith(cfg);
+    EXPECT_GE(s.instructions, 15000u);
+    EXPECT_GT(s.dramReads + s.dramWrites, 1000u);
+}
+
+TEST(FaultInjection, NarrowCore)
+{
+    SystemConfig cfg = baselineConfig(1, PageSize::FourKB);
+    cfg.core.robSize = 8;
+    cfg.core.dispatchWidth = 1;
+    cfg.core.retireWidth = 1;
+    cfg.core.loadQueue = 4;
+    cfg.core.storeQueue = 2;
+    const RunStats s = runWith(cfg, 5000);
+    EXPECT_GE(s.instructions, 5000u);
+    EXPECT_LT(s.ipc(), 1.0);
+}
+
+TEST(FaultInjection, SlowDram)
+{
+    SystemConfig cfg = baselineConfig(1, PageSize::FourKB);
+    cfg.dram.tCL = 40;
+    cfg.dram.tRCD = 40;
+    cfg.dram.tRP = 40;
+    cfg.dram.tRAS = 120;
+    const RunStats slow = runWith(cfg);
+    const RunStats normal = runWith(baselineConfig(1, PageSize::FourKB));
+    EXPECT_GE(slow.instructions, 15000u);
+    EXPECT_GT(slow.cycles, normal.cycles);
+}
+
+} // namespace
+} // namespace bop

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the Feedback-Directed Prefetcher (extension; paper ref
+ * [37]): stream training, degree/distance presets, and the three
+ * feedback loops (accuracy, lateness, pollution).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "prefetch/fdp.hh"
+
+namespace bop
+{
+namespace
+{
+
+std::vector<LineAddr>
+access(FdpPrefetcher &pf, LineAddr line, bool miss = true,
+       bool pref_hit = false, Cycle cycle = 0)
+{
+    std::vector<LineAddr> out;
+    pf.onAccess({line, miss, pref_hit, cycle}, out);
+    return out;
+}
+
+TEST(Fdp, LevelsAreTheFivePresets)
+{
+    const auto &lv = FdpPrefetcher::levels();
+    ASSERT_EQ(lv.size(), 5u);
+    EXPECT_EQ(lv.front().distance, 4);
+    EXPECT_EQ(lv.front().degree, 1);
+    EXPECT_EQ(lv.back().distance, 64);
+    EXPECT_EQ(lv.back().degree, 4);
+    for (std::size_t i = 1; i < lv.size(); ++i)
+        EXPECT_GE(lv[i].distance, lv[i - 1].distance);
+}
+
+TEST(Fdp, NoPrefetchBeforeTraining)
+{
+    FdpPrefetcher pf(PageSize::FourKB);
+    EXPECT_TRUE(access(pf, 100).empty());
+    EXPECT_TRUE(access(pf, 200).empty()); // different zone, no stream
+}
+
+TEST(Fdp, AscendingStreamTrainsAndIssues)
+{
+    FdpPrefetcher pf(PageSize::FourMB);
+    access(pf, 1000);                  // allocate
+    access(pf, 1001);                  // confidence 1
+    const auto out = access(pf, 1002); // confidence 2 -> trained
+    ASSERT_FALSE(out.empty());
+    // Level 2 preset: distance 16, degree 2.
+    EXPECT_EQ(out[0], 1002u + 16);
+    EXPECT_EQ(out[1], 1002u + 17);
+    EXPECT_EQ(pf.trainedStreams(), 1);
+}
+
+TEST(Fdp, DescendingStreamIssuesBackwards)
+{
+    FdpPrefetcher pf(PageSize::FourMB);
+    const LineAddr base = 1u << 16; // comfortably inside a 4MB page
+    access(pf, base);
+    access(pf, base - 1);
+    const auto out = access(pf, base - 2);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0], base - 2 - 16);
+}
+
+TEST(Fdp, DirectionFlipRetrains)
+{
+    FdpPrefetcher pf(PageSize::FourMB);
+    access(pf, 500);
+    access(pf, 501);
+    access(pf, 502);
+    EXPECT_EQ(pf.trainedStreams(), 1);
+    // Reverse: confidence resets, no issue until re-trained.
+    EXPECT_TRUE(access(pf, 501).empty());
+    EXPECT_EQ(pf.trainedStreams(), 0);
+}
+
+TEST(Fdp, PrefetchesStopAtPageBoundary)
+{
+    FdpPrefetcher pf(PageSize::FourKB); // 64 lines per page
+    access(pf, 60);
+    access(pf, 61);
+    const auto out = access(pf, 62); // 62+16 = 78 crosses the page
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Fdp, InterleavedStreamsUseSeparateTrackers)
+{
+    FdpPrefetcher pf(PageSize::FourMB);
+    const LineAddr a = 0, b = 1u << 14; // far apart: separate trackers
+    access(pf, a);
+    access(pf, b);
+    access(pf, a + 1);
+    access(pf, b + 1);
+    auto out_a = access(pf, a + 2);
+    auto out_b = access(pf, b + 2);
+    ASSERT_FALSE(out_a.empty());
+    ASSERT_FALSE(out_b.empty());
+    EXPECT_EQ(out_a[0], a + 2 + 16);
+    EXPECT_EQ(out_b[0], b + 2 + 16);
+    EXPECT_EQ(pf.trainedStreams(), 2);
+}
+
+TEST(Fdp, HighAccuracyRaisesAggressiveness)
+{
+    FdpConfig cfg;
+    cfg.sampleInterval = 64;
+    FdpPrefetcher pf(PageSize::FourMB, cfg);
+    const int start = pf.aggressivenessLevel();
+
+    // Sequential stream where every prefetch is (fictitiously) used:
+    // feed prefetched hits so used/issued stays high.
+    LineAddr x = 0;
+    for (int i = 0; i < 64; ++i)
+        access(pf, x++, true, i > 4); // prefetched hits after warmup
+    EXPECT_EQ(pf.intervalsElapsed(), 1u);
+    EXPECT_GT(pf.lastAccuracy(), 0.0);
+    EXPECT_GE(pf.aggressivenessLevel(), start);
+}
+
+TEST(Fdp, LowAccuracyLowersAggressiveness)
+{
+    FdpConfig cfg;
+    cfg.sampleInterval = 128;
+    FdpPrefetcher pf(PageSize::FourMB, cfg);
+    const int start = pf.aggressivenessLevel();
+
+    // Train a stream (so prefetches are issued) but never report a
+    // prefetched hit: accuracy measures 0.
+    LineAddr x = 0;
+    for (int i = 0; i < 128; ++i)
+        access(pf, x++, true, false);
+    EXPECT_EQ(pf.intervalsElapsed(), 1u);
+    EXPECT_LT(pf.aggressivenessLevel(), start);
+}
+
+TEST(Fdp, LatenessFeedbackCountsPromotions)
+{
+    FdpConfig cfg;
+    cfg.sampleInterval = 64;
+    FdpPrefetcher pf(PageSize::FourMB, cfg);
+    LineAddr x = 0;
+    for (int i = 0; i < 63; ++i) {
+        access(pf, x++);
+        pf.onLatePromotion(x, 0); // every prefetch arrives late
+    }
+    access(pf, x++);
+    EXPECT_EQ(pf.intervalsElapsed(), 1u);
+    EXPECT_GT(pf.lastLateness(), 0.9);
+}
+
+TEST(Fdp, PollutionFilterFlagsPrefetchEvictions)
+{
+    FdpConfig cfg;
+    cfg.sampleInterval = 32;
+    FdpPrefetcher pf(PageSize::FourMB, cfg);
+
+    // Evict lines 1..8 via prefetch fills, then demand-miss on them.
+    for (LineAddr v = 1; v <= 8; ++v)
+        pf.onEvict({v, false, true, 0});
+    for (LineAddr v = 1; v <= 8; ++v)
+        access(pf, v);
+    for (int i = 8; i < 32; ++i)
+        access(pf, 1000 + static_cast<LineAddr>(i) * 50);
+    EXPECT_EQ(pf.intervalsElapsed(), 1u);
+    EXPECT_GT(pf.lastPollution(), 0.2);
+}
+
+TEST(Fdp, DemandEvictionsDoNotPollute)
+{
+    FdpConfig cfg;
+    cfg.sampleInterval = 32;
+    FdpPrefetcher pf(PageSize::FourMB, cfg);
+    for (LineAddr v = 1; v <= 8; ++v)
+        pf.onEvict({v, false, false, 0}); // demand-fill evictions
+    for (LineAddr v = 1; v <= 8; ++v)
+        access(pf, v);
+    for (int i = 8; i < 32; ++i)
+        access(pf, 1000 + static_cast<LineAddr>(i) * 50);
+    EXPECT_EQ(pf.lastPollution(), 0.0);
+}
+
+TEST(Fdp, LevelClampsAtExtremes)
+{
+    FdpConfig cfg;
+    cfg.sampleInterval = 32;
+    cfg.initialLevel = 0;
+    FdpPrefetcher pf(PageSize::FourMB, cfg);
+    // Repeated bad intervals cannot push the level below 0.
+    for (int k = 0; k < 4; ++k) {
+        LineAddr x = static_cast<LineAddr>(k) * 4096;
+        for (int i = 0; i < 32; ++i)
+            access(pf, x++);
+        EXPECT_GE(pf.aggressivenessLevel(), 0);
+    }
+}
+
+TEST(Fdp, CurrentOffsetTracksDistance)
+{
+    FdpConfig cfg;
+    cfg.initialLevel = 3;
+    FdpPrefetcher pf(PageSize::FourKB, cfg);
+    EXPECT_EQ(pf.currentOffset(), 32);
+}
+
+/** Property sweep: trained streams never issue across a page. */
+class FdpPageProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FdpPageProperty, NeverCrossesPage)
+{
+    const int start_line = GetParam();
+    FdpConfig cfg;
+    cfg.initialLevel = 4; // most aggressive: distance 64, degree 4
+    FdpPrefetcher pf(PageSize::FourKB, cfg);
+    const auto page_lines =
+        static_cast<LineAddr>(pageLines(PageSize::FourKB));
+
+    LineAddr x = static_cast<LineAddr>(start_line);
+    for (int i = 0; i < 32; ++i) {
+        std::vector<LineAddr> out;
+        pf.onAccess({x, true, false, 0}, out);
+        for (const LineAddr t : out)
+            EXPECT_EQ(t / page_lines, x / page_lines);
+        ++x;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(StartPositions, FdpPageProperty,
+                         ::testing::Values(0, 17, 40, 62, 63, 100, 127));
+
+} // namespace
+} // namespace bop

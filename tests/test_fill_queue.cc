@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the fill queue + CAM (the paper's L2/L3 MSHR replacement,
+ * Sec. 5.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/fill_queue.hh"
+
+namespace bop
+{
+namespace
+{
+
+TEST(FillQueue, AllocateFillPop)
+{
+    FillQueue fq("t", 4);
+    ReqMeta meta;
+    meta.core = 1;
+    const auto id = fq.allocate(100, meta, false);
+    EXPECT_EQ(fq.size(), 1u);
+    EXPECT_FALSE(fq.popReady(10).has_value()) << "no data yet";
+    fq.fillData(id, 5);
+    const auto e = fq.popReady(10);
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->line, 100u);
+    EXPECT_EQ(e->meta.core, 1);
+    EXPECT_EQ(fq.size(), 0u);
+}
+
+TEST(FillQueue, PopRespectsReadyCycle)
+{
+    FillQueue fq("t", 4);
+    const auto id = fq.allocate(7, {}, false);
+    fq.fillData(id, 100);
+    EXPECT_FALSE(fq.popReady(99).has_value());
+    EXPECT_TRUE(fq.popReady(100).has_value());
+}
+
+TEST(FillQueue, ReleaseFreesEntry)
+{
+    FillQueue fq("t", 2);
+    const auto a = fq.allocate(1, {}, false);
+    fq.allocate(2, {}, false);
+    EXPECT_TRUE(fq.full());
+    fq.release(a);
+    EXPECT_FALSE(fq.full());
+    EXPECT_EQ(fq.find(1), nullptr);
+    EXPECT_NE(fq.find(2), nullptr);
+}
+
+TEST(FillQueue, CamFindsByLine)
+{
+    FillQueue fq("t", 4);
+    fq.allocate(42, {}, true);
+    FillQueueEntry *e = fq.find(42);
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(e->isPrefetch);
+    EXPECT_EQ(fq.find(43), nullptr);
+}
+
+TEST(FillQueue, PromotionThroughCam)
+{
+    // The late-prefetch mechanism: a demand miss finds the in-flight
+    // prefetch entry and promotes it in place.
+    FillQueue fq("t", 4);
+    ReqMeta meta;
+    meta.wasL2Prefetch = true;
+    const auto id = fq.allocateWithData(55, meta, true, 3);
+    FillQueueEntry *e = fq.find(55);
+    ASSERT_NE(e, nullptr);
+    e->isPrefetch = false;
+    e->meta.needL1 = true;
+    e->meta.mshrId = 9;
+
+    const auto popped = fq.popReady(3);
+    ASSERT_TRUE(popped.has_value());
+    EXPECT_FALSE(popped->isPrefetch);
+    EXPECT_TRUE(popped->meta.needL1);
+    EXPECT_EQ(popped->meta.mshrId, 9u);
+    EXPECT_TRUE(popped->meta.wasL2Prefetch) << "history must survive";
+    (void)id;
+}
+
+TEST(FillQueue, FifoDrainOrder)
+{
+    FillQueue fq("t", 4);
+    fq.allocateWithData(1, {}, false, 0);
+    fq.allocateWithData(2, {}, false, 0);
+    fq.allocateWithData(3, {}, false, 0);
+    EXPECT_EQ(fq.popReady(0)->line, 1u);
+    EXPECT_EQ(fq.popReady(0)->line, 2u);
+    EXPECT_EQ(fq.popReady(0)->line, 3u);
+}
+
+TEST(FillQueue, ReadyEntriesSkipWaitingHead)
+{
+    FillQueue fq("t", 4);
+    fq.allocate(1, {}, false); // waiting, no data
+    fq.allocateWithData(2, {}, false, 0);
+    const auto e = fq.popReady(0);
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->line, 2u);
+    EXPECT_NE(fq.find(1), nullptr);
+}
+
+TEST(FillQueue, WaitingReserveThrottlesAllocations)
+{
+    FillQueue fq("t", 4);
+    fq.allocate(1, {}, false);
+    fq.allocate(2, {}, false);
+    EXPECT_FALSE(fq.canAllocateWaiting())
+        << "2 of 4 slots are reserved for returning data";
+    EXPECT_FALSE(fq.full());
+    fq.allocateWithData(3, {}, false, 0);
+    fq.allocateWithData(4, {}, false, 0);
+    EXPECT_TRUE(fq.full());
+}
+
+TEST(FillQueue, PeekThenRemove)
+{
+    FillQueue fq("t", 4);
+    fq.allocateWithData(8, {}, false, 2);
+    EXPECT_EQ(fq.peekReady(1), nullptr);
+    FillQueueEntry *e = fq.peekReady(2);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->line, 8u);
+    EXPECT_EQ(fq.size(), 1u) << "peek must not remove";
+    fq.removeById(e->id);
+    EXPECT_EQ(fq.size(), 0u);
+}
+
+TEST(FillQueue, IdsAreStableAcrossOtherReleases)
+{
+    FillQueue fq("t", 4);
+    const auto a = fq.allocate(1, {}, false);
+    const auto b = fq.allocate(2, {}, false);
+    fq.release(a);
+    fq.fillData(b, 7);
+    EXPECT_EQ(fq.entry(b).line, 2u);
+    EXPECT_TRUE(fq.entry(b).hasData);
+}
+
+} // namespace
+} // namespace bop

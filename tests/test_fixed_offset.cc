@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the fixed-offset / next-line L2 prefetchers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/fixed_offset.hh"
+
+namespace bop
+{
+namespace
+{
+
+TEST(FixedOffset, PrefetchesXPlusD)
+{
+    FixedOffsetPrefetcher pf(PageSize::FourMB, 5);
+    std::vector<LineAddr> out;
+    pf.onAccess({1000, true, false, 0}, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 1005u);
+    EXPECT_EQ(pf.currentOffset(), 5);
+}
+
+TEST(FixedOffset, TriggersOnPrefetchedHitsToo)
+{
+    FixedOffsetPrefetcher pf(PageSize::FourMB, 2);
+    std::vector<LineAddr> out;
+    pf.onAccess({1000, false, true, 0}, out);
+    EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(FixedOffset, IgnoresPlainHits)
+{
+    FixedOffsetPrefetcher pf(PageSize::FourMB, 2);
+    std::vector<LineAddr> out;
+    pf.onAccess({1000, false, false, 0}, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(FixedOffset, SamePageConstraint4KB)
+{
+    // 4KB page = 64 lines. Line 60 with D=8 would cross: no prefetch.
+    FixedOffsetPrefetcher pf(PageSize::FourKB, 8);
+    std::vector<LineAddr> out;
+    pf.onAccess({60, true, false, 0}, out);
+    EXPECT_TRUE(out.empty());
+    pf.onAccess({48, true, false, 0}, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 56u);
+}
+
+TEST(FixedOffset, SamePageConstraint4MB)
+{
+    // 4MB page = 65536 lines: offset 8 fits almost everywhere.
+    FixedOffsetPrefetcher pf(PageSize::FourMB, 8);
+    std::vector<LineAddr> out;
+    pf.onAccess({60, true, false, 0}, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 68u);
+}
+
+TEST(NextLine, IsOffsetOne)
+{
+    NextLinePrefetcher pf(PageSize::FourKB);
+    EXPECT_EQ(pf.currentOffset(), 1);
+    EXPECT_EQ(pf.name(), "next-line");
+    std::vector<LineAddr> out;
+    pf.onAccess({10, true, false, 0}, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 11u);
+}
+
+TEST(NullPrefetcher, NeverPrefetches)
+{
+    NullPrefetcher pf(PageSize::FourKB);
+    std::vector<LineAddr> out;
+    pf.onAccess({10, true, false, 0}, out);
+    pf.onAccess({11, false, true, 0}, out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_FALSE(pf.prefetchEnabled());
+}
+
+class FixedOffsetSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FixedOffsetSweep, OffsetsStayInPage)
+{
+    const int d = GetParam();
+    FixedOffsetPrefetcher pf(PageSize::FourKB, d);
+    std::vector<LineAddr> out;
+    for (LineAddr x = 0; x < 64; ++x)
+        pf.onAccess({x, true, false, 0}, out);
+    for (const LineAddr t : out) {
+        EXPECT_LT(t, 64u) << "target escaped the first 4KB page";
+    }
+    // Exactly 64-d in-page triggers produce prefetches.
+    EXPECT_EQ(out.size(), static_cast<std::size_t>(64 - d));
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSweep, FixedOffsetSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32, 63));
+
+} // namespace
+} // namespace bop

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the BO offset list (paper Sec. 4.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/offset_list.hh"
+
+namespace bop
+{
+namespace
+{
+
+TEST(OffsetList, MatchesPaperList)
+{
+    // The exact 52 offsets printed in Sec. 4.2 of the paper.
+    const std::vector<int> paper = {
+        1,   2,   3,   4,   5,   6,   8,   9,   10,  12,  15,  16,  18,
+        20,  24,  25,  27,  30,  32,  36,  40,  45,  48,  50,  54,  60,
+        64,  72,  75,  80,  81,  90,  96,  100, 108, 120, 125, 128, 135,
+        144, 150, 160, 162, 180, 192, 200, 216, 225, 240, 243, 250, 256};
+    EXPECT_EQ(makeOffsetList(), paper);
+}
+
+TEST(OffsetList, HasExactly52Entries)
+{
+    EXPECT_EQ(makeOffsetList().size(), 52u);
+}
+
+TEST(OffsetList, SortedAscendingAndUnique)
+{
+    const auto list = makeOffsetList();
+    const std::set<int> unique(list.begin(), list.end());
+    EXPECT_EQ(unique.size(), list.size());
+    EXPECT_TRUE(std::is_sorted(list.begin(), list.end()));
+}
+
+TEST(OffsetList, AllEntriesAreSmooth)
+{
+    for (int d : makeOffsetList()) {
+        EXPECT_TRUE(isSmooth(d, 5)) << d;
+        int n = d;
+        for (int p : {2, 3, 5})
+            while (n % p == 0)
+                n /= p;
+        EXPECT_EQ(n, 1) << d;
+    }
+}
+
+TEST(OffsetList, NoSevenSmoothIntruders)
+{
+    const auto list = makeOffsetList();
+    const std::set<int> s(list.begin(), list.end());
+    // 7, 14, 21, 49, 63... must be absent.
+    for (int d : {7, 14, 21, 28, 49, 63, 77, 91, 119, 133})
+        EXPECT_FALSE(s.count(d)) << d;
+}
+
+TEST(OffsetList, LcmClosureProperty)
+{
+    // Sec. 4.2: if two offsets are in the list, so is their LCM
+    // (provided it is not too large). Verify for all pairs with
+    // LCM <= 256.
+    const auto list = makeOffsetList();
+    const std::set<int> s(list.begin(), list.end());
+    for (int a : list) {
+        for (int b : list) {
+            const int l = std::lcm(a, b);
+            if (l <= 256) {
+                EXPECT_TRUE(s.count(l)) << a << " " << b;
+            }
+        }
+    }
+}
+
+TEST(OffsetList, SmallMaxOffset)
+{
+    const auto list = makeOffsetList(10);
+    const std::vector<int> expected = {1, 2, 3, 4, 5, 6, 8, 9, 10};
+    EXPECT_EQ(list, expected);
+}
+
+TEST(OffsetList, SignedListInterleavesNegatives)
+{
+    const auto list = makeSignedOffsetList(6);
+    const std::vector<int> expected = {1, -1, 2, -2, 3, -3,
+                                       4, -4, 5, -5, 6, -6};
+    EXPECT_EQ(list, expected);
+}
+
+TEST(OffsetList, IsSmoothEdgeCases)
+{
+    EXPECT_TRUE(isSmooth(1, 5));
+    EXPECT_FALSE(isSmooth(0, 5));
+    EXPECT_FALSE(isSmooth(-4, 5));
+    EXPECT_TRUE(isSmooth(243, 5)); // 3^5
+    EXPECT_FALSE(isSmooth(7, 5));
+    EXPECT_TRUE(isSmooth(7, 7));
+}
+
+} // namespace
+} // namespace bop

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the paper's 5P L3 replacement policy (Sec. 5.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/policy_5p.hh"
+
+namespace bop
+{
+namespace
+{
+
+TEST(Policy5P, OneLeaderPerPolicyPerConstituency)
+{
+    Policy5P p;
+    p.reset(1024, 16);
+    int counts[numInsertionPolicies] = {};
+    int followers = 0;
+    for (std::size_t set = 0; set < 128; ++set) {
+        const int leader = p.leaderPolicyOf(set);
+        if (leader >= 0)
+            ++counts[leader];
+        else
+            ++followers;
+    }
+    for (int i = 0; i < numInsertionPolicies; ++i)
+        EXPECT_EQ(counts[i], 1) << "policy " << i;
+    EXPECT_EQ(followers, 128 - numInsertionPolicies);
+}
+
+TEST(Policy5P, LeaderPatternRepeatsAcrossConstituencies)
+{
+    Policy5P p;
+    p.reset(8192, 16);
+    for (std::size_t set = 0; set < 128; ++set) {
+        EXPECT_EQ(p.leaderPolicyOf(set), p.leaderPolicyOf(set + 128));
+        EXPECT_EQ(p.leaderPolicyOf(set), p.leaderPolicyOf(set + 4096));
+    }
+}
+
+TEST(Policy5P, DemandMissInLeaderSetVotesAgainstIt)
+{
+    Policy5P p;
+    p.reset(1024, 16);
+    // Find the IP1 leader set and hammer it with demand fills.
+    std::size_t ip1_set = 0;
+    for (std::size_t set = 0; set < 128; ++set) {
+        if (p.leaderPolicyOf(set) == 0)
+            ip1_set = set;
+    }
+    const auto before = p.policyCounter(0);
+    p.onFill(ip1_set, 0, FillInfo{0, true});
+    EXPECT_EQ(p.policyCounter(0), before + 1);
+    // Prefetch fills do not vote.
+    p.onFill(ip1_set, 1, FillInfo{0, false});
+    EXPECT_EQ(p.policyCounter(0), before + 1);
+}
+
+TEST(Policy5P, FollowerUsesLowestCounterPolicy)
+{
+    Policy5P p;
+    p.reset(1024, 16);
+    // Load counters: give IP1..IP4 some demand misses, leave IP5 at 0.
+    std::size_t leaders[numInsertionPolicies] = {};
+    for (std::size_t set = 0; set < 128; ++set) {
+        const int l = p.leaderPolicyOf(set);
+        if (l >= 0)
+            leaders[l] = set;
+    }
+    for (int i = 0; i < 4; ++i)
+        for (int n = 0; n < 10; ++n)
+            p.onFill(leaders[i], 0, FillInfo{0, true});
+    EXPECT_EQ(static_cast<int>(p.followerPolicy()), 4);
+}
+
+TEST(Policy5P, Ip3InsertsPrefetchesAtLru)
+{
+    Policy5P p;
+    p.reset(1024, 16);
+    std::size_t ip3_set = 0;
+    for (std::size_t set = 0; set < 128; ++set) {
+        if (p.leaderPolicyOf(set) == 2)
+            ip3_set = set;
+    }
+    // Prefetch fill -> LRU position; demand fill -> MRU position.
+    p.onFill(ip3_set, 5, FillInfo{0, false});
+    EXPECT_EQ(p.positionOf(ip3_set, 5), 15u);
+    p.onFill(ip3_set, 6, FillInfo{0, true});
+    EXPECT_EQ(p.positionOf(ip3_set, 6), 0u);
+}
+
+TEST(Policy5P, CoreMissRateClassification)
+{
+    Policy5P p;
+    p.reset(1024, 16);
+    // Core 1 inserts a lot; core 0 a little: core 0 is low-miss-rate.
+    for (int n = 0; n < 100; ++n)
+        p.onFill(1, n % 16, FillInfo{1, true});
+    for (int n = 0; n < 5; ++n)
+        p.onFill(2, n % 16, FillInfo{0, true});
+    EXPECT_TRUE(p.coreHasLowMissRate(0));
+    EXPECT_FALSE(p.coreHasLowMissRate(1));
+}
+
+TEST(Policy5P, Ip4ProtectsLowMissRateCores)
+{
+    Policy5P p;
+    p.reset(1024, 16);
+    std::size_t ip4_set = 0;
+    for (std::size_t set = 0; set < 128; ++set) {
+        if (p.leaderPolicyOf(set) == 3)
+            ip4_set = set;
+    }
+    // Make core 1 high-miss-rate.
+    for (int n = 0; n < 200; ++n)
+        p.onFill(1, n % 16, FillInfo{1, true});
+
+    p.onFill(ip4_set, 2, FillInfo{0, true});  // low-miss core -> MRU
+    EXPECT_EQ(p.positionOf(ip4_set, 2), 0u);
+    p.onFill(ip4_set, 3, FillInfo{1, true});  // high-miss core -> LRU
+    EXPECT_EQ(p.positionOf(ip4_set, 3), 15u);
+}
+
+TEST(Policy5P, HitAlwaysPromotesToMru)
+{
+    Policy5P p;
+    p.reset(1024, 16);
+    p.onFill(200, 7, FillInfo{0, false}); // follower set, maybe LRU
+    p.onHit(200, 7);
+    EXPECT_EQ(p.positionOf(200, 7), 0u);
+}
+
+} // namespace
+} // namespace bop

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the proportional counters (paper Sec. 5.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/prop_counter.hh"
+
+namespace bop
+{
+namespace
+{
+
+TEST(PropCounter, IncrementAndValue)
+{
+    PropCounterGroup g(4, 12);
+    g.increment(2);
+    g.increment(2);
+    EXPECT_EQ(g.value(2), 2u);
+    EXPECT_EQ(g.value(0), 0u);
+}
+
+TEST(PropCounter, AllHalvedAtCmax)
+{
+    PropCounterGroup g(3, 4); // CMAX = 15
+    for (int i = 0; i < 8; ++i)
+        g.increment(1);
+    ASSERT_EQ(g.value(1), 8u);
+    g.increment(2); // 1
+    // Push counter 0 to CMAX: all halve simultaneously.
+    for (int i = 0; i < 15; ++i)
+        g.increment(0);
+    EXPECT_EQ(g.value(0), 7u);  // 15 -> 7
+    EXPECT_EQ(g.value(1), 4u);  // 8 -> 4
+    EXPECT_EQ(g.value(2), 0u);  // 1 -> 0
+}
+
+TEST(PropCounter, RelativeOrderPreservedByHalving)
+{
+    PropCounterGroup g(2, 4);
+    for (int i = 0; i < 10; ++i)
+        g.increment(0);
+    for (int i = 0; i < 5; ++i)
+        g.increment(1);
+    for (int i = 0; i < 10; ++i)
+        g.increment(0); // forces halving on the way
+    EXPECT_GT(g.value(0), g.value(1));
+}
+
+TEST(PropCounter, ArgMinAndMax)
+{
+    PropCounterGroup g(4, 12);
+    g.increment(0);
+    g.increment(1);
+    g.increment(1);
+    g.increment(3);
+    EXPECT_EQ(g.argMin(), 2u);
+    EXPECT_EQ(g.maxValue(), 2u);
+}
+
+TEST(PropCounter, ArgMinTiesToLowestIndex)
+{
+    PropCounterGroup g(3, 12);
+    g.increment(0);
+    EXPECT_EQ(g.argMin(), 1u);
+}
+
+TEST(PropCounter, Reset)
+{
+    PropCounterGroup g(2, 8);
+    g.increment(0);
+    g.reset();
+    EXPECT_EQ(g.value(0), 0u);
+    EXPECT_EQ(g.maxValue(), 0u);
+}
+
+TEST(PropCounter, WidthSetsCmax)
+{
+    PropCounterGroup g7(1, 7);
+    EXPECT_EQ(g7.max(), 127u);
+    PropCounterGroup g12(1, 12);
+    EXPECT_EQ(g12.max(), 4095u);
+}
+
+} // namespace
+} // namespace bop

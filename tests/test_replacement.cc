@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the stack-based replacement policies (LRU, BIP).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/replacement.hh"
+
+namespace bop
+{
+namespace
+{
+
+TEST(Lru, EvictsLeastRecentlyUsed)
+{
+    LruPolicy lru;
+    lru.reset(1, 4);
+    for (unsigned w = 0; w < 4; ++w)
+        lru.onFill(0, w, {});
+    // Order of fills: 0,1,2,3 -> LRU is way 0.
+    EXPECT_EQ(lru.victim(0), 0u);
+    lru.onHit(0, 0);
+    EXPECT_EQ(lru.victim(0), 1u);
+}
+
+TEST(Lru, VictimPeekAgreesWithVictim)
+{
+    LruPolicy lru;
+    lru.reset(4, 8);
+    for (unsigned w = 0; w < 8; ++w)
+        lru.onFill(2, w, {});
+    lru.onHit(2, 5);
+    EXPECT_EQ(lru.victimPeek(2), lru.victim(2));
+}
+
+TEST(Lru, PositionTracking)
+{
+    LruPolicy lru;
+    lru.reset(1, 4);
+    for (unsigned w = 0; w < 4; ++w)
+        lru.onFill(0, w, {});
+    EXPECT_EQ(lru.positionOf(0, 3), 0u); // most recent fill = MRU
+    EXPECT_EQ(lru.positionOf(0, 0), 3u); // oldest = LRU
+}
+
+TEST(Bip, MostInsertionsGoToLru)
+{
+    BipPolicy bip(123, 32);
+    bip.reset(1, 8);
+    int lru_insertions = 0;
+    const int trials = 1000;
+    for (int i = 0; i < trials; ++i) {
+        bip.onFill(0, 4, {});
+        if (bip.positionOf(0, 4) == 7)
+            ++lru_insertions;
+    }
+    // Expect ~31/32 of insertions at LRU position.
+    EXPECT_GT(lru_insertions, trials * 9 / 10);
+    EXPECT_LT(lru_insertions, trials);
+}
+
+TEST(Bip, OccasionallyInsertsAtMru)
+{
+    BipPolicy bip(99, 32);
+    bip.reset(1, 8);
+    bool saw_mru = false;
+    for (int i = 0; i < 2000 && !saw_mru; ++i) {
+        bip.onFill(0, 3, {});
+        saw_mru = bip.positionOf(0, 3) == 0;
+    }
+    EXPECT_TRUE(saw_mru);
+}
+
+TEST(StackPolicy, HitPromotesToMru)
+{
+    LruPolicy lru;
+    lru.reset(1, 4);
+    lru.onHit(0, 2);
+    EXPECT_EQ(lru.positionOf(0, 2), 0u);
+}
+
+TEST(StackPolicy, ResetRestoresIdentityOrder)
+{
+    LruPolicy lru;
+    lru.reset(2, 4);
+    lru.onHit(1, 3);
+    lru.reset(2, 4);
+    EXPECT_EQ(lru.positionOf(1, 0), 0u);
+    EXPECT_EQ(lru.victim(1), 3u);
+}
+
+} // namespace
+} // namespace bop

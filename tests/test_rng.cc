@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the xorshift128+ RNG every stochastic component of the
+ * simulator is seeded from (virtual-memory randomisation, BIP/DRRIP
+ * insertion throws, workload generators). Determinism across
+ * construction paths is what makes whole-system runs reproducible, so
+ * it is pinned here explicitly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+
+namespace bop
+{
+namespace
+{
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedRestartsTheSequence)
+{
+    Rng rng(77);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(rng.next());
+    rng.reseed(77);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(rng.next(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    // xorshift dies on an all-zero state; the splitmix expansion and
+    // the explicit guard must keep seed 0 usable.
+    Rng rng(0);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 64; ++i)
+        seen.insert(rng.next());
+    EXPECT_GT(seen.size(), 60u);
+}
+
+TEST(Rng, BitsAreRoughlyBalanced)
+{
+    // Not a statistical test battery — just a tripwire against a
+    // catastrophic state-update regression (stuck bits).
+    Rng rng(0xbeef);
+    int ones[64] = {};
+    const int n = 4096;
+    for (int i = 0; i < n; ++i) {
+        const std::uint64_t v = rng.next();
+        for (int b = 0; b < 64; ++b)
+            ones[b] += (v >> b) & 1;
+    }
+    for (int b = 0; b < 64; ++b) {
+        EXPECT_GT(ones[b], n / 3) << "bit " << b << " mostly 0";
+        EXPECT_LT(ones[b], 2 * n / 3) << "bit " << b << " mostly 1";
+    }
+}
+
+TEST(Rng, SplitmixAvalanche)
+{
+    // Consecutive seeds must not produce correlated first outputs —
+    // cores are seeded as (seed + core id).
+    std::set<std::uint64_t> firsts;
+    for (std::uint64_t s = 0; s < 256; ++s)
+        firsts.insert(Rng(s).next());
+    EXPECT_EQ(firsts.size(), 256u);
+}
+
+} // namespace
+} // namespace bop

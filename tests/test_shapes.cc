@@ -1,0 +1,156 @@
+/**
+ * @file
+ * End-to-end "shape" tests: the qualitative results the paper reports,
+ * checked on the actual workloads at reduced instruction budgets.
+ * These are the repository's regression net for the figures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "trace/workloads.hh"
+
+namespace bop
+{
+namespace
+{
+
+class ShapeTest : public ::testing::Test
+{
+  protected:
+    ShapeTest() : runner({50000, 120000}) {}
+
+    double
+    speedupOf(const std::string &bench, L2PrefetcherKind kind,
+              PageSize page = PageSize::FourMB, int cores = 1)
+    {
+        const SystemConfig base = baselineConfig(cores, page);
+        SystemConfig cfg = base;
+        cfg.l2Prefetcher = kind;
+        return runner.speedup(bench, cfg, base);
+    }
+
+    ExperimentRunner runner;
+};
+
+TEST_F(ShapeTest, BoBeatsNextLineOnLbm)
+{
+    // Fig. 6: 470.lbm is the paper's peak BO benchmark.
+    EXPECT_GT(speedupOf("470.lbm", L2PrefetcherKind::BestOffset), 1.25);
+}
+
+TEST_F(ShapeTest, BoBeatsNextLineOnMilc)
+{
+    EXPECT_GT(speedupOf("433.milc", L2PrefetcherKind::BestOffset), 1.1);
+}
+
+TEST_F(ShapeTest, BoBeatsNextLineOnLibquantum)
+{
+    EXPECT_GT(speedupOf("462.libquantum", L2PrefetcherKind::BestOffset),
+              1.05);
+}
+
+TEST_F(ShapeTest, BoCrushesSbpOnMilc)
+{
+    // Fig. 12: the BO-vs-SBP ratio peaks on 433.milc-like benchmarks
+    // because SBP's accuracy-only scores favour small, late offsets.
+    const double bo = speedupOf("433.milc", L2PrefetcherKind::BestOffset);
+    const double sbp = speedupOf("433.milc", L2PrefetcherKind::Sandbox);
+    EXPECT_GT(bo / sbp, 1.3);
+}
+
+TEST_F(ShapeTest, GeomeanOrderingBoSbpNextline)
+{
+    // Fig. 11: BO > SBP-or-baseline on the geomean of a memory-heavy
+    // subset (full 29-benchmark geomeans live in the bench binaries).
+    const std::vector<std::string> subset = {
+        "433.milc", "459.GemsFDTD", "462.libquantum", "470.lbm",
+        "436.cactusADM", "434.zeusmp"};
+    const SystemConfig base = baselineConfig(1, PageSize::FourMB);
+    SystemConfig bo = base;
+    bo.l2Prefetcher = L2PrefetcherKind::BestOffset;
+    SystemConfig sbp = base;
+    sbp.l2Prefetcher = L2PrefetcherKind::Sandbox;
+
+    const double g_bo = runner.geomeanSpeedup(subset, bo, base);
+    const double g_sbp = runner.geomeanSpeedup(subset, sbp, base);
+    EXPECT_GT(g_bo, 1.1);
+    EXPECT_GT(g_bo, g_sbp);
+}
+
+TEST_F(ShapeTest, LargePagesEnableLargerOffsets)
+{
+    // Sec. 6: with 4KB pages offsets are capped at 63; 433.milc needs
+    // very large offsets, so its learned offset must be bigger with
+    // superpages.
+    const SystemConfig base4k = baselineConfig(1, PageSize::FourKB);
+    SystemConfig bo4k = base4k;
+    bo4k.l2Prefetcher = L2PrefetcherKind::BestOffset;
+    const SystemConfig base4m = baselineConfig(1, PageSize::FourMB);
+    SystemConfig bo4m = base4m;
+    bo4m.l2Prefetcher = L2PrefetcherKind::BestOffset;
+
+    const int off4k = runner.run("433.milc", bo4k).boFinalOffset;
+    const int off4m = runner.run("433.milc", bo4m).boFinalOffset;
+    EXPECT_LE(off4k, 63);
+    EXPECT_GT(off4m, 32);
+    EXPECT_EQ(off4m % 32, 0)
+        << "milc peaks at multiples of 32 (Fig. 8)";
+}
+
+TEST_F(ShapeTest, LbmLearnsMultipleOfFive)
+{
+    const SystemConfig base = baselineConfig(1, PageSize::FourMB);
+    SystemConfig bo = base;
+    bo.l2Prefetcher = L2PrefetcherKind::BestOffset;
+    const int off = runner.run("470.lbm", bo).boFinalOffset;
+    EXPECT_EQ(off % 5, 0) << "lbm peaks at multiples of 5 (Fig. 8)";
+}
+
+TEST_F(ShapeTest, NextLineMattersOnStreams)
+{
+    // Fig. 5: disabling next-line hurts streaming benchmarks.
+    const double s =
+        speedupOf("462.libquantum", L2PrefetcherKind::None);
+    EXPECT_LT(s, 0.99);
+}
+
+TEST_F(ShapeTest, StridePrefetcherMattersOnTonto)
+{
+    // Fig. 4: 465.tonto is the DL1 stride prefetcher's best customer.
+    const SystemConfig base = baselineConfig(1, PageSize::FourMB);
+    SystemConfig off = base;
+    off.dl1StridePrefetcher = false;
+    EXPECT_LT(runner.speedup("465.tonto", off, base), 0.97);
+}
+
+TEST_F(ShapeTest, BoAndNextLineSimilarDramTraffic)
+{
+    // Fig. 13: BO's degree-1 discipline keeps its traffic close to
+    // next-line's on the memory-heavy set.
+    const SystemConfig base = baselineConfig(1, PageSize::FourKB);
+    SystemConfig bo = base;
+    bo.l2Prefetcher = L2PrefetcherKind::BestOffset;
+    for (const auto &bench :
+         {"462.libquantum", "470.lbm", "437.leslie3d"}) {
+        const double d_nl = runner.run(bench, base).dramPer1kInstr();
+        const double d_bo = runner.run(bench, bo).dramPer1kInstr();
+        EXPECT_LT(d_bo, d_nl * 1.35) << bench;
+        EXPECT_GT(d_bo, d_nl * 0.65) << bench;
+    }
+}
+
+TEST_F(ShapeTest, ThrashersIncreaseBoAdvantageAtTwoCores)
+{
+    // Sec. 6: BO's edge over next-line typically grows from 1 to 2
+    // active cores (longer L2 miss latency favours larger offsets).
+    const double s1 = speedupOf("470.lbm", L2PrefetcherKind::BestOffset,
+                                PageSize::FourMB, 1);
+    const double s2 = speedupOf("470.lbm", L2PrefetcherKind::BestOffset,
+                                PageSize::FourMB, 2);
+    EXPECT_GT(s2, 1.0);
+    EXPECT_GT(s1, 1.0);
+}
+
+} // namespace
+} // namespace bop

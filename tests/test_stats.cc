@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for statistics helpers and the text table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace bop
+{
+namespace
+{
+
+TEST(Stats, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, GeomeanIsScaleInvariant)
+{
+    const double g1 = geomean({1.1, 0.9, 1.3});
+    const double g2 = geomean({2.2, 1.8, 2.6});
+    EXPECT_NEAR(g2 / g1, 2.0, 1e-9);
+}
+
+TEST(Stats, MeanBasics)
+{
+    EXPECT_NEAR(mean({1.0, 2.0, 3.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, IpcComputation)
+{
+    RunStats s;
+    s.instructions = 1000;
+    s.cycles = 500;
+    EXPECT_DOUBLE_EQ(s.ipc(), 2.0);
+    s.cycles = 0;
+    EXPECT_DOUBLE_EQ(s.ipc(), 0.0);
+}
+
+TEST(Stats, DramPer1kInstr)
+{
+    RunStats s;
+    s.instructions = 10000;
+    s.dramReads = 300;
+    s.dramWrites = 100;
+    EXPECT_DOUBLE_EQ(s.dramPer1kInstr(), 40.0);
+}
+
+TEST(Stats, L2Mpki)
+{
+    RunStats s;
+    s.instructions = 2000;
+    s.l2Misses = 50;
+    EXPECT_DOUBLE_EQ(s.l2Mpki(), 25.0);
+}
+
+TEST(Table, AlignedOutput)
+{
+    TextTable t;
+    t.row("bench", "ipc");
+    t.row("429.mcf", 0.123);
+    t.row("470.lbm", 1.5);
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("bench"), std::string::npos);
+    EXPECT_NE(out.find("429.mcf"), std::string::npos);
+    EXPECT_NE(out.find("0.123"), std::string::npos);
+    EXPECT_NE(out.find("1.500"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos) << "header underline";
+    EXPECT_EQ(t.dataRows(), 2u);
+}
+
+TEST(Table, FmtPrecision)
+{
+    EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::fmt(2.0, 3), "2.000");
+}
+
+TEST(Table, EmptyTablePrintsNothing)
+{
+    TextTable t;
+    std::ostringstream oss;
+    t.print(oss);
+    EXPECT_TRUE(oss.str().empty());
+}
+
+} // namespace
+} // namespace bop

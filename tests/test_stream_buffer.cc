@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the Jouppi stream buffers (extension; paper ref [15]):
+ * allocation on miss, head-hit advance, scrambling squash, LRU buffer
+ * recycling, and page-boundary behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/stream_buffer.hh"
+
+namespace bop
+{
+namespace
+{
+
+std::vector<LineAddr>
+access(StreamBufferPrefetcher &pf, LineAddr line, bool miss = true)
+{
+    std::vector<LineAddr> out;
+    pf.onAccess({line, miss, false, 0}, out);
+    return out;
+}
+
+TEST(StreamBuffer, MissAllocatesAndFillsBuffer)
+{
+    StreamBufferConfig cfg;
+    cfg.depth = 4;
+    StreamBufferPrefetcher pf(PageSize::FourMB, cfg);
+
+    const auto out = access(pf, 100);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0], 101u);
+    EXPECT_EQ(out[3], 104u);
+    EXPECT_EQ(pf.activeBuffers(), 1);
+}
+
+TEST(StreamBuffer, HeadHitAdvancesByOne)
+{
+    StreamBufferConfig cfg;
+    cfg.depth = 4;
+    StreamBufferPrefetcher pf(PageSize::FourMB, cfg);
+
+    access(pf, 100);                     // buffer holds 101..104
+    const auto out = access(pf, 101);    // head hit
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 105u);             // top-up to stay full
+    const auto lines = pf.bufferLines(0);
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_EQ(lines.front(), 102u);
+}
+
+TEST(StreamBuffer, HitWorksForCacheHitsToo)
+{
+    // Once a stream is established, prefetched-hit accesses (miss ==
+    // false) must keep advancing it: the lines land in the L2, so
+    // stream continuation arrives as hits.
+    StreamBufferConfig cfg;
+    cfg.depth = 4;
+    StreamBufferPrefetcher pf(PageSize::FourMB, cfg);
+    access(pf, 100);
+    const auto out = access(pf, 101, false);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 105u);
+}
+
+TEST(StreamBuffer, ScramblingSquashesSkippedEntries)
+{
+    StreamBufferConfig cfg;
+    cfg.depth = 6;
+    StreamBufferPrefetcher pf(PageSize::FourMB, cfg);
+
+    access(pf, 100);                     // holds 101..106
+    const auto out = access(pf, 103);    // deep hit: 101,102 squashed
+    ASSERT_EQ(out.size(), 3u);           // refill back to depth 6
+    EXPECT_EQ(out[0], 107u);
+    EXPECT_EQ(pf.bufferLines(0).front(), 104u);
+}
+
+TEST(StreamBuffer, NonHitNonMissDoesNothing)
+{
+    StreamBufferPrefetcher pf(PageSize::FourMB);
+    access(pf, 100);
+    // A plain cache hit outside every buffer must not allocate.
+    const auto out = access(pf, 5000, false);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(pf.activeBuffers(), 1);
+}
+
+TEST(StreamBuffer, InterleavedStreamsOccupySeparateBuffers)
+{
+    StreamBufferConfig cfg;
+    cfg.buffers = 4;
+    cfg.depth = 4;
+    StreamBufferPrefetcher pf(PageSize::FourMB, cfg);
+
+    access(pf, 1000);
+    access(pf, 2000);
+    access(pf, 3000);
+    EXPECT_EQ(pf.activeBuffers(), 3);
+
+    // Each stream advances independently.
+    EXPECT_EQ(access(pf, 1001).front(), 1005u);
+    EXPECT_EQ(access(pf, 2001).front(), 2005u);
+    EXPECT_EQ(access(pf, 3001).front(), 3005u);
+}
+
+TEST(StreamBuffer, LruBufferIsRecycled)
+{
+    StreamBufferConfig cfg;
+    cfg.buffers = 2;
+    cfg.depth = 2;
+    StreamBufferPrefetcher pf(PageSize::FourMB, cfg);
+
+    access(pf, 1000); // buffer A
+    access(pf, 2000); // buffer B
+    access(pf, 1001); // touch A: B becomes LRU
+    access(pf, 3000); // allocates over B
+
+    // Stream A still alive, stream B gone.
+    EXPECT_FALSE(access(pf, 1002).empty());
+    EXPECT_TRUE(access(pf, 2001, false).empty());
+}
+
+TEST(StreamBuffer, AllocationFilterAvoidsDuplicateStreams)
+{
+    StreamBufferConfig cfg;
+    cfg.buffers = 4;
+    cfg.depth = 4;
+    cfg.allocationFilter = true;
+    StreamBufferPrefetcher pf(PageSize::FourMB, cfg);
+
+    access(pf, 100); // holds 101..104
+    // A miss on 102 is already covered (103 is tracked): hit path pops
+    // to it. But a miss on 100 again (101 tracked) must not allocate
+    // a second buffer.
+    std::vector<LineAddr> out;
+    pf.onAccess({100, true, false, 0}, out);
+    EXPECT_EQ(pf.activeBuffers(), 1);
+}
+
+TEST(StreamBuffer, StopsAtPageBoundary)
+{
+    StreamBufferConfig cfg;
+    cfg.depth = 8;
+    StreamBufferPrefetcher pf(PageSize::FourKB, cfg); // 64-line pages
+
+    const auto out = access(pf, 60);
+    // Only 61, 62, 63 fit in the page.
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out.back(), 63u);
+
+    // Head hits near the boundary cannot run past it either.
+    EXPECT_TRUE(access(pf, 61).empty());
+    EXPECT_TRUE(access(pf, 62).empty());
+}
+
+TEST(StreamBuffer, RequiresTagCheck)
+{
+    StreamBufferPrefetcher pf(PageSize::FourKB);
+    EXPECT_TRUE(pf.requiresTagCheck());
+}
+
+/** Property: buffer contents are always consecutive ascending lines. */
+class StreamBufferProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StreamBufferProperty, FifoAlwaysConsecutive)
+{
+    StreamBufferConfig cfg;
+    cfg.buffers = 2;
+    cfg.depth = GetParam();
+    StreamBufferPrefetcher pf(PageSize::FourMB, cfg);
+
+    LineAddr x = 7000;
+    std::vector<LineAddr> out;
+    pf.onAccess({x, true, false, 0}, out);
+    for (int i = 0; i < 40; ++i) {
+        ++x;
+        out.clear();
+        pf.onAccess({x, true, false, 0}, out);
+        const auto lines = pf.bufferLines(0);
+        for (std::size_t j = 1; j < lines.size(); ++j)
+            EXPECT_EQ(lines[j], lines[j - 1] + 1);
+        if (!lines.empty())
+            EXPECT_GT(lines.front(), x);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, StreamBufferProperty,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+} // namespace
+} // namespace bop

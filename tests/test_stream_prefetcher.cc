@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the extension stream prefetcher (Sec. 2 background class).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "prefetch/stream.hh"
+
+namespace bop
+{
+namespace
+{
+
+std::vector<LineAddr>
+access(StreamPrefetcher &sp, LineAddr line)
+{
+    std::vector<LineAddr> out;
+    sp.onAccess({line, true, false, 0}, out);
+    return out;
+}
+
+TEST(Stream, NeedsTrainingBeforeIssuing)
+{
+    StreamPrefetcher sp(PageSize::FourMB);
+    EXPECT_TRUE(access(sp, 100).empty()) << "first touch allocates";
+    EXPECT_TRUE(access(sp, 101).empty()) << "confidence 1 < threshold";
+    EXPECT_FALSE(access(sp, 102).empty()) << "trained after 2 hits";
+    EXPECT_EQ(sp.trainedStreams(), 1);
+}
+
+TEST(Stream, PrefetchesAtDistanceWithDegree)
+{
+    StreamConfig cfg;
+    cfg.distance = 8;
+    cfg.degree = 2;
+    StreamPrefetcher sp(PageSize::FourMB, cfg);
+    access(sp, 100);
+    access(sp, 101);
+    const auto targets = access(sp, 102);
+    ASSERT_EQ(targets.size(), 2u);
+    EXPECT_EQ(targets[0], 110u);
+    EXPECT_EQ(targets[1], 111u);
+}
+
+TEST(Stream, DescendingStreamsWork)
+{
+    StreamPrefetcher sp(PageSize::FourMB);
+    access(sp, 1000);
+    access(sp, 999);
+    const auto targets = access(sp, 998);
+    ASSERT_FALSE(targets.empty());
+    EXPECT_EQ(targets[0], 990u);
+}
+
+TEST(Stream, DirectionFlipResetsConfidence)
+{
+    StreamPrefetcher sp(PageSize::FourMB);
+    access(sp, 100);
+    access(sp, 101);
+    access(sp, 102);
+    EXPECT_TRUE(access(sp, 101).empty())
+        << "flip resets confidence to 1: no prefetch";
+    EXPECT_FALSE(access(sp, 100).empty())
+        << "second descending hit reaches the training threshold";
+}
+
+TEST(Stream, InterleavedStreamsTrackedSeparately)
+{
+    StreamConfig cfg;
+    cfg.trackers = 4;
+    StreamPrefetcher sp(PageSize::FourMB, cfg);
+    // Two distant streams interleaved (regions far apart).
+    for (int i = 0; i < 4; ++i) {
+        access(sp, 1000 + static_cast<LineAddr>(i));
+        access(sp, 900000 + static_cast<LineAddr>(i) * 2);
+    }
+    EXPECT_EQ(sp.trainedStreams(), 2);
+}
+
+TEST(Stream, RandomAccessesNeverTrain)
+{
+    StreamPrefetcher sp(PageSize::FourKB);
+    Rng rng(5);
+    int prefetches = 0;
+    for (int i = 0; i < 3000; ++i)
+        prefetches += static_cast<int>(
+            access(sp, rng.next() & 0xffffff).size());
+    EXPECT_LT(prefetches, 60) << "random traffic must stay quiet";
+}
+
+TEST(Stream, SamePageConstraint)
+{
+    StreamConfig cfg;
+    cfg.distance = 8;
+    cfg.degree = 4;
+    StreamPrefetcher sp(PageSize::FourKB, cfg);
+    access(sp, 56);
+    access(sp, 57);
+    // Trained at line 58; distance 8 -> targets 2..5 lines past the
+    // 64-line page boundary must be suppressed.
+    const auto targets = access(sp, 58);
+    for (const LineAddr t : targets)
+        EXPECT_TRUE(samePage(58, t, PageSize::FourKB)) << t;
+}
+
+TEST(Stream, IneligibleAccessesIgnored)
+{
+    StreamPrefetcher sp(PageSize::FourMB);
+    std::vector<LineAddr> out;
+    sp.onAccess({100, false, false, 0}, out);
+    sp.onAccess({101, false, false, 0}, out);
+    sp.onAccess({102, false, false, 0}, out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(sp.trainedStreams(), 0);
+}
+
+} // namespace
+} // namespace bop

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the text-table printer the bench harness renders every
+ * figure with: alignment, header underline, the heterogeneous row()
+ * helper, double formatting, and the CSV mode (including RFC-4180
+ * quoting and the BOP_CSV switch).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace bop
+{
+namespace
+{
+
+TEST(TextTable, EmptyTablePrintsNothing)
+{
+    TextTable t;
+    std::ostringstream oss;
+    t.print(oss);
+    EXPECT_TRUE(oss.str().empty());
+    t.printCsv(oss);
+    EXPECT_TRUE(oss.str().empty());
+    EXPECT_EQ(t.dataRows(), 0u);
+}
+
+TEST(TextTable, AlignsColumnsAndUnderlinesHeader)
+{
+    TextTable t;
+    t.row("name", "v");
+    t.row("long-benchmark-name", 7);
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+
+    // Three lines: header, rule, one data row.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+    // The rule line is dashes sized to the widest row.
+    const auto first_nl = out.find('\n');
+    const auto second_nl = out.find('\n', first_nl + 1);
+    const std::string rule =
+        out.substr(first_nl + 1, second_nl - first_nl - 1);
+    EXPECT_EQ(rule.find_first_not_of('-'), std::string::npos);
+    EXPECT_GE(rule.size(), std::string("long-benchmark-name  v").size());
+    // Columns align: "v" starts at the same offset in both rows.
+    EXPECT_EQ(out.find("v"), out.find("name") + 21);
+}
+
+TEST(TextTable, RowHelperFormatsMixedTypes)
+{
+    TextTable t;
+    t.row("h1", "h2", "h3", "h4");
+    t.row("x", 42, 1.5, 7u);
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("1.500"), std::string::npos); // fmt default: 3
+    EXPECT_EQ(t.dataRows(), 1u);
+}
+
+TEST(TextTable, FmtPrecision)
+{
+    EXPECT_EQ(TextTable::fmt(1.23456), "1.235");
+    EXPECT_EQ(TextTable::fmt(1.23456, 1), "1.2");
+    EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+}
+
+TEST(TextTable, CsvBasic)
+{
+    TextTable t;
+    t.row("benchmark", "speedup");
+    t.row("433.milc", 1.25);
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "benchmark,speedup\n433.milc,1.250\n");
+}
+
+TEST(TextTable, CsvQuotesSpecialCells)
+{
+    TextTable t;
+    t.addRow({"a,b", "plain"});
+    t.addRow({"say \"hi\"", "nl\nin cell"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(),
+              "\"a,b\",plain\n\"say \"\"hi\"\"\",\"nl\nin cell\"\n");
+}
+
+TEST(TextTable, BopCsvEnvSwitchesPrintToCsv)
+{
+    TextTable t;
+    t.row("h", "v");
+    t.row("x", 1);
+
+    ::setenv("BOP_CSV", "1", 1);
+    std::ostringstream csv;
+    t.print(csv);
+    ::unsetenv("BOP_CSV");
+    std::ostringstream text;
+    t.print(text);
+
+    EXPECT_EQ(csv.str(), "h,v\nx,1\n");
+    EXPECT_NE(text.str(), csv.str());
+    EXPECT_NE(text.str().find("---"), std::string::npos);
+}
+
+} // namespace
+} // namespace bop

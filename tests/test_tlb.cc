@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the TLB hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/tlb.hh"
+
+namespace bop
+{
+namespace
+{
+
+TEST(Tlb, InsertLookup)
+{
+    Tlb tlb(64, 4);
+    EXPECT_FALSE(tlb.lookup(5));
+    tlb.insert(5);
+    EXPECT_TRUE(tlb.lookup(5));
+}
+
+TEST(Tlb, LruEvictionWithinSet)
+{
+    Tlb tlb(8, 2); // 4 sets, 2 ways
+    // VPNs 0, 4, 8 all map to set 0.
+    tlb.insert(0);
+    tlb.insert(4);
+    tlb.insert(8); // evicts 0
+    EXPECT_FALSE(tlb.probe(0));
+    EXPECT_TRUE(tlb.probe(4));
+    EXPECT_TRUE(tlb.probe(8));
+}
+
+TEST(Tlb, LookupRefreshesRecency)
+{
+    Tlb tlb(8, 2);
+    tlb.insert(0);
+    tlb.insert(4);
+    tlb.lookup(0); // 0 now MRU
+    tlb.insert(8); // evicts 4
+    EXPECT_TRUE(tlb.probe(0));
+    EXPECT_FALSE(tlb.probe(4));
+}
+
+TEST(Tlb, ProbeDoesNotRefresh)
+{
+    Tlb tlb(8, 2);
+    tlb.insert(0);
+    tlb.insert(4);
+    tlb.probe(0); // must NOT refresh
+    tlb.insert(8);
+    EXPECT_FALSE(tlb.probe(0)) << "0 stayed LRU and was evicted";
+}
+
+TEST(Tlb, FlushEmpties)
+{
+    Tlb tlb(64, 4);
+    for (Addr v = 0; v < 32; ++v)
+        tlb.insert(v);
+    tlb.flush();
+    for (Addr v = 0; v < 32; ++v)
+        EXPECT_FALSE(tlb.probe(v));
+}
+
+TEST(TlbHierarchy, PenaltyStructure)
+{
+    TlbHierarchy h;
+    std::uint64_t m1 = 0, m2 = 0;
+    // Cold access: both miss -> walk penalty.
+    EXPECT_EQ(h.demandAccess(42, m1, m2),
+              TlbHierarchy::tlb2Latency + TlbHierarchy::walkLatency);
+    EXPECT_EQ(m1, 1u);
+    EXPECT_EQ(m2, 1u);
+    // Now both levels hold it: free.
+    EXPECT_EQ(h.demandAccess(42, m1, m2), 0u);
+    EXPECT_EQ(m1, 1u);
+}
+
+TEST(TlbHierarchy, Tlb2HitCostsTlb2Latency)
+{
+    TlbHierarchy h;
+    std::uint64_t m1 = 0, m2 = 0;
+    h.demandAccess(42, m1, m2);
+    // Evict 42 from the 64-entry DTLB1 by touching 64 conflicting VPNs
+    // (same set: stride = number of sets = 16).
+    for (Addr v = 42 + 16; v < 42 + 16 * 80; v += 16)
+        h.level1().insert(v);
+    ASSERT_FALSE(h.level1().probe(42));
+    EXPECT_EQ(h.demandAccess(42, m1, m2), TlbHierarchy::tlb2Latency);
+    EXPECT_EQ(m1, 2u);
+    EXPECT_EQ(m2, 1u);
+}
+
+TEST(TlbHierarchy, PrefetchProbeNeverWalks)
+{
+    TlbHierarchy h;
+    EXPECT_FALSE(h.prefetchProbe(100)) << "cold: prefetch dropped";
+    std::uint64_t m1 = 0, m2 = 0;
+    h.demandAccess(100, m1, m2);
+    EXPECT_TRUE(h.prefetchProbe(100));
+}
+
+} // namespace
+} // namespace bop

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the binary trace format: record encode/decode round trips,
+ * file write/read round trips, looping replay, malformed-file
+ * rejection, and end-to-end simulation from a captured file.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/system.hh"
+#include "trace/trace_io.hh"
+#include "trace/workloads.hh"
+
+namespace bop
+{
+namespace
+{
+
+/** Unique temp path per test (removed on destruction). */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &tag)
+        : path_("/tmp/bop_trace_test_" + tag + ".bin")
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TraceInstr
+sampleInstr(InstrKind kind, Addr pc, Addr vaddr, bool taken, bool dep)
+{
+    TraceInstr i;
+    i.kind = kind;
+    i.pc = pc;
+    i.vaddr = vaddr;
+    i.taken = taken;
+    i.dependsOnPrevLoad = dep;
+    return i;
+}
+
+bool
+sameInstr(const TraceInstr &a, const TraceInstr &b)
+{
+    return a.kind == b.kind && a.pc == b.pc && a.vaddr == b.vaddr &&
+           a.taken == b.taken &&
+           a.dependsOnPrevLoad == b.dependsOnPrevLoad;
+}
+
+// -- record round trips -------------------------------------------------------
+
+TEST(TraceIo, RecordRoundTripAllKinds)
+{
+    const TraceInstr cases[] = {
+        sampleInstr(InstrKind::IntOp, 0x400000, 0, false, false),
+        sampleInstr(InstrKind::FpOp, 0x400004, 0, false, true),
+        sampleInstr(InstrKind::Load, 0x400008, 0x7fff12345678, false,
+                    true),
+        sampleInstr(InstrKind::Store, 0x40000c, 0xdeadbeef00, false,
+                    false),
+        sampleInstr(InstrKind::Branch, 0x400010, 0, true, false),
+    };
+    for (const TraceInstr &c : cases) {
+        unsigned char buf[traceRecordBytes];
+        encodeTraceInstr(c, buf);
+        EXPECT_TRUE(sameInstr(decodeTraceInstr(buf), c));
+    }
+}
+
+TEST(TraceIo, RecordRoundTripExtremeAddresses)
+{
+    const Addr max = ~0ull;
+    unsigned char buf[traceRecordBytes];
+    encodeTraceInstr(sampleInstr(InstrKind::Load, max, max, false, true),
+                     buf);
+    const TraceInstr d = decodeTraceInstr(buf);
+    EXPECT_EQ(d.pc, max);
+    EXPECT_EQ(d.vaddr, max);
+}
+
+TEST(TraceIo, DecodeRejectsInvalidKind)
+{
+    unsigned char buf[traceRecordBytes] = {};
+    buf[0] = 0x0f; // kind 15 does not exist
+    EXPECT_THROW(decodeTraceInstr(buf), std::runtime_error);
+}
+
+// -- file round trips ---------------------------------------------------------
+
+TEST(TraceIo, FileRoundTripPreservesRecords)
+{
+    TempFile tmp("roundtrip");
+    std::vector<TraceInstr> written;
+    {
+        TraceWriter w(tmp.path());
+        for (int i = 0; i < 1000; ++i) {
+            const auto kind = static_cast<InstrKind>(i % 5);
+            const TraceInstr instr = sampleInstr(
+                kind, 0x1000 + static_cast<Addr>(i) * 4,
+                kind == InstrKind::Load || kind == InstrKind::Store
+                    ? 0x20000 + static_cast<Addr>(i) * 64
+                    : 0,
+                i % 3 == 0, i % 7 == 0);
+            w.append(instr);
+            written.push_back(instr);
+        }
+        EXPECT_EQ(w.count(), 1000u);
+    }
+
+    FileTrace replay(tmp.path());
+    EXPECT_EQ(replay.records(), 1000u);
+    for (const TraceInstr &expect : written)
+        EXPECT_TRUE(sameInstr(replay.next(), expect));
+}
+
+TEST(TraceIo, ReplayLoopsForever)
+{
+    TempFile tmp("loop");
+    {
+        TraceWriter w(tmp.path());
+        for (int i = 0; i < 7; ++i)
+            w.append(sampleInstr(InstrKind::IntOp,
+                                 static_cast<Addr>(i), 0, false,
+                                 false));
+    }
+    FileTrace replay(tmp.path());
+    for (int lap = 0; lap < 3; ++lap) {
+        for (Addr i = 0; i < 7; ++i)
+            EXPECT_EQ(replay.next().pc, i);
+    }
+}
+
+TEST(TraceIo, WriterCountMatchesCapture)
+{
+    TempFile tmp("capture");
+    auto src = makeWorkload("462.libquantum", 7);
+    EXPECT_EQ(captureTrace(*src, 5000, tmp.path()), 5000u);
+    FileTrace replay(tmp.path());
+    EXPECT_EQ(replay.records(), 5000u);
+}
+
+TEST(TraceIo, CapturedWorkloadMatchesGenerator)
+{
+    // Determinism: capturing a generator and replaying the file must
+    // give the identical instruction stream a fresh generator gives.
+    TempFile tmp("determinism");
+    auto src = makeWorkload("433.milc", 11);
+    captureTrace(*src, 2000, tmp.path());
+
+    auto fresh = makeWorkload("433.milc", 11);
+    FileTrace replay(tmp.path());
+    for (int i = 0; i < 2000; ++i) {
+        EXPECT_TRUE(sameInstr(replay.next(), fresh->next()))
+            << "diverged at instruction " << i;
+    }
+}
+
+// -- malformed files ----------------------------------------------------------
+
+TEST(TraceIo, MissingFileThrows)
+{
+    EXPECT_THROW(FileTrace("/tmp/bop_no_such_trace.bin"),
+                 std::runtime_error);
+}
+
+TEST(TraceIo, BadMagicThrows)
+{
+    TempFile tmp("badmagic");
+    std::ofstream out(tmp.path(), std::ios::binary);
+    out << "NOTATRACEFILE___________________";
+    out.close();
+    EXPECT_THROW(FileTrace(tmp.path()), std::runtime_error);
+}
+
+TEST(TraceIo, TruncatedFileThrows)
+{
+    TempFile tmp("trunc");
+    {
+        TraceWriter w(tmp.path());
+        for (int i = 0; i < 100; ++i)
+            w.append(sampleInstr(InstrKind::IntOp, 1, 0, false, false));
+    }
+    // Chop the file short of its declared record count.
+    std::ifstream in(tmp.path(), std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(tmp.path(),
+                      std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+    out.close();
+    EXPECT_THROW(FileTrace(tmp.path()), std::runtime_error);
+}
+
+TEST(TraceIo, EmptyTraceThrows)
+{
+    TempFile tmp("empty");
+    {
+        TraceWriter w(tmp.path());
+    }
+    EXPECT_THROW(FileTrace(tmp.path()), std::runtime_error);
+}
+
+// -- end to end ---------------------------------------------------------------
+
+TEST(TraceIo, SimulationRunsFromCapturedTrace)
+{
+    TempFile tmp("sim");
+    auto src = makeWorkload("410.bwaves", 3);
+    captureTrace(*src, 40000, tmp.path());
+
+    SystemConfig cfg;
+    cfg.activeCores = 1;
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    traces.push_back(std::make_unique<FileTrace>(tmp.path()));
+    System sys(cfg, std::move(traces));
+    const RunStats stats = sys.run(5000, 20000);
+    EXPECT_GE(stats.instructions, 20000u);
+    EXPECT_GT(stats.ipc(), 0.0);
+}
+
+} // namespace
+} // namespace bop

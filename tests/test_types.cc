@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the fundamental address arithmetic in common/types.hh.
+ * Every prefetcher's same-page filtering and every cache's line math
+ * rests on these four functions, so their edge cases (page boundaries,
+ * top-of-address-space, both page sizes) are pinned exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/types.hh"
+
+namespace bop
+{
+namespace
+{
+
+TEST(Types, LineAddressRoundTrip)
+{
+    EXPECT_EQ(lineOf(0), 0u);
+    EXPECT_EQ(lineOf(63), 0u);      // last byte of line 0
+    EXPECT_EQ(lineOf(64), 1u);      // first byte of line 1
+    EXPECT_EQ(lineToAddr(1), 64u);
+    for (const Addr a : {0ull, 64ull, 4096ull, 0xdeadbeefc0ull}) {
+        EXPECT_EQ(lineToAddr(lineOf(a)), a & ~63ull);
+        EXPECT_LE(lineToAddr(lineOf(a)), a);
+    }
+}
+
+TEST(Types, PageGeometry)
+{
+    EXPECT_EQ(pageBytes(PageSize::FourKB), 4096u);
+    EXPECT_EQ(pageBytes(PageSize::FourMB), 4u * 1024 * 1024);
+    EXPECT_EQ(pageLines(PageSize::FourKB), 64u);   // Sec. 4.2
+    EXPECT_EQ(pageLines(PageSize::FourMB), 65536u);
+}
+
+TEST(Types, SamePageAtBoundaries4KB)
+{
+    const auto pl = pageLines(PageSize::FourKB); // 64 lines
+    // Lines 0..63 share a page; line 64 starts the next one.
+    EXPECT_TRUE(samePage(0, pl - 1, PageSize::FourKB));
+    EXPECT_FALSE(samePage(pl - 1, pl, PageSize::FourKB));
+    EXPECT_TRUE(samePage(pl, 2 * pl - 1, PageSize::FourKB));
+    // Adjacent lines across the boundary are different pages even
+    // though their distance is 1 — the case the paper's same-page
+    // rule exists for.
+    EXPECT_FALSE(samePage(63, 64, PageSize::FourKB));
+}
+
+TEST(Types, SamePageAtBoundaries4MB)
+{
+    const auto pl = pageLines(PageSize::FourMB);
+    EXPECT_TRUE(samePage(0, pl - 1, PageSize::FourMB));
+    EXPECT_FALSE(samePage(pl - 1, pl, PageSize::FourMB));
+    // The paper's Sec. 4.2 point: offset 256 stays in a 4MB page but
+    // cannot stay in a 4KB page.
+    EXPECT_TRUE(samePage(1000, 1000 + 256, PageSize::FourMB));
+    EXPECT_FALSE(samePage(1000, 1000 + 256, PageSize::FourKB));
+}
+
+TEST(Types, SamePageIsReflexiveAndSymmetric)
+{
+    for (const LineAddr x :
+         {0ull, 63ull, 64ull, 1ull << 20, ~0ull >> 8}) {
+        for (const auto ps : {PageSize::FourKB, PageSize::FourMB}) {
+            EXPECT_TRUE(samePage(x, x, ps));
+            EXPECT_EQ(samePage(x, x + 100, ps),
+                      samePage(x + 100, x, ps));
+        }
+    }
+}
+
+TEST(Types, SamePageNearTopOfAddressSpace)
+{
+    // No overflow surprises at the top of the 64-bit line space.
+    const LineAddr top = ~0ull;
+    EXPECT_TRUE(samePage(top, top, PageSize::FourKB));
+    EXPECT_FALSE(samePage(top, top - pageLines(PageSize::FourKB),
+                          PageSize::FourKB));
+}
+
+/** Property sweep: every line maps into exactly one page. */
+class PagePartitionProperty : public ::testing::TestWithParam<PageSize>
+{
+};
+
+TEST_P(PagePartitionProperty, PagesPartitionTheLineSpace)
+{
+    const PageSize ps = GetParam();
+    const LineAddr pl = pageLines(ps);
+    const LineAddr bases[] = {0, 7 * pl, 123456 * pl};
+    for (const LineAddr base : bases) {
+        // All lines of a page agree with the page's first line...
+        for (LineAddr off = 0; off < pl; off += pl / 8)
+            EXPECT_TRUE(samePage(base, base + off, ps));
+        // ...and disagree with both neighbours.
+        if (base > 0) {
+            EXPECT_FALSE(samePage(base, base - 1, ps));
+        }
+        EXPECT_FALSE(samePage(base, base + pl, ps));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pages, PagePartitionProperty,
+                         ::testing::Values(PageSize::FourKB,
+                                           PageSize::FourMB));
+
+} // namespace
+} // namespace bop

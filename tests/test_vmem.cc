@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the randomizing virtual-to-physical translation (Sec. 5.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/vmem.hh"
+
+namespace bop
+{
+namespace
+{
+
+TEST(Vmem, PageOffsetPreserved)
+{
+    VirtualMemory vm(PageSize::FourKB, 0, 42);
+    const Addr v = 0x12345678;
+    const Addr p = vm.translate(v);
+    EXPECT_EQ(p & 0xfff, v & 0xfff);
+}
+
+TEST(Vmem, SamePageTranslatesConsistently)
+{
+    VirtualMemory vm(PageSize::FourKB, 0, 42);
+    const Addr p1 = vm.translate(0x40001000);
+    const Addr p2 = vm.translate(0x40001ff8);
+    EXPECT_EQ(p1 >> 12, p2 >> 12);
+}
+
+TEST(Vmem, DifferentPagesScatter)
+{
+    VirtualMemory vm(PageSize::FourKB, 0, 42);
+    // Consecutive virtual pages must not be physically consecutive in
+    // general (randomizing hash).
+    int consecutive = 0;
+    for (Addr page = 0; page < 256; ++page) {
+        const Addr a = vm.translate(page << 12) >> 12;
+        const Addr b = vm.translate((page + 1) << 12) >> 12;
+        consecutive += (b == a + 1);
+    }
+    EXPECT_LT(consecutive, 8);
+}
+
+TEST(Vmem, PhysicalWithinBounds)
+{
+    VirtualMemory vm(PageSize::FourKB, 2, 7);
+    for (Addr v = 0; v < (1ull << 40); v += (1ull << 33) + 4096)
+        EXPECT_LT(vm.translate(v), 1ull << VirtualMemory::physBits);
+}
+
+TEST(Vmem, AsidsGetDistinctMappings)
+{
+    VirtualMemory a(PageSize::FourKB, 0, 42);
+    VirtualMemory b(PageSize::FourKB, 1, 42);
+    int same = 0;
+    for (Addr page = 0; page < 128; ++page)
+        same += a.translate(page << 12) == b.translate(page << 12);
+    EXPECT_LT(same, 4) << "cores must live in different address spaces";
+}
+
+TEST(Vmem, SeedChangesMapping)
+{
+    VirtualMemory a(PageSize::FourKB, 0, 1);
+    VirtualMemory b(PageSize::FourKB, 0, 2);
+    int same = 0;
+    for (Addr page = 0; page < 128; ++page)
+        same += a.translate(page << 12) == b.translate(page << 12);
+    EXPECT_LT(same, 4);
+}
+
+TEST(Vmem, Deterministic)
+{
+    VirtualMemory a(PageSize::FourMB, 0, 99);
+    VirtualMemory b(PageSize::FourMB, 0, 99);
+    for (Addr v = 0; v < (1ull << 30); v += (1ull << 21) + 123)
+        EXPECT_EQ(a.translate(v), b.translate(v));
+}
+
+TEST(Vmem, SuperpageOffsetPreserved)
+{
+    VirtualMemory vm(PageSize::FourMB, 0, 42);
+    const Addr v = 0x76543210;
+    EXPECT_EQ(vm.translate(v) & ((1ull << 22) - 1),
+              v & ((1ull << 22) - 1));
+    EXPECT_EQ(vm.pageShiftBits(), 22u);
+}
+
+TEST(Vmem, VpnComputation)
+{
+    VirtualMemory vm4k(PageSize::FourKB, 0, 1);
+    VirtualMemory vm4m(PageSize::FourMB, 0, 1);
+    EXPECT_EQ(vm4k.vpn(0x12345678), 0x12345678ull >> 12);
+    EXPECT_EQ(vm4m.vpn(0x12345678), 0x12345678ull >> 22);
+}
+
+} // namespace
+} // namespace bop

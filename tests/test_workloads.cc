@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the 29 SPEC-like workload definitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/workloads.hh"
+
+namespace bop
+{
+namespace
+{
+
+TEST(Workloads, All29Present)
+{
+    EXPECT_EQ(benchmarkNames().size(), 29u);
+}
+
+TEST(Workloads, PaperOrderAndNames)
+{
+    const auto &names = benchmarkNames();
+    EXPECT_EQ(names.front(), "400.perlbench");
+    EXPECT_EQ(names.back(), "483.xalancbmk");
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Workloads, ShortNames)
+{
+    EXPECT_EQ(shortName("462.libquantum"), "462");
+    EXPECT_EQ(shortName("470.lbm"), "470");
+    EXPECT_EQ(shortName("nodot"), "nodot");
+}
+
+TEST(Workloads, SpecsBuildTraces)
+{
+    for (const auto &name : benchmarkNames()) {
+        auto trace = makeWorkload(name, 1);
+        ASSERT_NE(trace, nullptr) << name;
+        EXPECT_EQ(trace->name(), name);
+        for (int i = 0; i < 1000; ++i)
+            trace->next();
+    }
+}
+
+TEST(Workloads, UnknownNameThrows)
+{
+    EXPECT_THROW(workloadSpec("999.nothing"), std::invalid_argument);
+}
+
+TEST(Workloads, MilcHas32LineStride)
+{
+    const WorkloadSpec w = workloadSpec("433.milc");
+    for (const auto &s : w.streams)
+        EXPECT_EQ(s.stepBytes, 32 * 64) << "Fig. 8: peaks at k*32";
+}
+
+TEST(Workloads, LbmHasFiveLineStrideWithPhase3)
+{
+    const WorkloadSpec w = workloadSpec("470.lbm");
+    ASSERT_EQ(w.streams.size(), 2u);
+    EXPECT_EQ(w.streams[0].stepBytes, 5 * 64);
+    EXPECT_EQ(w.streams[1].stepBytes, 5 * 64);
+    EXPECT_EQ(w.streams[1].phaseBytes, 3u * 64u);
+    EXPECT_EQ(w.streams[0].regionId, w.streams[1].regionId)
+        << "both fields interleave in one region";
+}
+
+TEST(Workloads, GemsStrideIsNear29Lines)
+{
+    const WorkloadSpec w = workloadSpec("459.GemsFDTD");
+    for (const auto &s : w.streams) {
+        const double lines = static_cast<double>(s.stepBytes) / 64.0;
+        EXPECT_GT(lines, 29.0);
+        EXPECT_LT(lines, 29.5);
+    }
+}
+
+TEST(Workloads, LibquantumIsPureSequential)
+{
+    const WorkloadSpec w = workloadSpec("462.libquantum");
+    ASSERT_EQ(w.streams.size(), 1u);
+    EXPECT_EQ(w.streams[0].pattern, StreamPattern::Sequential);
+    EXPECT_GE(w.streams[0].regionBytes, 32ull << 20)
+        << "must not fit the 8MB L3";
+}
+
+TEST(Workloads, McfIsPointerDominated)
+{
+    const WorkloadSpec w = workloadSpec("429.mcf");
+    double chase_weight = 0, total = 0;
+    for (const auto &s : w.streams) {
+        total += s.weight;
+        if (s.pattern == StreamPattern::PointerChase)
+            chase_weight += s.weight;
+    }
+    EXPECT_GT(chase_weight / total, 0.5);
+}
+
+TEST(Workloads, MilcDefeatsDl1StridePrefetcher)
+{
+    const WorkloadSpec w = workloadSpec("433.milc");
+    for (const auto &s : w.streams)
+        EXPECT_GE(s.sharedPcGroup, 0)
+            << "433.milc streams must share PCs (paper fn. 11)";
+}
+
+TEST(Workloads, TontoIsStrideFriendly)
+{
+    const WorkloadSpec w = workloadSpec("465.tonto");
+    for (const auto &s : w.streams) {
+        EXPECT_EQ(s.sharedPcGroup, -1);
+        EXPECT_EQ(s.pcCount, 1) << "one PC per stream: DL1-stride food";
+    }
+}
+
+TEST(Workloads, MemoryHeavyListIsSubsetOfAll)
+{
+    const std::set<std::string> all(benchmarkNames().begin(),
+                                    benchmarkNames().end());
+    for (const auto &name : memoryHeavyBenchmarks())
+        EXPECT_TRUE(all.count(name)) << name;
+    EXPECT_EQ(memoryHeavyBenchmarks().size(), 16u);
+}
+
+TEST(Workloads, WorkingSetsAreDiverse)
+{
+    // At least a few benchmarks must be cache-resident and a few
+    // memory-bound for the figures to show spread.
+    int small = 0, huge = 0;
+    for (const auto &name : benchmarkNames()) {
+        std::uint64_t total = 0;
+        for (const auto &s : workloadSpec(name).streams)
+            total += s.regionBytes;
+        small += total <= 2ull << 20;
+        huge += total >= 24ull << 20;
+    }
+    EXPECT_GE(small, 3);
+    EXPECT_GE(huge, 8);
+}
+
+} // namespace
+} // namespace bop

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * bopsim — command-line driver for the simulator.
+ *
+ * Runs one workload (a built-in SPEC-like generator or a binary trace
+ * file) under one configuration and prints the run's statistics,
+ * including the prefetch quality metrics. This is the entry point a
+ * downstream user reaches for before writing code against the library.
+ *
+ * Examples:
+ *   bopsim --list
+ *   bopsim --workload 462.libquantum --prefetcher bo
+ *   bopsim --workload 433.milc --prefetcher fixed --offset 32 \
+ *          --page 4m --cores 2
+ *   bopsim --trace my.trace --prefetcher bo-dpc2 --instr 1000000
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "sim/system.hh"
+#include "trace/trace_io.hh"
+#include "trace/workloads.hh"
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "\n"
+        "workload selection (one of):\n"
+        "  --workload NAME     built-in SPEC CPU2006-like generator\n"
+        "  --trace FILE        binary trace file (see boptrace)\n"
+        "  --list              list built-in workloads and exit\n"
+        "\n"
+        "configuration (defaults: paper baseline, Table 1):\n"
+        "  --prefetcher KIND   none | next-line | fixed | bo | bo-dpc2\n"
+        "                      | sbp | stream | streambuf | fdp | acdc\n"
+        "  --offset D          fixed-offset D (with --prefetcher fixed)\n"
+        "  --cores N           active cores: 1, 2 or 4 (default 1)\n"
+        "  --page SIZE         4k or 4m (default 4k)\n"
+        "  --l3 POLICY         5p | lru | drrip (default 5p)\n"
+        "  --no-dl1-stride     disable the DL1 stride prefetcher\n"
+        "\n"
+        "BO parameters (Table 2 defaults):\n"
+        "  --bo-badscore N     throttling threshold (default 1)\n"
+        "  --bo-rr N           RR table entries (default 256)\n"
+        "  --bo-degree N       1 or 2 (default 1)\n"
+        "  --bo-adaptive       adaptive BADSCORE (Sec. 7 future work)\n"
+        "  --bo-coverage W     hybrid coverage scoring weight (0-2)\n"
+        "\n"
+        "run control:\n"
+        "  --warmup N          warm-up instructions (default 100000)\n"
+        "  --instr N           measured instructions (default 400000)\n"
+        "  --seed S            run seed (default 42)\n",
+        argv0);
+}
+
+[[noreturn]] void
+die(const std::string &msg)
+{
+    std::fprintf(stderr, "bopsim: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+bop::L2PrefetcherKind
+parsePrefetcher(const std::string &name)
+{
+    using K = bop::L2PrefetcherKind;
+    if (name == "none")
+        return K::None;
+    if (name == "next-line" || name == "nl")
+        return K::NextLine;
+    if (name == "fixed")
+        return K::FixedOffset;
+    if (name == "bo")
+        return K::BestOffset;
+    if (name == "bo-dpc2")
+        return K::BestOffsetDpc2;
+    if (name == "sbp" || name == "sandbox")
+        return K::Sandbox;
+    if (name == "stream")
+        return K::Stream;
+    if (name == "streambuf")
+        return K::StreamBuffer;
+    if (name == "fdp")
+        return K::Fdp;
+    if (name == "acdc" || name == "ghb")
+        return K::Acdc;
+    die("unknown prefetcher '" + name + "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bop;
+
+    std::string workload;
+    std::string trace_file;
+    SystemConfig cfg;
+    cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
+    std::uint64_t warmup = 100000;
+    std::uint64_t instr = 400000;
+
+    auto next_arg = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            die(std::string(argv[i]) + " needs an argument");
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--list") {
+            for (const auto &name : benchmarkNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else if (arg == "--workload") {
+            workload = next_arg(i);
+        } else if (arg == "--trace") {
+            trace_file = next_arg(i);
+        } else if (arg == "--prefetcher") {
+            cfg.l2Prefetcher = parsePrefetcher(next_arg(i));
+        } else if (arg == "--offset") {
+            cfg.fixedOffset = std::atoi(next_arg(i).c_str());
+        } else if (arg == "--cores") {
+            cfg.activeCores = std::atoi(next_arg(i).c_str());
+            if (cfg.activeCores != 1 && cfg.activeCores != 2 &&
+                cfg.activeCores != 4) {
+                die("--cores must be 1, 2 or 4");
+            }
+        } else if (arg == "--page") {
+            const std::string v = next_arg(i);
+            if (v == "4k" || v == "4K")
+                cfg.pageSize = PageSize::FourKB;
+            else if (v == "4m" || v == "4M")
+                cfg.pageSize = PageSize::FourMB;
+            else
+                die("--page must be 4k or 4m");
+        } else if (arg == "--l3") {
+            const std::string v = next_arg(i);
+            if (v == "5p")
+                cfg.l3Policy = L3PolicyKind::P5;
+            else if (v == "lru")
+                cfg.l3Policy = L3PolicyKind::Lru;
+            else if (v == "drrip")
+                cfg.l3Policy = L3PolicyKind::Drrip;
+            else
+                die("--l3 must be 5p, lru or drrip");
+        } else if (arg == "--no-dl1-stride") {
+            cfg.dl1StridePrefetcher = false;
+        } else if (arg == "--bo-badscore") {
+            cfg.bo.badScore = std::atoi(next_arg(i).c_str());
+        } else if (arg == "--bo-rr") {
+            cfg.bo.rrEntries =
+                static_cast<std::size_t>(std::atoll(next_arg(i).c_str()));
+        } else if (arg == "--bo-degree") {
+            cfg.bo.degree = std::atoi(next_arg(i).c_str());
+        } else if (arg == "--bo-adaptive") {
+            cfg.bo.adaptiveBadScore = true;
+        } else if (arg == "--bo-coverage") {
+            cfg.bo.coverageWeight = std::atoi(next_arg(i).c_str());
+        } else if (arg == "--warmup") {
+            warmup = std::strtoull(next_arg(i).c_str(), nullptr, 10);
+        } else if (arg == "--instr") {
+            instr = std::strtoull(next_arg(i).c_str(), nullptr, 10);
+        } else if (arg == "--seed") {
+            cfg.seed = std::strtoull(next_arg(i).c_str(), nullptr, 10);
+        } else {
+            usage(argv[0]);
+            die("unknown option '" + arg + "'");
+        }
+    }
+
+    if (workload.empty() == trace_file.empty())
+        die("select exactly one of --workload / --trace (see --help)");
+
+    try {
+        std::vector<std::unique_ptr<TraceSource>> traces;
+        if (!trace_file.empty())
+            traces.push_back(std::make_unique<FileTrace>(trace_file));
+        else
+            traces.push_back(makeWorkload(workload, cfg.seed));
+        for (int c = 1; c < cfg.activeCores; ++c) {
+            traces.push_back(
+                makeThrasher(cfg.seed + static_cast<unsigned>(c)));
+        }
+        const std::string label = traces.front()->name();
+
+        System sys(cfg, std::move(traces));
+        const RunStats s = sys.run(warmup, instr);
+
+        std::printf("workload     : %s\n", label.c_str());
+        std::printf("config       : %s\n", cfg.describe().c_str());
+        std::printf("window       : %llu warm-up + %llu measured\n",
+                    static_cast<unsigned long long>(warmup),
+                    static_cast<unsigned long long>(instr));
+        std::printf("\n");
+        std::printf("IPC          : %.4f\n", s.ipc());
+        std::printf("cycles       : %llu\n",
+                    static_cast<unsigned long long>(s.cycles));
+        std::printf("L2 accesses  : %llu  (MPKI %.2f)\n",
+                    static_cast<unsigned long long>(s.l2Accesses),
+                    s.l2Mpki());
+        std::printf("L3 accesses  : %llu\n",
+                    static_cast<unsigned long long>(s.l3Accesses));
+        std::printf("DRAM acc/ki  : %.2f  (%llu reads, %llu writes)\n",
+                    s.dramPer1kInstr(),
+                    static_cast<unsigned long long>(s.dramReads),
+                    static_cast<unsigned long long>(s.dramWrites));
+        std::printf("\n");
+        std::printf("L2 prefetches: %llu issued, %llu filled, "
+                    "%llu dropped\n",
+                    static_cast<unsigned long long>(s.l2PrefIssued),
+                    static_cast<unsigned long long>(s.l2PrefFills),
+                    static_cast<unsigned long long>(s.l2PrefDropped));
+        std::printf("  useful     : %llu timely + %llu late\n",
+                    static_cast<unsigned long long>(s.l2PrefetchedHits),
+                    static_cast<unsigned long long>(s.l2LatePromotions));
+        std::printf("  useless    : %llu (evicted unused)\n",
+                    static_cast<unsigned long long>(
+                        s.l2PrefUselessEvicted));
+        std::printf("  coverage   : %.3f\n", s.prefetchCoverage());
+        std::printf("  accuracy   : %.3f\n", s.prefetchAccuracy());
+        std::printf("  timeliness : %.3f\n", s.prefetchTimeliness());
+        if (cfg.l2Prefetcher == L2PrefetcherKind::BestOffset) {
+            std::printf("\n");
+            std::printf("BO phases    : %llu (%llu with prefetch off)\n",
+                        static_cast<unsigned long long>(
+                            s.boLearningPhases),
+                        static_cast<unsigned long long>(
+                            s.boPrefetchOffPhases));
+            std::printf("BO offset    : %d (best score %d)\n",
+                        s.boFinalOffset, s.boFinalScore);
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        die(e.what());
+    }
+}

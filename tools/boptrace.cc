@@ -1,0 +1,168 @@
+/**
+ * @file
+ * boptrace — create and inspect binary trace files.
+ *
+ * Subcommands:
+ *   capture   dump a built-in workload generator to a trace file
+ *   info      print a trace file's header and instruction mix
+ *
+ * Examples:
+ *   boptrace capture --workload 470.lbm --count 1000000 --out lbm.bt
+ *   boptrace info lbm.bt
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "trace/trace_io.hh"
+#include "trace/workloads.hh"
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage:\n"
+        "  %s capture --workload NAME --count N --out FILE [--seed S]\n"
+        "  %s info FILE\n"
+        "  %s list\n",
+        argv0, argv0, argv0);
+}
+
+[[noreturn]] void
+die(const std::string &msg)
+{
+    std::fprintf(stderr, "boptrace: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+int
+cmdCapture(int argc, char **argv)
+{
+    std::string workload;
+    std::string out;
+    std::uint64_t count = 0;
+    std::uint64_t seed = 42;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_arg = [&]() -> std::string {
+            if (i + 1 >= argc)
+                die(arg + " needs an argument");
+            return argv[++i];
+        };
+        if (arg == "--workload")
+            workload = next_arg();
+        else if (arg == "--out")
+            out = next_arg();
+        else if (arg == "--count")
+            count = std::strtoull(next_arg().c_str(), nullptr, 10);
+        else if (arg == "--seed")
+            seed = std::strtoull(next_arg().c_str(), nullptr, 10);
+        else
+            die("unknown capture option '" + arg + "'");
+    }
+    if (workload.empty() || out.empty() || count == 0)
+        die("capture needs --workload, --count and --out");
+
+    auto src = bop::makeWorkload(workload, seed);
+    const std::uint64_t written = bop::captureTrace(*src, count, out);
+    std::printf("wrote %llu records (%s, seed %llu) to %s\n",
+                static_cast<unsigned long long>(written),
+                workload.c_str(),
+                static_cast<unsigned long long>(seed), out.c_str());
+    return 0;
+}
+
+int
+cmdInfo(const std::string &path)
+{
+    bop::FileTrace trace(path);
+    const std::uint64_t n = trace.records();
+
+    std::uint64_t kinds[5] = {};
+    std::uint64_t deps = 0, taken = 0, branches = 0;
+    std::uint64_t min_vaddr = ~0ull, max_vaddr = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const bop::TraceInstr instr = trace.next();
+        ++kinds[static_cast<int>(instr.kind)];
+        if (instr.dependsOnPrevLoad)
+            ++deps;
+        if (instr.kind == bop::InstrKind::Branch) {
+            ++branches;
+            if (instr.taken)
+                ++taken;
+        }
+        if (instr.kind == bop::InstrKind::Load ||
+            instr.kind == bop::InstrKind::Store) {
+            min_vaddr = std::min(min_vaddr, instr.vaddr);
+            max_vaddr = std::max(max_vaddr, instr.vaddr);
+        }
+    }
+
+    const auto pct = [n](std::uint64_t c) {
+        return n ? 100.0 * static_cast<double>(c) /
+                       static_cast<double>(n)
+                 : 0.0;
+    };
+    std::printf("trace        : %s\n", trace.name().c_str());
+    std::printf("records      : %llu\n",
+                static_cast<unsigned long long>(n));
+    std::printf("int ops      : %5.1f%%\n", pct(kinds[0]));
+    std::printf("fp ops       : %5.1f%%\n", pct(kinds[1]));
+    std::printf("loads        : %5.1f%%\n", pct(kinds[2]));
+    std::printf("stores       : %5.1f%%\n", pct(kinds[3]));
+    std::printf("branches     : %5.1f%%  (%.1f%% taken)\n",
+                pct(kinds[4]),
+                branches ? 100.0 * static_cast<double>(taken) /
+                               static_cast<double>(branches)
+                         : 0.0);
+    std::printf("dep on load  : %5.1f%%\n", pct(deps));
+    if (max_vaddr >= min_vaddr && max_vaddr > 0) {
+        std::printf("vaddr span   : [0x%llx, 0x%llx]  (%.1f MB)\n",
+                    static_cast<unsigned long long>(min_vaddr),
+                    static_cast<unsigned long long>(max_vaddr),
+                    static_cast<double>(max_vaddr - min_vaddr) /
+                        (1024.0 * 1024.0));
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage(argv[0]);
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "capture")
+            return cmdCapture(argc, argv);
+        if (cmd == "info") {
+            if (argc != 3)
+                die("info needs exactly one FILE argument");
+            return cmdInfo(argv[2]);
+        }
+        if (cmd == "list") {
+            for (const auto &name : bop::benchmarkNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        }
+        if (cmd == "--help" || cmd == "-h") {
+            usage(argv[0]);
+            return 0;
+        }
+        usage(argv[0]);
+        die("unknown command '" + cmd + "'");
+    } catch (const std::exception &e) {
+        die(e.what());
+    }
+}
