@@ -33,7 +33,7 @@ struct PrefetchRequest
 class PrefetchQueue
 {
   public:
-    explicit PrefetchQueue(std::size_t capacity) : capacity(capacity) {}
+    explicit PrefetchQueue(std::size_t capacity_) : capacity(capacity_) {}
 
     /**
      * Insert a request; if the queue is full the oldest request is

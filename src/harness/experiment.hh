@@ -58,8 +58,8 @@ makeTraces(const std::string &benchmark, const SystemConfig &cfg);
 class ExperimentRunner
 {
   public:
-    explicit ExperimentRunner(Budget budget = Budget::fromEnv())
-        : budget(budget)
+    explicit ExperimentRunner(Budget budget_ = Budget::fromEnv())
+        : budget(budget_)
     {
     }
 

@@ -19,8 +19,8 @@ namespace bop
 class FixedOffsetPrefetcher : public L2Prefetcher
 {
   public:
-    FixedOffsetPrefetcher(PageSize page_size, int offset)
-        : L2Prefetcher(page_size), offset(offset)
+    FixedOffsetPrefetcher(PageSize page_size, int offset_)
+        : L2Prefetcher(page_size), offset(offset_)
     {
     }
 

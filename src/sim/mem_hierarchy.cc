@@ -142,7 +142,7 @@ LoadOutcome
 MemHierarchy::coreLoad(CoreId core, Addr vaddr, Addr pc,
                        std::uint32_t rob_tag, Cycle now)
 {
-    CoreSide &cs = *sides[core];
+    CoreSide &cs = side(core);
     const LineAddr line = lineOf(cs.vmem.translate(vaddr));
 
     // Structural check first so a Retry has no side effects.
@@ -197,7 +197,7 @@ MemHierarchy::coreLoad(CoreId core, Addr vaddr, Addr pc,
 StoreOutcome
 MemHierarchy::coreStore(CoreId core, Addr vaddr, Addr pc, Cycle now)
 {
-    CoreSide &cs = *sides[core];
+    CoreSide &cs = side(core);
     const LineAddr line = lineOf(cs.vmem.translate(vaddr));
 
     if (!cs.dl1.probe(line) && !cs.mshr.find(line) && cs.mshr.full())
@@ -252,7 +252,7 @@ MemHierarchy::coreStore(CoreId core, Addr vaddr, Addr pc, Cycle now)
 void
 MemHierarchy::retireMemOp(CoreId core, Addr pc, Addr vaddr)
 {
-    CoreSide &cs = *sides[core];
+    CoreSide &cs = side(core);
     if (cs.stride)
         cs.stride->onRetire(pc, vaddr);
 }
@@ -417,7 +417,7 @@ MemHierarchy::processToL3(Cycle now)
         PendingReq &req = toL3.front();
         if (req.readyAt > now)
             break;
-        CoreSide &cs = *sides[req.meta.core];
+        CoreSide &cs = side(req.meta.core);
         const bool c0 = req.meta.core == 0;
 
         // L3 fill-queue CAM: promote an in-flight prefetch of ours.
@@ -484,8 +484,10 @@ MemHierarchy::processPrefetchQueues(Cycle now)
     for (unsigned n = 0; n < l3PrefetchesPerCycle; ++n) {
         bool issued = false;
         for (int i = 0; i < cfg.activeCores && !issued; ++i) {
-            const CoreId c = (prefetchRr + i) % cfg.activeCores;
-            CoreSide &cs = *sides[c];
+            const CoreId c = static_cast<CoreId>(
+                (prefetchRr + static_cast<unsigned>(i)) %
+                static_cast<unsigned>(cfg.activeCores));
+            CoreSide &cs = side(c);
             const PrefetchRequest *req = cs.prefetchQueue.peekReady(now);
             if (!req)
                 continue;
@@ -523,7 +525,8 @@ MemHierarchy::processPrefetchQueues(Cycle now)
                 issued = true;
             }
         }
-        prefetchRr = (prefetchRr + 1) % cfg.activeCores;
+        prefetchRr =
+            (prefetchRr + 1) % static_cast<unsigned>(cfg.activeCores);
         if (!issued)
             break;
     }
@@ -548,7 +551,7 @@ MemHierarchy::drainOneL3Fill(Cycle now)
         return false;
 
     const LineAddr line = e->line;
-    CoreSide &cs = *sides[e->meta.core];
+    CoreSide &cs = side(e->meta.core);
 
     if (e->meta.needL2 && cs.l2Fill.full())
         return false; // forwarding target full: stall

@@ -78,10 +78,10 @@ class MemHierarchy : public CoreMemInterface
     bool quiescent() const;
 
     // -- component access (tests, examples) ---------------------------------
-    SetAssocCache &dl1(CoreId core) { return sides[core]->dl1; }
-    SetAssocCache &l2(CoreId core) { return sides[core]->l2; }
+    SetAssocCache &dl1(CoreId core) { return side(core).dl1; }
+    SetAssocCache &l2(CoreId core) { return side(core).l2; }
     SetAssocCache &l3() { return l3Cache; }
-    L2Prefetcher &l2Prefetcher(CoreId core) { return *sides[core]->l2pf; }
+    L2Prefetcher &l2Prefetcher(CoreId core) { return *side(core).l2pf; }
     MemoryController &controller(int channel) { return *mcs[channel]; }
     const SystemConfig &config() const { return cfg; }
 
@@ -140,6 +140,11 @@ class MemHierarchy : public CoreMemInterface
     void deliverToDl1(CoreSide &cs, LineAddr line, const ReqMeta &meta,
                       Cycle at);
     int channelOf(LineAddr line) const;
+
+    CoreSide &side(CoreId core)
+    {
+        return *sides[static_cast<std::size_t>(core)];
+    }
 
     SystemConfig cfg;
     std::vector<std::unique_ptr<CoreSide>> sides;

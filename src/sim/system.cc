@@ -48,8 +48,8 @@ System::System(const SystemConfig &cfg_,
             "System: need exactly one trace per active core");
     }
     for (int c = 0; c < cfg.activeCores; ++c) {
-        cores.push_back(std::make_unique<CoreModel>(c, cfg.core,
-                                                    *traces[c], hier));
+        cores.push_back(std::make_unique<CoreModel>(
+            c, cfg.core, *traces[static_cast<std::size_t>(c)], hier));
         hier.attachCore(c, cores.back().get());
     }
 }

@@ -49,7 +49,10 @@ class System
 
     Cycle currentCycle() const { return now; }
     MemHierarchy &hierarchy() { return hier; }
-    CoreModel &core(CoreId id) { return *cores[id]; }
+    CoreModel &core(CoreId id)
+    {
+        return *cores[static_cast<std::size_t>(id)];
+    }
     const SystemConfig &config() const { return cfg; }
 
   private:

@@ -54,9 +54,9 @@ SyntheticTrace::patternAddr(StreamState &st)
         st.chase = splitmix64(st.chase);
         const std::uint64_t region_lines = ss.regionBytes >> lineShift;
         const std::uint64_t prev_line =
-            (st.elementAddr - st.base) >> lineShift;
+            (st.chasePrev - st.base) >> lineShift;
         std::uint64_t line;
-        if (st.elementAddr != 0 &&
+        if (st.chasePrev != 0 &&
             static_cast<double>(st.chase & 0xffff) <
                 ss.chaseLocality * 65536.0) {
             // Allocation-order locality: neighbour node, 1..4 lines on.
@@ -65,7 +65,9 @@ SyntheticTrace::patternAddr(StreamState &st)
         } else {
             line = (st.chase >> 16) % region_lines;
         }
-        return st.base + (line << lineShift);
+        const Addr a = st.base + (line << lineShift);
+        st.chasePrev = a;
+        return a;
       }
       case StreamPattern::Random: {
         const std::uint64_t line =

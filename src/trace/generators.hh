@@ -124,6 +124,14 @@ class SyntheticTrace : public TraceSource
         Addr base = 0;
         std::uint64_t cursor = 0;
         std::uint64_t chase = 0;
+        /**
+         * Previous pointer-chase element (0 before the first), tracked
+         * inside patternAddr so the chaseLocality neighbour branch
+         * works for both accessesPerElement paths. elementAddr cannot
+         * serve this role: the accessesPerElement == 1 path never sets
+         * it, which used to silently disable the locality knob.
+         */
+        Addr chasePrev = 0;
         Addr pcBase = 0;
         int pcIndex = 0;
         Addr elementAddr = 0;   ///< current element's base address

@@ -67,6 +67,34 @@ TEST(ChaseLocality, KnobRaisesNeighbourTransitions)
     EXPECT_LT(f, 0.65);
 }
 
+/**
+ * Regression for the dead chase-locality branch: the
+ * accessesPerElement == 1 path used to call patternAddr without ever
+ * recording the previous chase element, so the locality guard never
+ * fired and the knob was a no-op (neighbour fraction ~0.0001). Both
+ * paths must now produce statistically similar neighbour fractions.
+ */
+TEST(ChaseLocality, SingleAndMultiAccessPathsMatch)
+{
+    SyntheticTrace single(chaseOnly(0.5, 1), 7);
+    SyntheticTrace multi(chaseOnly(0.5, 3), 7);
+    const double fs = nearFraction(single, 30000);
+    const double fm = nearFraction(multi, 30000);
+    EXPECT_GT(fs, 0.35);
+    EXPECT_LT(fs, 0.65);
+    EXPECT_GT(fm, 0.35);
+    EXPECT_LT(fm, 0.65);
+    EXPECT_NEAR(fs, fm, 0.06);
+}
+
+TEST(ChaseLocality, KnobScalesNeighbourFraction)
+{
+    SyntheticTrace lo(chaseOnly(0.2, 1), 11);
+    SyntheticTrace hi(chaseOnly(0.8, 1), 11);
+    EXPECT_NEAR(nearFraction(lo, 30000), 0.2, 0.08);
+    EXPECT_NEAR(nearFraction(hi, 30000), 0.8, 0.08);
+}
+
 TEST(ChaseLocality, StillDependentLoads)
 {
     SyntheticTrace t(chaseOnly(0.5), 5);

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verify line, as run by CI and by developers locally:
+# configure, build everything, run the full CTest suite.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+cd build && ctest --output-on-failure -j "$(nproc)"
