@@ -12,6 +12,7 @@
 #ifndef BOP_BENCH_BENCH_COMMON_HH
 #define BOP_BENCH_BENCH_COMMON_HH
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -19,10 +20,57 @@
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "harness/experiment.hh"
+#include "harness/json_report.hh"
 #include "trace/workloads.hh"
 
 namespace bop
 {
+
+/** Command-line options shared by the figure benches. */
+struct BenchOptions
+{
+    std::string jsonPath; ///< --json PATH: machine-readable run records
+};
+
+/**
+ * Parse the standard bench arguments. Exits with usage on stderr when
+ * an unknown option is seen, so a typo cannot silently run the full
+ * (expensive) figure. When @p positional is non-null, one bare
+ * argument is accepted and stored there (e.g. a benchmark name).
+ */
+inline BenchOptions
+parseBenchOptions(int argc, char **argv, std::string *positional = nullptr)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            opts.jsonPath = argv[++i];
+        } else if (positional && !arg.empty() && arg[0] != '-') {
+            *positional = arg;
+        } else {
+            std::cerr << "usage: " << argv[0] << " [--json PATH]"
+                      << (positional ? " [benchmark]" : "") << "\n"
+                      << "  --json PATH  write one JSON record per "
+                         "simulation run to PATH\n";
+            std::exit(arg == "--help" || arg == "-h" ? 0 : 2);
+        }
+    }
+    return opts;
+}
+
+/** Write the runner's records when --json was given; false on error. */
+inline bool
+finishBench(const ExperimentRunner &runner, const BenchOptions &opts)
+{
+    if (opts.jsonPath.empty())
+        return true;
+    if (!runner.writeJson(opts.jsonPath))
+        return false;
+    std::cout << "\n[" << runner.records().size() << " run records -> "
+              << opts.jsonPath << "]\n";
+    return true;
+}
 
 /** Print the standard bench header. */
 inline void

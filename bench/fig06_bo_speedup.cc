@@ -10,14 +10,15 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bop;
+    const BenchOptions opts = parseBenchOptions(argc, argv);
     ExperimentRunner runner;
     benchHeader("Figure 6: BO speedup over the next-line baselines",
                 runner);
     printSpeedupFigure(runner, [](SystemConfig &cfg) {
         cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
     });
-    return 0;
+    return finishBench(runner, opts) ? 0 : 1;
 }

@@ -8,9 +8,10 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bop;
+    const BenchOptions opts = parseBenchOptions(argc, argv);
     ExperimentRunner runner;
     benchHeader("Figure 11: BO vs SBP (geomean speedups)", runner);
 
@@ -22,5 +23,5 @@ main()
         cfg.l2Prefetcher = L2PrefetcherKind::Sandbox;
     });
     fig.print();
-    return 0;
+    return finishBench(runner, opts) ? 0 : 1;
 }

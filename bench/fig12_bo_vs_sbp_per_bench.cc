@@ -9,9 +9,10 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bop;
+    const BenchOptions opts = parseBenchOptions(argc, argv);
     ExperimentRunner runner;
     benchHeader("Figure 12: BO speedup relative to SBP", runner);
 
@@ -43,5 +44,5 @@ main()
         gm.push_back(TextTable::fmt(geomean(per_grid)));
     table.addRow(gm);
     table.print(std::cout);
-    return 0;
+    return finishBench(runner, opts) ? 0 : 1;
 }

@@ -11,9 +11,10 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bop;
+    const BenchOptions opts = parseBenchOptions(argc, argv);
     ExperimentRunner runner;
     benchHeader("Figure 13: DRAM accesses per 1000 instructions "
                 "(4KB pages, 1 core)",
@@ -37,5 +38,5 @@ main()
         table.addRow(row);
     }
     table.print(std::cout);
-    return 0;
+    return finishBench(runner, opts) ? 0 : 1;
 }

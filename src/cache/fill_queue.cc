@@ -15,8 +15,10 @@ FillQueue::FillQueue(std::string name_, std::size_t capacity_)
 std::size_t
 FillQueue::slotOf(std::uint32_t id) const
 {
-    for (std::size_t s = 0; s < slots.size(); ++s) {
-        if (slots[s].valid && slots[s].id == id)
+    // The fifo holds exactly the live slots, so scanning it visits
+    // size() entries instead of all capacity slots.
+    for (const std::size_t s : fifo) {
+        if (slots[s].id == id)
             return s;
     }
     throw std::logic_error(name + ": unknown fill queue entry id");
@@ -26,7 +28,8 @@ std::uint32_t
 FillQueue::allocate(LineAddr line, const ReqMeta &meta, bool is_prefetch)
 {
     assert(!full() && "caller must check full() before allocating");
-    for (auto &slot : slots) {
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+        FillQueueEntry &slot = slots[s];
         if (!slot.valid) {
             slot.valid = true;
             slot.line = line;
@@ -35,7 +38,7 @@ FillQueue::allocate(LineAddr line, const ReqMeta &meta, bool is_prefetch)
             slot.isPrefetch = is_prefetch;
             slot.meta = meta;
             slot.id = nextId++;
-            fifo.push_back(slot.id);
+            fifo.push_back(s);
             ++liveEntries;
             return slot.id;
         }
@@ -46,15 +49,16 @@ FillQueue::allocate(LineAddr line, const ReqMeta &meta, bool is_prefetch)
 void
 FillQueue::release(std::uint32_t id)
 {
-    const std::size_t s = slotOf(id);
-    slots[s].valid = false;
-    --liveEntries;
     for (auto it = fifo.begin(); it != fifo.end(); ++it) {
-        if (*it == id) {
+        FillQueueEntry &slot = slots[*it];
+        if (slot.id == id) {
+            slot.valid = false;
+            --liveEntries;
             fifo.erase(it);
-            break;
+            return;
         }
     }
+    throw std::logic_error(name + ": unknown fill queue entry id");
 }
 
 void
@@ -77,9 +81,19 @@ FillQueue::allocateWithData(LineAddr line, const ReqMeta &meta,
 FillQueueEntry *
 FillQueue::find(LineAddr line)
 {
+    // The CAM is probed on every request travelling between cache
+    // levels, so the scan is occupancy-bounded: skip the whole search
+    // when empty and stop once every live entry has been inspected.
+    if (liveEntries == 0)
+        return nullptr;
+    std::size_t seen = 0;
     for (auto &slot : slots) {
-        if (slot.valid && slot.line == line)
+        if (!slot.valid)
+            continue;
+        if (slot.line == line)
             return &slot;
+        if (++seen == liveEntries)
+            break;
     }
     return nullptr;
 }
@@ -87,18 +101,13 @@ FillQueue::find(LineAddr line)
 const FillQueueEntry *
 FillQueue::find(LineAddr line) const
 {
-    for (const auto &slot : slots) {
-        if (slot.valid && slot.line == line)
-            return &slot;
-    }
-    return nullptr;
+    return const_cast<FillQueue *>(this)->find(line);
 }
 
 FillQueueEntry *
 FillQueue::peekReady(Cycle now)
 {
-    for (auto it = fifo.begin(); it != fifo.end(); ++it) {
-        const std::size_t s = slotOf(*it);
+    for (const std::size_t s : fifo) {
         FillQueueEntry &slot = slots[s];
         if (slot.hasData && slot.readyAt <= now)
             return &slot;
@@ -110,8 +119,7 @@ std::optional<FillQueueEntry>
 FillQueue::popReady(Cycle now)
 {
     for (auto it = fifo.begin(); it != fifo.end(); ++it) {
-        const std::size_t s = slotOf(*it);
-        FillQueueEntry &slot = slots[s];
+        FillQueueEntry &slot = slots[*it];
         if (slot.hasData && slot.readyAt <= now) {
             FillQueueEntry copy = slot;
             slot.valid = false;

@@ -116,7 +116,7 @@ class FillQueue
     std::size_t liveEntries = 0;
     std::uint32_t nextId = 1;
     std::vector<FillQueueEntry> slots;
-    std::deque<std::uint32_t> fifo; ///< ids in allocation order
+    std::deque<std::size_t> fifo; ///< live slot indices, allocation order
 };
 
 } // namespace bop

@@ -52,16 +52,19 @@ class Policy5P : public StackPolicy
   public:
     /**
      * @param seed          RNG seed for the BIP component
+     * @param num_cores     cores sharing the cache (one miss counter
+     *                      each; the paper's chip has 4)
      * @param constituency  sets per constituency (paper: 128)
      * @param counter_bits  width of the proportional counters (paper: 12)
      */
-    explicit Policy5P(std::uint64_t seed = 0x5105,
+    explicit Policy5P(std::uint64_t seed = 0x5105, int num_cores = 4,
                       std::size_t constituency = 128,
                       unsigned counter_bits = 12)
         : rng(seed),
           constituencySize(constituency),
           policyCounters(numInsertionPolicies, counter_bits),
-          coreMissCounters(maxCores, counter_bits)
+          coreMissCounters(static_cast<std::size_t>(num_cores),
+                           counter_bits)
     {
     }
 

@@ -49,6 +49,13 @@ struct RunStats
     // -- L3 -------------------------------------------------------------
     std::uint64_t l3Accesses = 0;
     std::uint64_t l3Misses = 0;
+    /**
+     * Cycles a sharded L3 demand shard was parked on channel-local
+     * read-queue congestion while other channels kept draining
+     * (chip-wide). Structurally zero on <= 2-channel topologies, where
+     * the shared L3 fill queue saturates first.
+     */
+    std::uint64_t l3ChannelStalls = 0;
 
     // -- TLB -------------------------------------------------------------
     std::uint64_t dtlb1Misses = 0;

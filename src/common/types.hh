@@ -26,7 +26,12 @@ using LineAddr = std::uint64_t;
 /** Core clock cycle count. */
 using Cycle = std::uint64_t;
 
-/** Identifier of a core in the simulated quad-core (0..3). */
+/**
+ * Identifier of a core (0..numCores-1). The core count is a runtime
+ * property of the simulated chip, carried in SystemConfig; every
+ * structure that is per-core (DRAM queues, fairness counters, 5P miss
+ * counters) is sized from the configuration at construction.
+ */
 using CoreId = int;
 
 /** log2(cache line size): 64-byte lines throughout (Table 1). */
@@ -34,9 +39,6 @@ constexpr unsigned lineShift = 6;
 
 /** Cache line size in bytes. */
 constexpr std::uint64_t lineBytes = 1ull << lineShift;
-
-/** Maximum number of cores the simulated chip supports. */
-constexpr int maxCores = 4;
 
 /** Convert a byte address to a line address. */
 constexpr LineAddr

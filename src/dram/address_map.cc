@@ -1,5 +1,8 @@
 #include "dram/address_map.hh"
 
+#include <bit>
+#include <cassert>
+
 namespace bop
 {
 
@@ -15,12 +18,34 @@ bit(Addr v, unsigned i)
 
 } // namespace
 
+int
+channelOfAddr(Addr paddr, int num_channels)
+{
+    assert(num_channels >= 1 && num_channels <= maxDramChannels &&
+           std::has_single_bit(static_cast<unsigned>(num_channels)));
+    if (num_channels == 1)
+        return 0;
+    const unsigned k =
+        static_cast<unsigned>(std::countr_zero(
+            static_cast<unsigned>(num_channels)));
+    const std::uint64_t mask = static_cast<std::uint64_t>(num_channels) - 1;
+    std::uint64_t ch = 0;
+    for (unsigned field = 0; field < 4; ++field)
+        ch ^= (paddr >> (8 + field * k)) & mask;
+    return static_cast<int>(ch);
+}
+
+int
+channelOfLine(LineAddr line, int num_channels)
+{
+    return channelOfAddr(lineToAddr(line), num_channels);
+}
+
 DramCoord
-mapToDram(Addr paddr)
+mapToDram(Addr paddr, int num_channels)
 {
     DramCoord c;
-    c.channel = static_cast<int>(bit(paddr, 11) ^ bit(paddr, 10) ^
-                                 bit(paddr, 9) ^ bit(paddr, 8));
+    c.channel = channelOfAddr(paddr, num_channels);
 
     const std::uint64_t b2 = bit(paddr, 16) ^ bit(paddr, 13);
     const std::uint64_t b1 = bit(paddr, 15) ^ bit(paddr, 12);

@@ -3,7 +3,7 @@
  * Physical-address-to-DRAM mapping (paper Sec. 5.3).
  *
  * With a32..a6 the line-address bits of a byte address (a5..a0 the line
- * offset), the paper maps:
+ * offset), the paper maps, for its 2-channel configuration:
  *
  *   Channel (1 bit) : a11 ^ a10 ^ a9 ^ a8
  *   Bank    (3 bits): (a16^a13, a15^a12, a14^a11)
@@ -12,6 +12,12 @@
  *
  * The XOR folding spreads sequential streams over both channels and all
  * eight banks while keeping 8KB of spatial locality per row buffer.
+ *
+ * The channel map generalizes to any power-of-two channel count M=2^k:
+ * the k channel bits are the XOR-fold of four consecutive k-bit fields
+ * of the address starting at bit 8, which for k=1 reduces exactly to
+ * the paper's a11^a10^a9^a8. The bank/row mapping is per channel and
+ * does not depend on the channel count.
  */
 
 #ifndef BOP_DRAM_ADDRESS_MAP_HH
@@ -27,20 +33,32 @@ namespace bop
 /** Decomposed DRAM coordinates of a physical address. */
 struct DramCoord
 {
-    int channel = 0;        ///< 0..1
+    int channel = 0;        ///< 0..numChannels-1
     int bank = 0;           ///< 0..7
     std::uint32_t rowOffset = 0; ///< line within the row (0..127)
     std::uint64_t row = 0;  ///< row id within the bank
 };
 
-/** Number of memory channels (Table 1). */
-constexpr int numChannels = 2;
+/** Largest supported channel count (4 XOR fields of 4 bits each). */
+constexpr int maxDramChannels = 16;
 
 /** Banks per channel (8 banks/chip, one rank of 8 chips lock-stepped). */
 constexpr int numBanks = 8;
 
-/** Map a physical byte address to DRAM coordinates. */
-DramCoord mapToDram(Addr paddr);
+/**
+ * Channel of a physical byte address for a power-of-two channel count.
+ * With 2 channels this is the paper's a11^a10^a9^a8.
+ */
+int channelOfAddr(Addr paddr, int num_channels);
+
+/** Channel of a line address (convenience wrapper). */
+int channelOfLine(LineAddr line, int num_channels);
+
+/**
+ * Map a physical byte address to DRAM coordinates. @p num_channels
+ * defaults to the paper's 2-channel chip (Table 1).
+ */
+DramCoord mapToDram(Addr paddr, int num_channels = 2);
 
 } // namespace bop
 

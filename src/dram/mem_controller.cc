@@ -7,26 +7,34 @@ namespace bop
 {
 
 MemoryController::MemoryController(const DramTiming &timing_,
-                                   int channel_id)
-    : timing(timing_), channelId(channel_id)
+                                   int channel_id, int num_cores)
+    : timing(timing_), channelId(channel_id),
+      readQueues(static_cast<std::size_t>(num_cores)),
+      writeQueues(static_cast<std::size_t>(num_cores)),
+      fairness(static_cast<std::size_t>(num_cores), 7)
 {
+    assert(num_cores >= 1);
 }
 
 bool
 MemoryController::readQueueFull(CoreId core) const
 {
-    return readQueues[core].size() >= queueCapacity;
+    return readQueues[static_cast<std::size_t>(core)].size() >=
+           queueCapacity;
 }
 
 bool
 MemoryController::writeQueueFull(CoreId core) const
 {
-    return writeQueues[core].size() >= queueCapacity;
+    return writeQueues[static_cast<std::size_t>(core)].size() >=
+           queueCapacity;
 }
 
 bool
 MemoryController::readQueueContains(LineAddr line) const
 {
+    if (pendingReadCount == 0)
+        return false;
     for (const auto &q : readQueues) {
         for (const auto &r : q) {
             if (r.line == line)
@@ -40,35 +48,45 @@ void
 MemoryController::enqueueRead(LineAddr line, const ReqMeta &meta, Cycle now)
 {
     assert(!readQueueFull(meta.core));
-    readQueues[meta.core].push_back(
-        {line, meta, now, mapToDram(lineToAddr(line))});
+    // The uncore routed this request here, so this controller's id is
+    // the authoritative channel (mapToDram's default fold would record
+    // a stale value on >2-channel chips).
+    DramCoord coord = mapToDram(lineToAddr(line));
+    coord.channel = channelId;
+    readQueues[static_cast<std::size_t>(meta.core)].push_back(
+        {line, meta, now, coord});
+    ++pendingReadCount;
 }
 
 void
 MemoryController::enqueueWrite(LineAddr line, CoreId core, Cycle now)
 {
     assert(!writeQueueFull(core));
-    writeQueues[core].push_back(
-        {line, core, now, mapToDram(lineToAddr(line))});
+    DramCoord coord = mapToDram(lineToAddr(line));
+    coord.channel = channelId;
+    writeQueues[static_cast<std::size_t>(core)].push_back(
+        {line, core, now, coord});
 }
 
 std::size_t
 MemoryController::readQueueSize(CoreId core) const
 {
-    return readQueues[core].size();
+    return readQueues[static_cast<std::size_t>(core)].size();
 }
 
 std::size_t
 MemoryController::writeQueueSize(CoreId core) const
 {
-    return writeQueues[core].size();
+    return writeQueues[static_cast<std::size_t>(core)].size();
 }
 
 bool
 MemoryController::anyPending() const
 {
-    for (int c = 0; c < maxCores; ++c) {
-        if (!readQueues[c].empty() || !writeQueues[c].empty())
+    if (pendingReadCount > 0)
+        return true;
+    for (const auto &q : writeQueues) {
+        if (!q.empty())
             return true;
     }
     return !completedReads.empty();
@@ -78,8 +96,8 @@ CoreId
 MemoryController::laggingCore() const
 {
     CoreId best = -1;
-    for (CoreId c = 0; c < maxCores; ++c) {
-        if (readQueues[c].empty())
+    for (CoreId c = 0; c < coreCount(); ++c) {
+        if (readQueues[static_cast<std::size_t>(c)].empty())
             continue;
         if (best < 0 ||
             fairness.value(static_cast<std::size_t>(c)) <
@@ -93,7 +111,7 @@ MemoryController::laggingCore() const
 bool
 MemoryController::servedHasRowHit() const
 {
-    for (const auto &r : readQueues[served]) {
+    for (const auto &r : readQueues[static_cast<std::size_t>(served)]) {
         if (timing.isRowHit(r.coord))
             return true;
     }
@@ -103,7 +121,7 @@ MemoryController::servedHasRowHit() const
 bool
 MemoryController::issueReadFrom(CoreId core, BusCycle bc)
 {
-    auto &q = readQueues[core];
+    auto &q = readQueues[static_cast<std::size_t>(core)];
     if (q.empty())
         return false;
 
@@ -133,6 +151,7 @@ MemoryController::issueReadFrom(CoreId core, BusCycle bc)
 
     fairness.increment(static_cast<std::size_t>(core));
     q.erase(pick);
+    --pendingReadCount;
     return true;
 }
 
@@ -146,8 +165,8 @@ MemoryController::issueWrite(BusCycle bc)
     bool best_is_hit = false;
     std::size_t best_len = 0;
 
-    for (CoreId c = 0; c < maxCores; ++c) {
-        auto &q = writeQueues[c];
+    for (CoreId c = 0; c < coreCount(); ++c) {
+        auto &q = writeQueues[static_cast<std::size_t>(c)];
         if (q.empty())
             continue;
         for (auto it = q.begin(); it != q.end(); ++it) {
@@ -172,7 +191,7 @@ MemoryController::issueWrite(BusCycle bc)
         ++chanStats.rowHits;
     else
         ++chanStats.rowMisses;
-    writeQueues[best_core].erase(best_it);
+    writeQueues[static_cast<std::size_t>(best_core)].erase(best_it);
     return true;
 }
 
@@ -181,7 +200,7 @@ MemoryController::scheduleStep(BusCycle bc)
 {
     // Enter write-drain mode when a write queue fills up.
     if (writeDrainRemaining == 0) {
-        for (CoreId c = 0; c < maxCores; ++c) {
+        for (CoreId c = 0; c < coreCount(); ++c) {
             if (writeQueueFull(c)) {
                 writeDrainRemaining = writeBatchSize;
                 ++chanStats.writeBatches;
@@ -217,7 +236,8 @@ MemoryController::scheduleStep(BusCycle bc)
     // Steady mode: re-pick the served core only when it has no pending
     // row-buffer-hitting read (Sec. 5.3); the proportional counters
     // then pick the least-served core.
-    if (readQueues[served].empty() || !servedHasRowHit())
+    if (readQueues[static_cast<std::size_t>(served)].empty() ||
+        !servedHasRowHit())
         served = lagging;
     return issueReadFrom(served, bc);
 }

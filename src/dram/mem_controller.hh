@@ -69,7 +69,17 @@ class MemoryController
     /** Urgent-mode counter-difference threshold (Sec. 5.3). */
     static constexpr std::uint32_t urgentThreshold = 31;
 
-    MemoryController(const DramTiming &timing, int channel_id);
+    /**
+     * @param timing     DDR3 timing parameters
+     * @param channel_id this channel's index
+     * @param num_cores  cores sharing the channel: one read queue, one
+     *                   write queue and one fairness counter each
+     *                   (deliberately no default — the queues index by
+     *                   CoreId unchecked, so the topology must be
+     *                   stated explicitly)
+     */
+    MemoryController(const DramTiming &timing, int channel_id,
+                     int num_cores);
 
     // -- enqueue side -----------------------------------------------------
     bool readQueueFull(CoreId core) const;
@@ -92,6 +102,7 @@ class MemoryController
     // -- observability -----------------------------------------------------
     const DramChannelStats &stats() const { return chanStats; }
     CoreId servedCore() const { return served; }
+    int coreCount() const { return static_cast<int>(readQueues.size()); }
     std::size_t readQueueSize(CoreId core) const;
     std::size_t writeQueueSize(CoreId core) const;
     bool anyPending() const;
@@ -123,9 +134,10 @@ class MemoryController
 
     DramChannelTiming timing;
     int channelId;
-    std::deque<ReadReq> readQueues[maxCores];
-    std::deque<WriteReq> writeQueues[maxCores];
-    PropCounterGroup fairness{maxCores, 7};
+    std::vector<std::deque<ReadReq>> readQueues;
+    std::vector<std::deque<WriteReq>> writeQueues;
+    PropCounterGroup fairness;
+    std::size_t pendingReadCount = 0; ///< over all read queues (CAM gate)
     CoreId served = 0;
     int writeDrainRemaining = 0;
     bool l3FillFull = false;

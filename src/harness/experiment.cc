@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "dram/address_map.hh"
 #include "trace/workloads.hh"
 
 namespace bop
@@ -29,6 +30,12 @@ baselineConfig(int cores, PageSize page)
     cfg.l2Prefetcher = L2PrefetcherKind::NextLine;
     cfg.l3Policy = L3PolicyKind::P5;
     cfg.dl1StridePrefetcher = true;
+    // Paper topologies keep the 2-channel chip (Table 1); beyond 4
+    // cores, grow the channel count so each channel serves at most 2
+    // cores (8 cores -> 4 channels, 16 -> 8).
+    while (cfg.numChannels * 2 < cores &&
+           cfg.numChannels < maxDramChannels)
+        cfg.numChannels *= 2;
     return cfg;
 }
 
@@ -38,6 +45,12 @@ baselineGrid()
     return {{1, PageSize::FourKB}, {2, PageSize::FourKB},
             {4, PageSize::FourKB}, {1, PageSize::FourMB},
             {2, PageSize::FourMB}, {4, PageSize::FourMB}};
+}
+
+std::vector<int>
+scalingCoreCounts()
+{
+    return {1, 2, 4, 8, 16};
 }
 
 std::string
@@ -90,6 +103,7 @@ ExperimentRunner::run(const std::string &benchmark, const SystemConfig &cfg)
 
     System system(cfg, makeTraces(benchmark, cfg));
     RunStats stats = system.run(budget.warmup, budget.measure);
+    runRecords.push_back({benchmark, cfg.describe(), stats});
 
     if (std::getenv("BOP_VERBOSE")) {
         std::fprintf(stderr, "  [run] %-16s %-44s IPC=%.3f\n",

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "harness/json_report.hh"
 #include "sim/config.hh"
 #include "sim/system.hh"
 
@@ -37,12 +38,21 @@ struct Budget
 
 /**
  * The paper's baseline: next-line L2 prefetcher, 5P L3 policy, DL1
- * stride prefetcher on.
+ * stride prefetcher on. Any core count is accepted; beyond the paper's
+ * 4-core chip the channel count is scaled so each channel keeps
+ * serving at most 2 cores (8 cores -> 4 channels, 16 -> 8).
  */
 SystemConfig baselineConfig(int cores, PageSize page);
 
 /** All six (cores, page) baseline combinations, in paper order. */
 std::vector<std::pair<int, PageSize>> baselineGrid();
+
+/**
+ * Core counts for contention/scaling studies: the paper's 1/2/4 plus
+ * the beyond-paper 8 and 16 (Shakerinava et al., arXiv:2009.00715,
+ * motivate revisiting prefetcher interference at server core counts).
+ */
+std::vector<int> scalingCoreCounts();
 
 /** Human-readable label like "1-core/4KB". */
 std::string gridLabel(int cores, PageSize page);
@@ -78,9 +88,25 @@ class ExperimentRunner
 
     const Budget &budgets() const { return budget; }
 
+    /** One record per actual (non-memoised) simulation, in run order. */
+    const std::vector<RunRecord> &records() const { return runRecords; }
+
+    /** Append a record produced outside run() (e.g. direct System use). */
+    void addRecord(RunRecord record)
+    {
+        runRecords.push_back(std::move(record));
+    }
+
+    /** Write all records to @p path as JSON (see json_report.hh). */
+    bool writeJson(const std::string &path) const
+    {
+        return writeRunRecordsFile(path, runRecords);
+    }
+
   private:
     Budget budget;
     std::map<std::string, RunStats> cache;
+    std::vector<RunRecord> runRecords;
 };
 
 } // namespace bop

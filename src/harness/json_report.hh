@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Machine-readable run records (ROADMAP: benchmark JSON output).
+ *
+ * Every simulation run can be summarised as one flat JSON object —
+ * workload, configuration describe-string, IPC, prefetch
+ * coverage/accuracy/timeliness and DRAM traffic — so CI can archive
+ * bench output and track BENCH_* trajectories across PRs. The writer
+ * emits a JSON array with one object per run; no external JSON
+ * dependency is used.
+ */
+
+#ifndef BOP_HARNESS_JSON_REPORT_HH
+#define BOP_HARNESS_JSON_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace bop
+{
+
+/** One simulation run, flattened for reporting. */
+struct RunRecord
+{
+    std::string workload; ///< core-0 benchmark name
+    std::string config;   ///< SystemConfig::describe() string
+    RunStats stats;
+};
+
+/** Escape a string for inclusion in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** Serialise one record as a JSON object (no trailing newline). */
+void writeRunRecord(std::ostream &os, const RunRecord &record);
+
+/** Serialise records as a JSON array (pretty-printed, one per line). */
+void writeRunRecords(std::ostream &os,
+                     const std::vector<RunRecord> &records);
+
+/**
+ * Write records to @p path as a JSON array. Returns false (and prints
+ * to stderr) when the file cannot be opened.
+ */
+bool writeRunRecordsFile(const std::string &path,
+                         const std::vector<RunRecord> &records);
+
+} // namespace bop
+
+#endif // BOP_HARNESS_JSON_REPORT_HH

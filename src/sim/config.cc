@@ -1,6 +1,10 @@
 #include "sim/config.hh"
 
+#include <bit>
 #include <sstream>
+#include <stdexcept>
+
+#include "dram/address_map.hh"
 
 namespace bop
 {
@@ -52,11 +56,54 @@ policyName(L3PolicyKind kind)
 
 } // namespace
 
+void
+SystemConfig::validate() const
+{
+    std::ostringstream oss;
+    if (numCores < 0) {
+        oss << "SystemConfig: numCores must be >= 1 (or 0 for \"same as "
+               "activeCores\"), got " << numCores;
+        throw std::invalid_argument(oss.str());
+    }
+    if (activeCores < 1) {
+        oss << "SystemConfig: activeCores must be >= 1, got "
+            << activeCores;
+        throw std::invalid_argument(oss.str());
+    }
+    if (activeCores > coreCount()) {
+        oss << "SystemConfig: activeCores (" << activeCores
+            << ") exceeds the chip topology's numCores (" << coreCount()
+            << ")";
+        throw std::invalid_argument(oss.str());
+    }
+    if (numChannels < 1 || numChannels > maxDramChannels ||
+        !std::has_single_bit(static_cast<unsigned>(numChannels))) {
+        oss << "SystemConfig: numChannels must be a power of two in [1, "
+            << maxDramChannels << "] (the line-to-channel map XOR-folds "
+            << "address bits), got " << numChannels;
+        throw std::invalid_argument(oss.str());
+    }
+}
+
+SystemConfig
+SystemConfig::resolved() const
+{
+    validate();
+    SystemConfig out = *this;
+    out.numCores = coreCount();
+    return out;
+}
+
 std::string
 SystemConfig::describe() const
 {
     std::ostringstream oss;
-    oss << activeCores << "-core, "
+    oss << activeCores << "-core";
+    if (coreCount() != activeCores)
+        oss << "/" << coreCount() << "cpu";
+    if (numChannels != 2)
+        oss << ", " << numChannels << "-chan";
+    oss << ", "
         << (pageSize == PageSize::FourKB ? "4KB" : "4MB") << " pages, L2 "
         << prefetcherName(l2Prefetcher);
     if (l2Prefetcher == L2PrefetcherKind::FixedOffset)

@@ -92,7 +92,26 @@ struct CacheParams
 /** Full system configuration. */
 struct SystemConfig
 {
-    int activeCores = 1;          ///< 1, 2 or 4 (Sec. 5.1)
+    /**
+     * Cores actually running a trace (the paper evaluates 1, 2 and 4,
+     * Sec. 5.1; the reproduction accepts any count up to numCores).
+     */
+    int activeCores = 1;
+
+    /**
+     * Total cores in the chip topology — sizes every per-core uncore
+     * structure (DRAM read/write queues, fairness counters, 5P per-core
+     * miss counters). 0 means "same as activeCores".
+     */
+    int numCores = 0;
+
+    /**
+     * DRAM channels, each with its own independent controller. Must be
+     * a power of two (the line-to-channel map XOR-folds address bits);
+     * the paper's chip has 2 (Table 1).
+     */
+    int numChannels = 2;
+
     PageSize pageSize = PageSize::FourKB;
 
     CoreParams core;
@@ -124,6 +143,24 @@ struct SystemConfig
      * an infinite cache and mask the replacement policies entirely.
      */
     bool prewarmL3 = true;
+
+    /** Topology core count with the numCores=0 default resolved. */
+    int
+    coreCount() const
+    {
+        return numCores > 0 ? numCores : activeCores;
+    }
+
+    /**
+     * Check the topology for consistency; throws std::invalid_argument
+     * with a descriptive message on the first violated constraint.
+     * System and MemHierarchy validate at construction so a bad
+     * configuration fails loudly instead of indexing out of bounds.
+     */
+    void validate() const;
+
+    /** Validated copy with the numCores=0 default resolved. */
+    SystemConfig resolved() const;
 
     /** Short human-readable description of this configuration. */
     std::string describe() const;

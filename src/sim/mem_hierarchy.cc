@@ -1,5 +1,6 @@
 #include "sim/mem_hierarchy.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 
@@ -18,7 +19,8 @@ makeL3Policy(const SystemConfig &cfg)
 {
     switch (cfg.l3Policy) {
       case L3PolicyKind::P5:
-        return std::make_unique<Policy5P>(cfg.seed ^ 0x5105);
+        return std::make_unique<Policy5P>(cfg.seed ^ 0x5105,
+                                          cfg.coreCount());
       case L3PolicyKind::Lru:
         return std::make_unique<LruPolicy>();
       case L3PolicyKind::Drrip:
@@ -89,15 +91,25 @@ MemHierarchy::CoreSide::CoreSide(const SystemConfig &cfg, CoreId id_)
 }
 
 MemHierarchy::MemHierarchy(const SystemConfig &cfg_)
-    : cfg(cfg_),
-      l3Cache("l3", cfg_.caches.l3Bytes, cfg_.caches.l3Ways,
-              makeL3Policy(cfg_)),
-      l3Fill("l3fq", cfg_.caches.l3FillQueue)
+    : cfg(cfg_.resolved()),
+      l3Cache("l3", cfg.caches.l3Bytes, cfg.caches.l3Ways,
+              makeL3Policy(cfg)),
+      // The fill queue bounds all in-flight DRAM reads (every queued
+      // read holds a live entry until its data drains), so it must
+      // grow with the channel count or it, not the channels, caps
+      // memory-level parallelism. The paper's 2-channel chip keeps
+      // the Table 1 capacity exactly.
+      l3Fill("l3fq", cfg.caches.l3FillQueue * channelLanes()),
+      toL3(static_cast<std::size_t>(cfg.numChannels)),
+      cores(static_cast<std::size_t>(cfg.numCores), nullptr),
+      chanStalled(static_cast<std::size_t>(cfg.numChannels), 0)
 {
     for (int c = 0; c < cfg.activeCores; ++c)
         sides.push_back(std::make_unique<CoreSide>(cfg, c));
-    for (int ch = 0; ch < numChannels; ++ch)
-        mcs[ch] = std::make_unique<MemoryController>(cfg.dram, ch);
+    for (int ch = 0; ch < cfg.numChannels; ++ch) {
+        mcs.push_back(std::make_unique<MemoryController>(cfg.dram, ch,
+                                                         cfg.numCores));
+    }
 
     if (cfg.prewarmL3) {
         // Occupy every L3 way with a clean placeholder line from an
@@ -125,13 +137,13 @@ MemHierarchy::MemHierarchy(const SystemConfig &cfg_)
 void
 MemHierarchy::attachCore(CoreId core, CoreModel *model)
 {
-    cores[core] = model;
+    cores.at(static_cast<std::size_t>(core)) = model;
 }
 
 int
 MemHierarchy::channelOf(LineAddr line) const
 {
-    return mapToDram(lineToAddr(line)).channel;
+    return channelOfLine(line, cfg.numChannels);
 }
 
 // ---------------------------------------------------------------------------
@@ -308,7 +320,7 @@ MemHierarchy::triggerL2Prefetcher(CoreSide &cs, const L2AccessEvent &ev)
         // Redundant-request removal: the fill queues, prefetch queue
         // and memory-controller read queues are searched (Sec. 6.3).
         if (cs.l2Fill.find(target) || cs.prefetchQueue.contains(target) ||
-            mcs[channelOf(target)]->readQueueContains(target)) {
+            controller(channelOf(target)).readQueueContains(target)) {
             if (c0)
                 ++stats.l2PrefDropped;
             continue;
@@ -376,8 +388,9 @@ MemHierarchy::processToL2(CoreSide &cs, Cycle now)
                 break; // backpressure: miss cannot issue yet
             ReqMeta meta = req.meta;
             meta.l2FillId = cs.l2Fill.allocate(req.line, meta, false);
-            toL3.push_back(
-                {req.line, meta, now + cfg.caches.l2TagLatency});
+            toL3[static_cast<std::size_t>(channelOf(req.line))].push_back(
+                {req.line, meta, now + cfg.caches.l2TagLatency,
+                 toL3Seq++});
         }
 
         if (!res.hit || res.prefetchedHit) {
@@ -413,8 +426,33 @@ MemHierarchy::processWbToL2(CoreSide &cs, Cycle now)
 void
 MemHierarchy::processToL3(Cycle now)
 {
-    for (unsigned n = 0; n < l3DemandsPerCycle && !toL3.empty(); ++n) {
-        PendingReq &req = toL3.front();
+    // Sharded L3 demand stage: every channel owns a queue, and the
+    // arbiter serves channel heads in global arrival (seq) order so a
+    // balanced stream behaves exactly like the historical single
+    // queue. A structurally blocked head stalls only its own channel
+    // for the rest of the cycle; requests bound for other channels
+    // keep flowing, which is what lets the stage scale with the
+    // channel count.
+    const unsigned budget = l3DemandsPerCycle * channelLanes();
+    std::fill(chanStalled.begin(), chanStalled.end(), 0);
+
+    for (unsigned n = 0; n < budget; ++n) {
+        // Oldest head among the channels still serviceable this cycle.
+        std::size_t best = toL3.size();
+        for (std::size_t ch = 0; ch < toL3.size(); ++ch) {
+            if (chanStalled[ch] || toL3[ch].empty())
+                continue;
+            if (best == toL3.size() ||
+                toL3[ch].front().seq < toL3[best].front().seq)
+                best = ch;
+        }
+        if (best == toL3.size())
+            break; // nothing serviceable left
+
+        std::deque<PendingReq> &q = toL3[best];
+        PendingReq &req = q.front();
+        // Arrival order implies readyAt order, so if the globally
+        // oldest head is not due yet nothing younger is either.
         if (req.readyAt > now)
             break;
         CoreSide &cs = side(req.meta.core);
@@ -435,7 +473,7 @@ MemHierarchy::processToL3(Cycle now)
                     cs.l2pf->onLatePromotion(req.line, now);
                 if (c0)
                     ++stats.l2LatePromotions;
-                toL3.pop_front();
+                q.pop_front();
                 continue;
             }
             // Same line in flight for another core: fall through and
@@ -444,12 +482,21 @@ MemHierarchy::processToL3(Cycle now)
 
         // Check the miss path's structural gates *before* touching the
         // cache, so a blocked request retries with no side effects
-        // (no stat double-counting, no replacement churn).
+        // (no stat double-counting, no replacement churn). A full L3
+        // fill queue is global backpressure — every channel's misses
+        // need an entry, so the whole stage stops, as it always has. A
+        // full per-core read queue is channel-local congestion: only
+        // this channel stalls and the others keep draining.
         const bool will_hit = l3Cache.probe(req.line);
-        const int ch = channelOf(req.line);
-        if (!will_hit &&
-            (l3Fill.full() || mcs[ch]->readQueueFull(req.meta.core))) {
-            break; // retry next cycle
+        if (!will_hit) {
+            if (l3Fill.full())
+                break; // retry next cycle
+            if (controller(static_cast<int>(best))
+                    .readQueueFull(req.meta.core)) {
+                chanStalled[best] = 1; // others continue
+                ++stats.l3ChannelStalls;
+                continue;
+            }
         }
 
         l3Cache.access(req.line, false, false);
@@ -471,17 +518,24 @@ MemHierarchy::processToL3(Cycle now)
             meta.l3FillId = l3Fill.allocate(req.line, meta, false);
             // Keep the fill-queue entry's own meta in sync with the id.
             l3Fill.entry(meta.l3FillId).meta = meta;
-            mcs[ch]->enqueueRead(req.line, meta,
-                                 now + cfg.caches.l3TagLatency);
+            controller(static_cast<int>(best))
+                .enqueueRead(req.line, meta,
+                             now + cfg.caches.l3TagLatency);
         }
-        toL3.pop_front();
+        q.pop_front();
     }
 }
 
 void
 MemHierarchy::processPrefetchQueues(Cycle now)
 {
-    for (unsigned n = 0; n < l3PrefetchesPerCycle; ++n) {
+    // Prefetch issue is round-robin over the cores' prefetch queues (a
+    // per-core resource); the per-cycle budget scales with the channel
+    // count like the demand stage. A prefetch whose target channel is
+    // congested stays queued without blocking other cores (continue,
+    // not break), so the path is already channel-sharded.
+    const unsigned budget = l3PrefetchesPerCycle * channelLanes();
+    for (unsigned n = 0; n < budget; ++n) {
         bool issued = false;
         for (int i = 0; i < cfg.activeCores && !issued; ++i) {
             const CoreId c = static_cast<CoreId>(
@@ -514,13 +568,13 @@ MemHierarchy::processPrefetchQueues(Cycle now)
                 issued = true;
             } else {
                 const int ch = channelOf(req->line);
-                if (l3Fill.full() || mcs[ch]->readQueueFull(c))
+                if (l3Fill.full() || controller(ch).readQueueFull(c))
                     continue; // leave in queue, retry
                 ReqMeta meta = req->meta;
                 meta.l3FillId = l3Fill.allocate(req->line, meta, true);
                 l3Fill.entry(meta.l3FillId).meta = meta;
-                mcs[ch]->enqueueRead(req->line, meta,
-                                     now + cfg.caches.l3TagLatency);
+                controller(ch).enqueueRead(req->line, meta,
+                                           now + cfg.caches.l3TagLatency);
                 cs.prefetchQueue.popFront(now);
                 issued = true;
             }
@@ -535,8 +589,8 @@ MemHierarchy::processPrefetchQueues(Cycle now)
 void
 MemHierarchy::drainDramCompletions(Cycle now)
 {
-    for (int ch = 0; ch < numChannels; ++ch) {
-        for (const CompletedRead &r : mcs[ch]->popCompleted(now)) {
+    for (auto &mc : mcs) {
+        for (const CompletedRead &r : mc->popCompleted(now)) {
             assert(r.meta.l3FillId != invalidMshr);
             l3Fill.fillData(r.meta.l3FillId, now + 1);
         }
@@ -560,7 +614,8 @@ MemHierarchy::drainOneL3Fill(Cycle now)
     if (will_insert) {
         const CacheVictim victim = l3Cache.peekVictim(line);
         if (victim.valid && victim.dirty &&
-            mcs[channelOf(victim.line)]->writeQueueFull(victim.core)) {
+            controller(channelOf(victim.line))
+                .writeQueueFull(victim.core)) {
             return false; // cannot sink the dirty victim: stall
         }
     }
@@ -576,8 +631,8 @@ MemHierarchy::drainOneL3Fill(Cycle now)
         fill.markDirty = entry.meta.type == ReqType::Writeback;
         const CacheVictim victim = l3Cache.insert(line, fill);
         if (victim.valid && victim.dirty) {
-            mcs[channelOf(victim.line)]->enqueueWrite(victim.line,
-                                                      victim.core, now);
+            controller(channelOf(victim.line))
+                .enqueueWrite(victim.line, victim.core, now);
         }
     }
 
@@ -685,7 +740,7 @@ MemHierarchy::processDl1Deliveries(CoreSide &cs, Cycle now)
         }
 
         if (m) {
-            CoreModel *core = cores[d.meta.core];
+            CoreModel *core = cores[static_cast<std::size_t>(d.meta.core)];
             for (const std::uint32_t tag : m->waiters)
                 core->loadCompleted(tag, now);
             if (m->storeWaiters > 0)
@@ -709,9 +764,9 @@ MemHierarchy::tick(Cycle now)
     processToL3(now);
     processPrefetchQueues(now);
 
-    for (int ch = 0; ch < numChannels; ++ch) {
-        mcs[ch]->setL3FillQueueFull(l3Fill.full());
-        mcs[ch]->tick(now);
+    for (auto &mc : mcs) {
+        mc->setL3FillQueueFull(l3Fill.full());
+        mc->tick(now);
     }
     drainDramCompletions(now);
 
@@ -731,8 +786,8 @@ RunStats
 MemHierarchy::collectStats() const
 {
     RunStats out = stats;
-    for (int ch = 0; ch < numChannels; ++ch) {
-        const DramChannelStats &s = mcs[ch]->stats();
+    for (const auto &mc : mcs) {
+        const DramChannelStats &s = mc->stats();
         out.dramReads += s.reads;
         out.dramWrites += s.writes;
         out.dramRowHits += s.rowHits;
@@ -749,9 +804,19 @@ MemHierarchy::collectStats() const
 }
 
 bool
+MemHierarchy::anyToL3() const
+{
+    for (const auto &q : toL3) {
+        if (!q.empty())
+            return true;
+    }
+    return false;
+}
+
+bool
 MemHierarchy::quiescent() const
 {
-    if (!toL3.empty() || !wbToL3.empty() || l3Fill.size() > 0)
+    if (anyToL3() || !wbToL3.empty() || l3Fill.size() > 0)
         return false;
     for (const auto &side : sides) {
         if (!side->toL2.empty() || !side->wbToL2.empty() ||
@@ -760,8 +825,8 @@ MemHierarchy::quiescent() const
             return false;
         }
     }
-    for (int ch = 0; ch < numChannels; ++ch) {
-        if (mcs[ch]->anyPending())
+    for (const auto &mc : mcs) {
+        if (mc->anyPending())
             return false;
     }
     return true;

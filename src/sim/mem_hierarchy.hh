@@ -1,11 +1,24 @@
 /**
  * @file
- * The full memory hierarchy of the simulated quad-core (paper Sec. 5):
- * per-core DL1 + private L2 with fill queue, stride prefetcher, L2
+ * The full memory hierarchy of the simulated chip (paper Sec. 5): per
+ * active core a DL1 + private L2 with fill queue, stride prefetcher, L2
  * prefetcher with 8-entry prefetch queue, two-level TLBs and a
  * randomised page table; a shared non-inclusive L3 with its own fill
- * queue and the 5P (or LRU/DRRIP) replacement policy; two DDR3 channels
- * with fairness-aware controllers.
+ * queue and the 5P (or LRU/DRRIP) replacement policy; M DDR3 channels
+ * with fairness-aware controllers. Core and channel counts are runtime
+ * topology from SystemConfig (the paper's chip is 4 cores x 2
+ * channels), validated at construction.
+ *
+ * The L2-miss-to-L3 demand path is sharded per DRAM channel: each
+ * channel owns its own pending-request queue, and the L3 stage
+ * arbitrates between the channel heads in global arrival order with a
+ * per-cycle budget that scales with the channel count, as does the L3
+ * fill queue capacity (it bounds all in-flight DRAM reads). A full
+ * fill queue is global backpressure and stops the stage, exactly as
+ * before; a full per-core read queue in one controller is
+ * channel-local congestion and parks only that channel's shard for
+ * the cycle (counted in RunStats::l3ChannelStalls), so imbalanced
+ * traffic on wide chips no longer serializes the other channels.
  *
  * The fill-queue protocol is the paper's MSHR-free design (Sec. 5.4):
  * entries are allocated when a miss issues to the next level, released
@@ -82,7 +95,11 @@ class MemHierarchy : public CoreMemInterface
     SetAssocCache &l2(CoreId core) { return side(core).l2; }
     SetAssocCache &l3() { return l3Cache; }
     L2Prefetcher &l2Prefetcher(CoreId core) { return *side(core).l2pf; }
-    MemoryController &controller(int channel) { return *mcs[channel]; }
+    MemoryController &controller(int channel)
+    {
+        return *mcs[static_cast<std::size_t>(channel)];
+    }
+    int channelCount() const { return static_cast<int>(mcs.size()); }
     const SystemConfig &config() const { return cfg; }
 
   private:
@@ -92,6 +109,7 @@ class MemHierarchy : public CoreMemInterface
         LineAddr line = 0;
         ReqMeta meta;
         Cycle readyAt = 0;
+        std::uint64_t seq = 0; ///< global arrival order (L3 path only)
     };
 
     /** A block scheduled to be written into a DL1. */
@@ -146,27 +164,43 @@ class MemHierarchy : public CoreMemInterface
         return *sides[static_cast<std::size_t>(core)];
     }
 
-    SystemConfig cfg;
+    SystemConfig cfg;          ///< resolved topology (numCores concrete)
     std::vector<std::unique_ptr<CoreSide>> sides;
     SetAssocCache l3Cache;
     FillQueue l3Fill;
-    std::unique_ptr<MemoryController> mcs[numChannels];
+    std::vector<std::unique_ptr<MemoryController>> mcs;
 
-    std::deque<PendingReq> toL3;                ///< demand L2 misses
+    /** Demand L2 misses, sharded per DRAM channel. */
+    std::vector<std::deque<PendingReq>> toL3;
+    std::uint64_t toL3Seq = 0; ///< global arrival-order stamp
     std::deque<std::pair<LineAddr, CoreId>> wbToL3; ///< L2 dirty victims
 
-    CoreModel *cores[maxCores] = {};
+    std::vector<CoreModel *> cores;
     unsigned prefetchRr = 0;   ///< round-robin over cores' prefetch queues
     RunStats stats;            ///< cumulative core-0 + chip counters
     std::vector<LineAddr> prefetchScratch;
+    std::vector<char> chanStalled; ///< per-channel scratch (processToL3)
 
-    // per-cycle processing budgets
+    // per-cycle processing budgets; the L3-stage budgets are per
+    // channel pair, so the paper's 2-channel chip gets exactly the
+    // historical 4 demands + 2 prefetches per cycle and wider
+    // topologies scale proportionally.
     static constexpr unsigned l2ReqsPerCycle = 3;
     static constexpr unsigned l3DemandsPerCycle = 4;
     static constexpr unsigned l3PrefetchesPerCycle = 2;
     static constexpr unsigned l3FillsPerCycle = 2;
     static constexpr unsigned l2FillsPerCycle = 2;
     static constexpr unsigned wbPerCycle = 2;
+
+    /** Budget multiplier for the sharded L3 stage. */
+    unsigned
+    channelLanes() const
+    {
+        const unsigned ch = static_cast<unsigned>(cfg.numChannels);
+        return ch > 2 ? ch / 2 : 1;
+    }
+
+    bool anyToL3() const;
 };
 
 } // namespace bop

@@ -27,6 +27,7 @@ deltaStats(const RunStats &end, const RunStats &begin)
         end.l2PrefUselessEvicted - begin.l2PrefUselessEvicted;
     d.l3Accesses = end.l3Accesses - begin.l3Accesses;
     d.l3Misses = end.l3Misses - begin.l3Misses;
+    d.l3ChannelStalls = end.l3ChannelStalls - begin.l3ChannelStalls;
     d.dtlb1Misses = end.dtlb1Misses - begin.dtlb1Misses;
     d.tlb2Misses = end.tlb2Misses - begin.tlb2Misses;
     d.branches = end.branches - begin.branches;
@@ -41,7 +42,7 @@ deltaStats(const RunStats &end, const RunStats &begin)
 
 System::System(const SystemConfig &cfg_,
                std::vector<std::unique_ptr<TraceSource>> traces_)
-    : cfg(cfg_), traces(std::move(traces_)), hier(cfg_)
+    : cfg(cfg_.resolved()), traces(std::move(traces_)), hier(cfg)
 {
     if (static_cast<int>(traces.size()) != cfg.activeCores) {
         throw std::invalid_argument(

@@ -1,9 +1,11 @@
 /**
  * @file
- * Top-level simulated system: N cores (Sec. 5.1: 1, 2 or 4 active),
- * each driven by its own trace source, sharing the uncore. All reported
- * numbers are for core 0; cores 1..3 (when active) run the
- * cache-thrashing micro-benchmark, as in the paper.
+ * Top-level simulated system: N active cores (the paper evaluates 1, 2
+ * and 4, Sec. 5.1; the topology is runtime configuration), each driven
+ * by its own trace source, sharing the uncore. All reported numbers are
+ * for core 0; the other active cores run the cache-thrashing
+ * micro-benchmark, as in the paper. The SystemConfig topology is
+ * validated at construction (std::invalid_argument on inconsistency).
  */
 
 #ifndef BOP_SIM_SYSTEM_HH
@@ -51,8 +53,9 @@ class System
     MemHierarchy &hierarchy() { return hier; }
     CoreModel &core(CoreId id)
     {
-        return *cores[static_cast<std::size_t>(id)];
+        return *cores.at(static_cast<std::size_t>(id));
     }
+    int coreCount() const { return static_cast<int>(cores.size()); }
     const SystemConfig &config() const { return cfg; }
 
   private:

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "dram/address_map.hh"
 
@@ -84,6 +85,54 @@ TEST(AddressMap, LineOffsetBitsIgnored)
     EXPECT_EQ(a.bank, b.bank);
     EXPECT_EQ(a.row, b.row);
     EXPECT_EQ(a.rowOffset, b.rowOffset);
+}
+
+TEST(AddressMap, GeneralizedMapMatchesPaperAtTwoChannels)
+{
+    for (Addr a = 0; a < (1ull << 22); a += 4093) {
+        EXPECT_EQ(channelOfAddr(a, 2),
+                  static_cast<int>(((a >> 11) ^ (a >> 10) ^ (a >> 9) ^
+                                    (a >> 8)) & 1));
+    }
+}
+
+TEST(AddressMap, SingleChannelAlwaysZero)
+{
+    for (Addr a = 0; a < (1ull << 22); a += 8191)
+        EXPECT_EQ(channelOfAddr(a, 1), 0);
+}
+
+TEST(AddressMap, WiderChannelCountsStayInRangeAndSpread)
+{
+    for (const int chans : {4, 8, 16}) {
+        std::set<int> seen;
+        std::vector<int> counts(static_cast<std::size_t>(chans), 0);
+        for (Addr line = 0; line < 16384; ++line) {
+            const int ch = channelOfLine(line, chans);
+            ASSERT_GE(ch, 0);
+            ASSERT_LT(ch, chans);
+            seen.insert(ch);
+            ++counts[static_cast<std::size_t>(ch)];
+        }
+        EXPECT_EQ(seen.size(), static_cast<std::size_t>(chans))
+            << chans << " channels";
+        // A sequential stream must land on every channel roughly
+        // equally (the XOR fold guarantees exact balance over an
+        // aligned power-of-two region).
+        for (const int c : counts)
+            EXPECT_EQ(c, 16384 / chans) << chans << " channels";
+    }
+}
+
+TEST(AddressMap, BankRowIndependentOfChannelCount)
+{
+    for (Addr a = 0; a < (1ull << 22); a += 8191) {
+        const DramCoord two = mapToDram(a, 2);
+        const DramCoord eight = mapToDram(a, 8);
+        EXPECT_EQ(two.bank, eight.bank);
+        EXPECT_EQ(two.row, eight.row);
+        EXPECT_EQ(two.rowOffset, eight.rowOffset);
+    }
 }
 
 } // namespace

@@ -30,7 +30,7 @@ lineWithRow(std::uint64_t row, std::uint32_t off = 0)
 
 TEST(MemController, ReadCompletes)
 {
-    MemoryController mc(DramTiming{}, 0);
+    MemoryController mc(DramTiming{}, 0, 4);
     mc.enqueueRead(lineWithRow(1), meta(0), 0);
     std::vector<CompletedRead> done;
     for (Cycle now = 0; now < 1000 && done.empty(); ++now) {
@@ -46,7 +46,7 @@ TEST(MemController, ReadCompletes)
 
 TEST(MemController, QueueCapacityPerCore)
 {
-    MemoryController mc(DramTiming{}, 0);
+    MemoryController mc(DramTiming{}, 0, 4);
     for (std::size_t i = 0; i < MemoryController::queueCapacity; ++i) {
         EXPECT_FALSE(mc.readQueueFull(2));
         mc.enqueueRead(lineWithRow(i), meta(2), 0);
@@ -57,7 +57,7 @@ TEST(MemController, QueueCapacityPerCore)
 
 TEST(MemController, ReadQueueSearch)
 {
-    MemoryController mc(DramTiming{}, 0);
+    MemoryController mc(DramTiming{}, 0, 4);
     mc.enqueueRead(lineWithRow(7), meta(1), 0);
     EXPECT_TRUE(mc.readQueueContains(lineWithRow(7)));
     EXPECT_FALSE(mc.readQueueContains(lineWithRow(8)));
@@ -65,7 +65,7 @@ TEST(MemController, ReadQueueSearch)
 
 TEST(MemController, FrFcfsPrefersRowHits)
 {
-    MemoryController mc(DramTiming{}, 0);
+    MemoryController mc(DramTiming{}, 0, 4);
     // Open row 1 via an initial read, run it to completion.
     mc.enqueueRead(lineWithRow(1, 0), meta(0), 0);
     Cycle now = 0;
@@ -92,7 +92,7 @@ TEST(MemController, FrFcfsPrefersRowHits)
 
 TEST(MemController, RowHitsCounted)
 {
-    MemoryController mc(DramTiming{}, 0);
+    MemoryController mc(DramTiming{}, 0, 4);
     for (std::uint32_t i = 0; i < 8; ++i)
         mc.enqueueRead(lineWithRow(3, i), meta(0), 0);
     Cycle now = 0;
@@ -107,7 +107,7 @@ TEST(MemController, RowHitsCounted)
 
 TEST(MemController, WriteBatchOnFullQueue)
 {
-    MemoryController mc(DramTiming{}, 0);
+    MemoryController mc(DramTiming{}, 0, 4);
     for (std::size_t i = 0; i < MemoryController::queueCapacity; ++i)
         mc.enqueueWrite(lineWithRow(i), 0, 0);
     ASSERT_TRUE(mc.writeQueueFull(0));
@@ -123,7 +123,7 @@ TEST(MemController, WriteBatchOnFullQueue)
 
 TEST(MemController, IdleWritesDrainEventually)
 {
-    MemoryController mc(DramTiming{}, 0);
+    MemoryController mc(DramTiming{}, 0, 4);
     mc.enqueueWrite(lineWithRow(5), 1, 0);
     Cycle now = 0;
     while (mc.anyPending() && now < 10000) {
@@ -135,7 +135,7 @@ TEST(MemController, IdleWritesDrainEventually)
 
 TEST(MemController, FairnessServesBothCores)
 {
-    MemoryController mc(DramTiming{}, 0);
+    MemoryController mc(DramTiming{}, 0, 4);
     // Core 1 floods row hits; core 0 has scattered reads. The
     // proportional counters + urgent mode must keep core 0 served.
     Cycle now = 0;
@@ -156,7 +156,7 @@ TEST(MemController, FairnessServesBothCores)
 
 TEST(MemController, UrgentModeRequiresFillQueueSpace)
 {
-    MemoryController mc(DramTiming{}, 0);
+    MemoryController mc(DramTiming{}, 0, 4);
     mc.setL3FillQueueFull(true);
     // With the fill queue full, urgent issues are suppressed; steady
     // mode still works.

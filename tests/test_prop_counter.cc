@@ -83,5 +83,40 @@ TEST(PropCounter, WidthSetsCmax)
     EXPECT_EQ(g12.max(), 4095u);
 }
 
+TEST(PropCounter, GroupsLargerThanFourRequesters)
+{
+    // The memory-controller fairness groups are sized from the runtime
+    // core count; the halving invariant must hold for any group size,
+    // not just the paper's 4.
+    PropCounterGroup g(16, 7);
+    EXPECT_EQ(g.size(), 16u);
+    for (std::size_t c = 0; c < 16; ++c) {
+        for (std::size_t i = 0; i <= c; ++i)
+            g.increment(c);
+    }
+    EXPECT_EQ(g.argMin(), 0u);
+    EXPECT_EQ(g.maxValue(), 16u);
+    // Drive counter 15 to CMAX: all sixteen halve together.
+    while (g.value(15) != 0 && g.value(15) < g.max() - 1)
+        g.increment(15);
+    g.increment(15);
+    for (std::size_t c = 0; c + 1 < 16; ++c)
+        EXPECT_EQ(g.value(c), (c + 1) / 2) << "counter " << c;
+    EXPECT_EQ(g.value(15), g.max() / 2);
+}
+
+TEST(PropCounter, HalvingPreservesRatiosAtAnySize)
+{
+    PropCounterGroup g(8, 7);
+    for (int i = 0; i < 100; ++i)
+        g.increment(5);
+    for (int i = 0; i < 50; ++i)
+        g.increment(6);
+    for (int i = 0; i < 100; ++i)
+        g.increment(5); // crosses CMAX, halving everything
+    EXPECT_GT(g.value(5), g.value(6));
+    EXPECT_GT(g.value(6), g.value(0));
+}
+
 } // namespace
 } // namespace bop

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "harness/experiment.hh"
+#include "harness/json_report.hh"
 #include "sim/system.hh"
 #include "trace/trace_io.hh"
 #include "trace/workloads.hh"
@@ -44,7 +45,10 @@ usage(const char *argv0)
         "  --prefetcher KIND   none | next-line | fixed | bo | bo-dpc2\n"
         "                      | sbp | stream | streambuf | fdp | acdc\n"
         "  --offset D          fixed-offset D (with --prefetcher fixed)\n"
-        "  --cores N           active cores: 1, 2 or 4 (default 1)\n"
+        "  --cores N           active cores (default 1; paper: 1, 2, 4)\n"
+        "  --num-cores N       chip topology core count (default: same\n"
+        "                      as --cores)\n"
+        "  --channels M        DRAM channels, power of two (default 2)\n"
         "  --page SIZE         4k or 4m (default 4k)\n"
         "  --l3 POLICY         5p | lru | drrip (default 5p)\n"
         "  --no-dl1-stride     disable the DL1 stride prefetcher\n"
@@ -59,7 +63,8 @@ usage(const char *argv0)
         "run control:\n"
         "  --warmup N          warm-up instructions (default 100000)\n"
         "  --instr N           measured instructions (default 400000)\n"
-        "  --seed S            run seed (default 42)\n",
+        "  --seed S            run seed (default 42)\n"
+        "  --json PATH         write a machine-readable run record\n",
         argv0);
 }
 
@@ -106,6 +111,7 @@ main(int argc, char **argv)
 
     std::string workload;
     std::string trace_file;
+    std::string json_path;
     SystemConfig cfg;
     cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
     std::uint64_t warmup = 100000;
@@ -136,10 +142,10 @@ main(int argc, char **argv)
             cfg.fixedOffset = std::atoi(next_arg(i).c_str());
         } else if (arg == "--cores") {
             cfg.activeCores = std::atoi(next_arg(i).c_str());
-            if (cfg.activeCores != 1 && cfg.activeCores != 2 &&
-                cfg.activeCores != 4) {
-                die("--cores must be 1, 2 or 4");
-            }
+        } else if (arg == "--num-cores") {
+            cfg.numCores = std::atoi(next_arg(i).c_str());
+        } else if (arg == "--channels") {
+            cfg.numChannels = std::atoi(next_arg(i).c_str());
         } else if (arg == "--page") {
             const std::string v = next_arg(i);
             if (v == "4k" || v == "4K")
@@ -177,6 +183,8 @@ main(int argc, char **argv)
             instr = std::strtoull(next_arg(i).c_str(), nullptr, 10);
         } else if (arg == "--seed") {
             cfg.seed = std::strtoull(next_arg(i).c_str(), nullptr, 10);
+        } else if (arg == "--json") {
+            json_path = next_arg(i);
         } else {
             usage(argv[0]);
             die("unknown option '" + arg + "'");
@@ -243,6 +251,11 @@ main(int argc, char **argv)
                             s.boPrefetchOffPhases));
             std::printf("BO offset    : %d (best score %d)\n",
                         s.boFinalOffset, s.boFinalScore);
+        }
+        if (!json_path.empty() &&
+            !writeRunRecordsFile(json_path,
+                                 {{label, cfg.describe(), s}})) {
+            return 1;
         }
         return 0;
     } catch (const std::exception &e) {
