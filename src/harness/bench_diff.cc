@@ -1,0 +1,291 @@
+#include "harness/bench_diff.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bop
+{
+
+namespace
+{
+
+/** Minimal recursive-descent scanner over the json_report subset. */
+class RecordParser
+{
+  public:
+    explicit RecordParser(std::istream &in_) : in(in_) {}
+
+    std::vector<ParsedRunRecord> parse()
+    {
+        std::vector<ParsedRunRecord> records;
+        expect('[');
+        skipSpace();
+        if (peek() == ']') {
+            get();
+            return records;
+        }
+        while (true) {
+            records.push_back(parseRecord());
+            skipSpace();
+            const int c = get();
+            if (c == ']')
+                break;
+            if (c != ',')
+                fail("expected ',' or ']' between records");
+        }
+        return records;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &what)
+    {
+        throw std::runtime_error("bench records: " + what +
+                                 " at character offset " +
+                                 std::to_string(pos));
+    }
+
+    int get()
+    {
+        const int c = in.get();
+        if (c != EOF)
+            ++pos;
+        return c;
+    }
+
+    int peek() { return in.peek(); }
+
+    void skipSpace()
+    {
+        while (std::isspace(peek()))
+            get();
+    }
+
+    void expect(char want)
+    {
+        skipSpace();
+        const int c = get();
+        if (c != want)
+            fail(std::string("expected '") + want + "'");
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            const int c = get();
+            if (c == EOF)
+                fail("unterminated string");
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += static_cast<char>(c);
+                continue;
+            }
+            const int esc = get();
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out += static_cast<char>(esc);
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                // json_report only emits \u00xx control escapes.
+                char hex[5] = {};
+                for (int i = 0; i < 4; ++i) {
+                    const int h = get();
+                    if (!std::isxdigit(h))
+                        fail("bad \\u escape");
+                    hex[i] = static_cast<char>(h);
+                }
+                out += static_cast<char>(
+                    std::strtol(hex, nullptr, 16));
+                break;
+              }
+              default:
+                fail("unsupported escape");
+            }
+        }
+    }
+
+    double parseNumber()
+    {
+        std::string text;
+        while (true) {
+            const int c = peek();
+            if (c == '-' || c == '+' || c == '.' || c == 'e' ||
+                c == 'E' || std::isdigit(c)) {
+                text += static_cast<char>(get());
+            } else {
+                break;
+            }
+        }
+        if (text.empty())
+            fail("expected a number");
+        std::size_t used = 0;
+        const double value = std::stod(text, &used);
+        if (used != text.size())
+            fail("malformed number '" + text + "'");
+        return value;
+    }
+
+    ParsedRunRecord parseRecord()
+    {
+        ParsedRunRecord record;
+        expect('{');
+        skipSpace();
+        if (peek() == '}') {
+            get();
+            return record;
+        }
+        while (true) {
+            const std::string name = parseString();
+            expect(':');
+            skipSpace();
+            if (peek() == '"')
+                record.strings[name] = parseString();
+            else
+                record.numbers[name] = parseNumber();
+            skipSpace();
+            const int c = get();
+            if (c == '}')
+                return record;
+            if (c != ',')
+                fail("expected ',' or '}' inside a record");
+            skipSpace();
+        }
+    }
+
+    std::istream &in;
+    std::size_t pos = 0;
+};
+
+std::string
+lookupString(const ParsedRunRecord &record, const std::string &name)
+{
+    const auto it = record.strings.find(name);
+    return it == record.strings.end() ? std::string() : it->second;
+}
+
+std::string
+traceSourceOrDefault(const ParsedRunRecord &record)
+{
+    // Artifacts written before the trace_source field existed must
+    // keep matching their modern counterparts, which serialise
+    // generator-driven runs as "generator".
+    const std::string value = lookupString(record, "trace_source");
+    return value.empty() ? "generator" : value;
+}
+
+/** Flag |new-old| (relative to @p base when > 0) beyond threshold. */
+void
+compareMetric(const ParsedRunRecord &oldRecord,
+              const ParsedRunRecord &newRecord, const std::string &key,
+              const std::string &metric, bool relative, double threshold,
+              std::vector<BenchDelta> &flagged)
+{
+    const auto oldIt = oldRecord.numbers.find(metric);
+    const auto newIt = newRecord.numbers.find(metric);
+    if (oldIt == oldRecord.numbers.end() ||
+        newIt == newRecord.numbers.end())
+        return;
+    const double oldValue = oldIt->second;
+    const double newValue = newIt->second;
+    double magnitude = std::fabs(newValue - oldValue);
+    if (relative) {
+        if (oldValue == 0.0) {
+            // Any movement off a zero baseline is an infinite
+            // relative change: flag it unconditionally.
+            if (magnitude == 0.0)
+                return;
+            flagged.push_back(
+                {key, metric, oldValue, newValue, newValue - oldValue});
+            return;
+        }
+        magnitude /= std::fabs(oldValue);
+    }
+    if (magnitude > threshold) {
+        flagged.push_back(
+            {key, metric, oldValue, newValue, newValue - oldValue});
+    }
+}
+
+} // namespace
+
+std::string
+ParsedRunRecord::key() const
+{
+    return lookupString(*this, "workload") + " | " +
+           lookupString(*this, "config") + " | " +
+           traceSourceOrDefault(*this);
+}
+
+std::vector<ParsedRunRecord>
+parseRunRecords(std::istream &in)
+{
+    return RecordParser(in).parse();
+}
+
+std::vector<ParsedRunRecord>
+parseRunRecordsFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open bench records: " + path);
+    try {
+        return parseRunRecords(in);
+    } catch (const std::runtime_error &e) {
+        throw std::runtime_error(path + ": " + e.what());
+    }
+}
+
+BenchDiffResult
+diffRunRecords(const std::vector<ParsedRunRecord> &oldRecords,
+               const std::vector<ParsedRunRecord> &newRecords,
+               const BenchDiffOptions &options)
+{
+    BenchDiffResult result;
+    std::map<std::string, const ParsedRunRecord *> byKey;
+    for (const ParsedRunRecord &record : oldRecords)
+        byKey[record.key()] = &record;
+
+    std::map<std::string, bool> seen;
+    for (const ParsedRunRecord &newRecord : newRecords) {
+        const std::string key = newRecord.key();
+        const auto it = byKey.find(key);
+        if (it == byKey.end()) {
+            result.onlyNew.push_back(key);
+            continue;
+        }
+        seen[key] = true;
+        ++result.compared;
+        const ParsedRunRecord &oldRecord = *it->second;
+        compareMetric(oldRecord, newRecord, key, "ipc",
+                      /*relative=*/true, options.ipcRelative,
+                      result.flagged);
+        compareMetric(oldRecord, newRecord, key, "prefetch_coverage",
+                      /*relative=*/false, options.coverageAbsolute,
+                      result.flagged);
+        compareMetric(oldRecord, newRecord, key, "dram_per_1k_instr",
+                      /*relative=*/true, options.dramRelative,
+                      result.flagged);
+    }
+    for (const ParsedRunRecord &record : oldRecords) {
+        const std::string key = record.key();
+        if (!seen.count(key))
+            result.onlyOld.push_back(key);
+    }
+    return result;
+}
+
+} // namespace bop

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Bench-record trajectory diffing (ROADMAP: JSON trajectory diffing).
+ *
+ * CI uploads the `bench-json-records` artifact on every push; this
+ * module compares two such artifacts and flags the runs whose key
+ * metrics moved beyond a threshold, so a PR that regresses IPC,
+ * prefetch coverage or DRAM traffic on any benchmark is caught from
+ * the records alone — including the new trace-driven runs, which are
+ * matched by their `trace_source` tag as well as workload + config.
+ *
+ * The parser accepts exactly the JSON the json_report writer emits
+ * (an array of flat objects with string and number values); it is not
+ * a general JSON library and rejects anything nested.
+ */
+
+#ifndef BOP_HARNESS_BENCH_DIFF_HH
+#define BOP_HARNESS_BENCH_DIFF_HH
+
+#include <istream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bop
+{
+
+/** One parsed run record: flat string and numeric fields. */
+struct ParsedRunRecord
+{
+    std::map<std::string, std::string> strings;
+    std::map<std::string, double> numbers;
+
+    /** Identity of the run inside an artifact:
+     *  "workload | config | trace_source". A missing or empty
+     *  trace_source reads as "generator" so pre-trace_source
+     *  artifacts keep matching modern ones. */
+    std::string key() const;
+};
+
+/**
+ * Parse a json_report-style array of flat records. Throws
+ * std::runtime_error (with a character offset) on malformed input.
+ */
+std::vector<ParsedRunRecord> parseRunRecords(std::istream &in);
+
+/** parseRunRecords on a file; throws when the file cannot be read. */
+std::vector<ParsedRunRecord> parseRunRecordsFile(const std::string &path);
+
+/** Thresholds for flagging a metric movement as a regression. */
+struct BenchDiffOptions
+{
+    double ipcRelative = 0.02;      ///< |ΔIPC| / old IPC
+    double coverageAbsolute = 0.02; ///< |Δ prefetch_coverage|
+    double dramRelative = 0.05;     ///< |Δ dram_per_1k_instr| / old
+};
+
+/** One flagged metric movement. */
+struct BenchDelta
+{
+    std::string key;    ///< run identity (ParsedRunRecord::key())
+    std::string metric; ///< "ipc", "prefetch_coverage", ...
+    double oldValue = 0.0;
+    double newValue = 0.0;
+    double delta = 0.0; ///< newValue - oldValue
+};
+
+/** Outcome of diffing two artifacts. */
+struct BenchDiffResult
+{
+    std::vector<BenchDelta> flagged; ///< beyond-threshold movements
+    std::vector<std::string> onlyOld; ///< runs that disappeared
+    std::vector<std::string> onlyNew; ///< runs that appeared
+    std::size_t compared = 0;         ///< runs present in both
+
+    bool clean() const { return flagged.empty(); }
+};
+
+/** Compare two artifacts run-by-run (matched on key()). */
+BenchDiffResult diffRunRecords(const std::vector<ParsedRunRecord> &oldRecords,
+                               const std::vector<ParsedRunRecord> &newRecords,
+                               const BenchDiffOptions &options);
+
+} // namespace bop
+
+#endif // BOP_HARNESS_BENCH_DIFF_HH

@@ -103,7 +103,8 @@ ExperimentRunner::run(const std::string &benchmark, const SystemConfig &cfg)
 
     System system(cfg, makeTraces(benchmark, cfg));
     RunStats stats = system.run(budget.warmup, budget.measure);
-    runRecords.push_back({benchmark, cfg.describe(), stats});
+    runRecords.push_back({benchmark, cfg.describe(), stats,
+                          /*traceSource=*/""});
 
     if (std::getenv("BOP_VERBOSE")) {
         std::fprintf(stderr, "  [run] %-16s %-44s IPC=%.3f\n",

@@ -47,6 +47,10 @@ writeRunRecord(std::ostream &os, const RunRecord &record)
     os << "{"
        << "\"workload\": \"" << jsonEscape(record.workload) << "\", "
        << "\"config\": \"" << jsonEscape(record.config) << "\", "
+       << "\"trace_source\": \""
+       << jsonEscape(record.traceSource.empty() ? "generator"
+                                                : record.traceSource)
+       << "\", "
        << std::setprecision(6) << std::fixed
        << "\"ipc\": " << s.ipc() << ", "
        << "\"cycles\": " << s.cycles << ", "

@@ -28,6 +28,11 @@ struct RunRecord
     std::string workload; ///< core-0 benchmark name
     std::string config;   ///< SystemConfig::describe() string
     RunStats stats;
+    /** Trace provenance: a FileTrace::sourceTag() string (file name +
+     *  on-disk format) for trace-driven runs; empty for the built-in
+     *  generators (serialised as "generator") — keeps bench artifacts
+     *  comparable across workload sources. */
+    std::string traceSource;
 };
 
 /** Escape a string for inclusion in a JSON string literal. */

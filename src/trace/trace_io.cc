@@ -1,29 +1,16 @@
 #include "trace/trace_io.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
+
+#include "trace/trace_reader.hh"
 
 namespace bop
 {
 
 namespace
 {
-
-void
-put64(unsigned char *buf, std::uint64_t v)
-{
-    for (int i = 0; i < 8; ++i)
-        buf[i] = static_cast<unsigned char>(v >> (8 * i));
-}
-
-std::uint64_t
-get64(const unsigned char *buf)
-{
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-        v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
-    return v;
-}
 
 constexpr unsigned char kindMask = 0x0f;
 constexpr unsigned char takenFlag = 0x10;
@@ -41,8 +28,8 @@ encodeTraceInstr(const TraceInstr &instr, unsigned char *buf)
     if (instr.dependsOnPrevLoad)
         head |= depFlag;
     buf[0] = head;
-    put64(buf + 1, instr.pc);
-    put64(buf + 9, instr.vaddr);
+    putLE64(buf + 1, instr.pc);
+    putLE64(buf + 9, instr.vaddr);
     buf[17] = 0;
     buf[18] = 0;
 }
@@ -58,8 +45,8 @@ decodeTraceInstr(const unsigned char *buf)
     instr.kind = static_cast<InstrKind>(kind);
     instr.taken = (head & takenFlag) != 0;
     instr.dependsOnPrevLoad = (head & depFlag) != 0;
-    instr.pc = get64(buf + 1);
-    instr.vaddr = get64(buf + 9);
+    instr.pc = getLE64(buf + 1);
+    instr.vaddr = getLE64(buf + 9);
     return instr;
 }
 
@@ -114,7 +101,7 @@ TraceWriter::close()
     // Patch the record count at offset 16.
     out.seekp(16);
     unsigned char buf[8];
-    put64(buf, numRecords);
+    putLE64(buf, numRecords);
     out.write(reinterpret_cast<const char *>(buf), sizeof(buf));
     out.close();
     if (!out)
@@ -125,34 +112,22 @@ TraceWriter::close()
 
 FileTrace::FileTrace(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        throw std::runtime_error("FileTrace: cannot open " + path);
+    auto reader = openTraceReader(path);
+    fmt = reader->format();
+    comp = reader->compression();
 
-    unsigned char header[24];
-    in.read(reinterpret_cast<char *>(header), sizeof(header));
-    if (!in || std::memcmp(header, traceMagic, 8) != 0)
-        throw std::runtime_error("FileTrace: bad magic in " + path);
-    std::uint32_t ver = 0;
-    for (int i = 0; i < 4; ++i)
-        ver |= static_cast<std::uint32_t>(header[8 + i]) << (8 * i);
-    if (ver != traceVersion)
-        throw std::runtime_error("FileTrace: unsupported version in " +
-                                 path);
-    const std::uint64_t count = get64(header + 16);
-    if (count == 0)
+    // The header count steers the reserve but is capped: on a piped
+    // (compressed) stream it cannot be cross-checked against the
+    // payload size up front, and a lying header must produce the
+    // reader's truncation diagnostic, not a bad_alloc here.
+    constexpr std::uint64_t reserveCap = 1u << 24;
+    if (const std::uint64_t declared = reader->declaredRecords())
+        instrs.reserve(std::min(declared, reserveCap));
+    TraceInstr instr;
+    while (reader->next(instr))
+        instrs.push_back(instr);
+    if (instrs.empty())
         throw std::runtime_error("FileTrace: empty trace " + path);
-
-    instrs.reserve(count);
-    unsigned char buf[traceRecordBytes];
-    for (std::uint64_t i = 0; i < count; ++i) {
-        in.read(reinterpret_cast<char *>(buf), sizeof(buf));
-        if (!in) {
-            throw std::runtime_error(
-                "FileTrace: truncated trace " + path);
-        }
-        instrs.push_back(decodeTraceInstr(buf));
-    }
 
     // Label = file name without directories.
     const auto slash = path.find_last_of('/');
@@ -167,17 +142,34 @@ FileTrace::next()
     return instr;
 }
 
+std::string
+FileTrace::sourceTag() const
+{
+    std::string tag = label + " (" + traceFormatName(fmt);
+    if (comp != TraceCompression::None)
+        tag += std::string("+") + traceCompressionName(comp);
+    tag += ")";
+    return tag;
+}
+
 // -- capture helper -----------------------------------------------------------
 
 std::uint64_t
 captureTrace(TraceSource &source, std::uint64_t count,
              const std::string &path)
 {
-    TraceWriter writer(path);
+    return captureTrace(source, count, path, traceFormatForPath(path));
+}
+
+std::uint64_t
+captureTrace(TraceSource &source, std::uint64_t count,
+             const std::string &path, TraceFormat format)
+{
+    auto sink = makeTraceSink(path, format);
     for (std::uint64_t i = 0; i < count; ++i)
-        writer.append(source.next());
-    writer.close();
-    return writer.count();
+        sink->append(source.next());
+    sink->close();
+    return sink->count();
 }
 
 } // namespace bop

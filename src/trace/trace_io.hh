@@ -1,18 +1,22 @@
 /**
  * @file
- * Binary trace file I/O.
+ * Binary trace file I/O: the native BOPTRACE container, and the
+ * looping FileTrace replay source that accepts every format the
+ * pluggable frontend (trace_reader.hh) can decode.
  *
  * The paper drives its simulator with Pin traces; this repository's
  * built-in workloads are generative, but a downstream user will want
- * to run their *own* traces. This module defines a compact record
- * format (the natural serialisation of TraceInstr), a writer, and a
- * TraceSource that replays a file — in a loop, because the simulator's
- * trace sources are endless streams (Sec. 5: samples are stitched
- * together and the harness decides the instruction budget).
+ * to run their *own* traces — either captures made with `boptrace`
+ * or ChampSim/DPC traces from the community. This module defines the
+ * native on-disk format (the natural serialisation of TraceInstr), a
+ * writer, and a TraceSource that replays a file — in a loop, because
+ * the simulator's trace sources are endless streams (Sec. 5: samples
+ * are stitched together and the harness decides the instruction
+ * budget).
  *
- * Format: a 24-byte header (magic "BOPTRACE", 4-byte version, 4 bytes
- * reserved, 8-byte record count) followed by fixed-size 19-byte
- * little-endian records:
+ * BOPTRACE format: a 24-byte header (magic "BOPTRACE", 4-byte
+ * version, 4 bytes reserved, 8-byte record count) followed by
+ * fixed-size 19-byte little-endian records:
  *
  *   byte  0      kind (InstrKind) | flags (taken=0x10, dep=0x20)
  *   bytes 1..8   pc
@@ -20,7 +24,9 @@
  *   bytes 17..18 reserved (zero)
  *
  * Fixed-size records keep random access trivial (sampling, slicing);
- * traces compress well externally if storage matters.
+ * traces compress well externally if storage matters. The normative
+ * byte-level specification of this format — and of the supported
+ * ChampSim record layout — lives in docs/TRACE_FORMATS.md.
  */
 
 #ifndef BOP_TRACE_TRACE_IO_HH
@@ -33,6 +39,7 @@
 #include <vector>
 
 #include "trace/trace.hh"
+#include "trace/trace_reader.hh"
 
 namespace bop
 {
@@ -46,33 +53,53 @@ constexpr std::uint32_t traceVersion = 1;
 /** Size of one serialised record in bytes. */
 constexpr std::size_t traceRecordBytes = 19;
 
+/** Little-endian u64 store, shared by every format reader/writer. */
+inline void
+putLE64(unsigned char *buf, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+/** Little-endian u64 load. */
+inline std::uint64_t
+getLE64(const unsigned char *buf)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+    return v;
+}
+
 /** Serialise one record into @p buf (traceRecordBytes bytes). */
 void encodeTraceInstr(const TraceInstr &instr, unsigned char *buf);
 
 /** Deserialise one record from @p buf. */
 TraceInstr decodeTraceInstr(const unsigned char *buf);
 
-/** Streaming trace file writer. */
-class TraceWriter
+/** Streaming BOPTRACE file writer. */
+class TraceWriter : public TraceSink
 {
   public:
     /** Open @p path for writing; throws std::runtime_error on failure. */
     explicit TraceWriter(const std::string &path);
 
     /** Flushes the header (record count) and closes the file. */
-    ~TraceWriter();
+    ~TraceWriter() override;
 
     TraceWriter(const TraceWriter &) = delete;
     TraceWriter &operator=(const TraceWriter &) = delete;
 
     /** Append one instruction. */
-    void append(const TraceInstr &instr);
+    void append(const TraceInstr &instr) override;
 
     /** Records written so far. */
-    std::uint64_t count() const { return numRecords; }
+    std::uint64_t count() const override { return numRecords; }
 
     /** Finalise explicitly (also done by the destructor). */
-    void close();
+    void close() override;
+
+    TraceFormat format() const override { return TraceFormat::Boptrace; }
 
   private:
     std::ofstream out;
@@ -84,9 +111,13 @@ class TraceWriter
 /**
  * TraceSource replaying a trace file in an endless loop.
  *
- * The whole file is loaded into memory at construction (records are
- * 19 bytes; a 50M-instruction sample is under 1GB — the paper-scale
- * use case; for this repository's budgets files are tiny).
+ * The file's format and compression are autodetected
+ * (openTraceReader); the whole decoded trace is loaded into memory at
+ * construction (records are small; a 50M-instruction sample is under
+ * 2GB — the paper-scale use case; for this repository's budgets files
+ * are tiny). A BOPTRACE file whose payload size disagrees with its
+ * header record count is rejected with the byte offset of the
+ * mismatch.
  */
 class FileTrace : public TraceSource
 {
@@ -99,18 +130,38 @@ class FileTrace : public TraceSource
 
     std::uint64_t records() const { return instrs.size(); }
 
+    /** On-disk format the file was decoded from. */
+    TraceFormat format() const { return fmt; }
+
+    /** Compression the file was read through. */
+    TraceCompression compression() const { return comp; }
+
+    /**
+     * Provenance tag for run records, e.g. "lbm.champsim.xz
+     * (champsim+xz)" — file name, decoded format, and compression
+     * when any.
+     */
+    std::string sourceTag() const;
+
   private:
     std::string label;
+    TraceFormat fmt = TraceFormat::Boptrace;
+    TraceCompression comp = TraceCompression::None;
     std::vector<TraceInstr> instrs;
     std::size_t pos = 0;
 };
 
 /**
- * Capture @p count instructions from @p source into file @p path.
+ * Capture @p count instructions from @p source into file @p path,
+ * serialised as @p format (default: whatever the path's extension
+ * implies — `.champsim`/`.champsimtrace`/`.trace` produce ChampSim
+ * records, everything else BOPTRACE).
  * Returns the number of records written (== count).
  */
 std::uint64_t captureTrace(TraceSource &source, std::uint64_t count,
                            const std::string &path);
+std::uint64_t captureTrace(TraceSource &source, std::uint64_t count,
+                           const std::string &path, TraceFormat format);
 
 } // namespace bop
 

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Pluggable trace frontend: format autodetection, streaming readers
+ * and writers for every on-disk trace format the simulator speaks.
+ *
+ * The paper evaluates BO on Pin-captured traces (Sec. 5); the wider
+ * prefetching community distributes workload captures in the
+ * ChampSim/DPC fixed-record format (one 64-byte input-instruction
+ * record per retired instruction, usually gzip- or xz-compressed).
+ * This layer decodes both that format and this repository's native
+ * BOPTRACE container into `TraceInstr` streams behind one interface,
+ * so every consumer (`FileTrace`, `bopsim --trace`, `boptrace
+ * convert/info`) is format-agnostic.
+ *
+ * Layering:
+ *
+ *   ByteStream        sequential bytes + consumed-offset + pushback;
+ *                     concrete: plain file, or a `gzip -dc`/`xz -dc`
+ *                     subprocess pipe for compressed traces
+ *   TraceReader       finite stream of decoded TraceInstr records
+ *   TraceSink         streaming trace writer (BOPTRACE or ChampSim)
+ *   openTraceReader   compression sniff -> decompressed magic sniff
+ *                     -> extension fallback -> concrete reader
+ *
+ * The byte-level layout of both formats (and the canonical-subset
+ * conventions the ChampSim writer uses) is specified normatively in
+ * docs/TRACE_FORMATS.md.
+ */
+
+#ifndef BOP_TRACE_TRACE_READER_HH
+#define BOP_TRACE_TRACE_READER_HH
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace bop
+{
+
+/** On-disk trace formats the frontend can decode and encode. */
+enum class TraceFormat
+{
+    Boptrace, ///< native 24-byte header + 19-byte records
+    ChampSim, ///< headerless 64-byte input_instr records
+};
+
+/** Transparent decompression applied while reading. */
+enum class TraceCompression
+{
+    None,
+    Gzip, ///< piped through `gzip -dc`
+    Xz,   ///< piped through `xz -dc`
+};
+
+/** Lower-case name for messages and JSON tags ("boptrace", ...). */
+const char *traceFormatName(TraceFormat format);
+
+/** Lower-case name ("none", "gzip", "xz"). */
+const char *traceCompressionName(TraceCompression compression);
+
+// -- byte streams -------------------------------------------------------------
+
+/**
+ * A sequential byte source that tracks the number of bytes consumed
+ * (so malformed-trace errors can report exact byte offsets) and
+ * supports pushing sniffed bytes back for the next reader.
+ */
+class ByteStream
+{
+  public:
+    virtual ~ByteStream() = default;
+
+    /** Read up to @p n bytes; returns bytes produced (< n at EOF). */
+    std::size_t read(unsigned char *buf, std::size_t n);
+
+    /** Read exactly @p n bytes, or return false at a clean EOF with
+     *  zero bytes; throws std::runtime_error on a partial record. */
+    bool readExact(unsigned char *buf, std::size_t n);
+
+    /** Push @p n bytes back; they are returned by the next read(). */
+    void unread(const unsigned char *buf, std::size_t n);
+
+    /** Bytes handed out so far (pushed-back bytes not yet re-read
+     *  are excluded). */
+    std::uint64_t offset() const { return consumed; }
+
+    /** Total stream size when knowable up front (a plain uncompressed
+     *  file); nullopt for pipes. */
+    virtual std::optional<std::uint64_t> totalBytes() const
+    {
+        return std::nullopt;
+    }
+
+  protected:
+    /** Produce up to @p n bytes from the underlying source. */
+    virtual std::size_t readRaw(unsigned char *buf, std::size_t n) = 0;
+
+  private:
+    std::vector<unsigned char> pushback; ///< stored reversed
+    std::uint64_t consumed = 0;
+};
+
+/** ByteStream over a plain file. */
+class FileByteStream : public ByteStream
+{
+  public:
+    /** Throws std::runtime_error when the file cannot be opened. */
+    explicit FileByteStream(const std::string &path);
+
+    std::optional<std::uint64_t> totalBytes() const override
+    {
+        return size;
+    }
+
+  protected:
+    std::size_t readRaw(unsigned char *buf, std::size_t n) override;
+
+  private:
+    std::ifstream in;
+    std::uint64_t size = 0;
+};
+
+/**
+ * ByteStream over the stdout of a decompressor subprocess
+ * (`gzip -dc` / `xz -dc`). The subprocess exit status is checked at
+ * EOF so a corrupt archive surfaces as an exception, not silence.
+ */
+class PipeByteStream : public ByteStream
+{
+  public:
+    /** Spawn @p tool ("gzip" or "xz") decompressing @p path. */
+    PipeByteStream(const std::string &tool, const std::string &path);
+    ~PipeByteStream() override;
+
+    PipeByteStream(const PipeByteStream &) = delete;
+    PipeByteStream &operator=(const PipeByteStream &) = delete;
+
+  protected:
+    std::size_t readRaw(unsigned char *buf, std::size_t n) override;
+
+  private:
+    void finish(); ///< pclose + exit-status check (throws on failure)
+
+    std::FILE *pipe = nullptr;
+    std::string command;
+};
+
+/**
+ * Open @p path for reading, transparently decompressing when the raw
+ * file starts with a gzip or xz magic number. Returns the stream and
+ * the compression that was detected.
+ */
+std::pair<std::unique_ptr<ByteStream>, TraceCompression>
+openByteStream(const std::string &path);
+
+// -- readers ------------------------------------------------------------------
+
+/** A finite, forward-only stream of decoded trace instructions. */
+class TraceReader
+{
+  public:
+    virtual ~TraceReader() = default;
+
+    /** Decode the next instruction into @p out; false at end of
+     *  trace. Throws std::runtime_error on malformed input, with the
+     *  offending byte offset in the message. */
+    virtual bool next(TraceInstr &out) = 0;
+
+    virtual TraceFormat format() const = 0;
+    virtual TraceCompression compression() const = 0;
+
+    /** Record count declared by the container header, when the
+     *  format has one (BOPTRACE); 0 otherwise. */
+    virtual std::uint64_t declaredRecords() const { return 0; }
+};
+
+/** Reader for the native BOPTRACE v1 container. */
+class BoptraceReader : public TraceReader
+{
+  public:
+    /**
+     * Parse the header from @p stream (which must be positioned at
+     * the magic). When the stream's total size is known, the payload
+     * length is validated against the header record count up front —
+     * a truncated or padded file is rejected with the byte offset
+     * where the mismatch begins.
+     */
+    BoptraceReader(std::unique_ptr<ByteStream> stream,
+                   TraceCompression compression, std::string path);
+
+    bool next(TraceInstr &out) override;
+    TraceFormat format() const override { return TraceFormat::Boptrace; }
+    TraceCompression compression() const override { return comp; }
+    std::uint64_t declaredRecords() const override { return count; }
+
+  private:
+    std::unique_ptr<ByteStream> in;
+    TraceCompression comp;
+    std::string path;
+    std::uint64_t count = 0;
+    std::uint64_t produced = 0;
+};
+
+/**
+ * Importer for ChampSim/DPC input-instruction traces.
+ *
+ * Each 64-byte record carries one retired instruction: PC, branch
+ * info, 2 destination + 4 source registers, 2 destination + 4 source
+ * memory operands (0 = unused slot). A record expands to one
+ * TraceInstr per memory operand (sources as loads, then destinations
+ * as stores), followed by a Branch record when `is_branch` is set, or
+ * a plain ALU op when the instruction touched no memory at all.
+ *
+ * `dependsOnPrevLoad` is inferred from register dataflow: an
+ * instruction depends on the previous load when one of its source
+ * registers matches a destination register of the most recent
+ * load-bearing instruction.
+ */
+class ChampSimReader : public TraceReader
+{
+  public:
+    ChampSimReader(std::unique_ptr<ByteStream> stream,
+                   TraceCompression compression, std::string path);
+
+    bool next(TraceInstr &out) override;
+    TraceFormat format() const override { return TraceFormat::ChampSim; }
+    TraceCompression compression() const override { return comp; }
+
+  private:
+    bool refill(); ///< decode one raw record into `pending`
+
+    std::unique_ptr<ByteStream> in;
+    TraceCompression comp;
+    std::string path;
+    std::deque<TraceInstr> pending;
+    std::array<unsigned char, 2> lastLoadDest{};
+    bool haveLoadDest = false;
+};
+
+/** Size of one raw ChampSim input_instr record in bytes. */
+constexpr std::size_t champsimRecordBytes = 64;
+
+/** Register id the canonical ChampSim writer assigns to load
+ *  results (and to the sources of load-dependent instructions). */
+constexpr unsigned char champsimRegLoadDest = 2;
+
+/** Register id marking long-latency FP ops in the canonical subset. */
+constexpr unsigned char champsimRegFpMarker = 60;
+
+/**
+ * Open @p path with transparent decompression and format
+ * autodetection: a decompressed stream starting with the BOPTRACE
+ * magic gets the native reader; anything else is treated as a
+ * ChampSim trace — unless the extension claims BOPTRACE (`.bt`), in
+ * which case the bad magic is a hard error rather than a silent
+ * reinterpretation.
+ */
+std::unique_ptr<TraceReader> openTraceReader(const std::string &path);
+
+// -- writers ------------------------------------------------------------------
+
+/** A streaming trace writer; one concrete sink per on-disk format. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Append one instruction. */
+    virtual void append(const TraceInstr &instr) = 0;
+
+    /** Finalise the file; throws on I/O failure. */
+    virtual void close() = 0;
+
+    /** Records written so far. */
+    virtual std::uint64_t count() const = 0;
+
+    virtual TraceFormat format() const = 0;
+};
+
+/**
+ * ChampSim writer emitting the canonical one-record-per-TraceInstr
+ * subset (docs/TRACE_FORMATS.md): loads carry their operand in
+ * source_memory[0] and define champsimRegLoadDest; stores use
+ * destination_memory[0]; FP ops carry the FP marker register; a
+ * load-dependent instruction sources champsimRegLoadDest so the
+ * importer's dataflow inference reconstructs the dependence bit.
+ */
+class ChampSimTraceWriter : public TraceSink
+{
+  public:
+    explicit ChampSimTraceWriter(const std::string &path);
+    ~ChampSimTraceWriter() override;
+
+    ChampSimTraceWriter(const ChampSimTraceWriter &) = delete;
+    ChampSimTraceWriter &operator=(const ChampSimTraceWriter &) = delete;
+
+    void append(const TraceInstr &instr) override;
+    void close() override;
+    std::uint64_t count() const override { return numRecords; }
+    TraceFormat format() const override { return TraceFormat::ChampSim; }
+
+  private:
+    std::ofstream out;
+    std::string path;
+    std::uint64_t numRecords = 0;
+    bool closed = false;
+};
+
+/** Encode one TraceInstr as a canonical-subset ChampSim record
+ *  (champsimRecordBytes bytes). */
+void encodeChampSimInstr(const TraceInstr &instr, unsigned char *buf);
+
+/** Pick the trace format a path's extension implies (`.champsim`,
+ *  `.champsimtrace`, `.trace` -> ChampSim; everything else ->
+ *  BOPTRACE), ignoring trailing `.gz`/`.xz`. */
+TraceFormat traceFormatForPath(const std::string &path);
+
+/** Open a streaming writer producing @p format at @p path. */
+std::unique_ptr<TraceSink> makeTraceSink(const std::string &path,
+                                         TraceFormat format);
+
+} // namespace bop
+
+#endif // BOP_TRACE_TRACE_READER_HH

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for bench-record parsing and trajectory diffing: the parser
+ * accepts exactly what json_report emits, runs are matched on
+ * workload+config+trace_source, and IPC/coverage/DRAM movements are
+ * flagged only beyond their thresholds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/bench_diff.hh"
+#include "harness/json_report.hh"
+
+namespace bop
+{
+namespace
+{
+
+std::vector<ParsedRunRecord>
+parse(const std::string &text)
+{
+    std::istringstream in(text);
+    return parseRunRecords(in);
+}
+
+std::string
+record(const std::string &workload, double ipc, double coverage,
+       double dram, const std::string &traceSource = "generator")
+{
+    std::ostringstream os;
+    os << "{\"workload\": \"" << workload << "\", "
+       << "\"config\": \"baseline\", "
+       << "\"trace_source\": \"" << traceSource << "\", "
+       << "\"ipc\": " << ipc << ", "
+       << "\"prefetch_coverage\": " << coverage << ", "
+       << "\"dram_per_1k_instr\": " << dram << "}";
+    return os.str();
+}
+
+std::string
+artifact(const std::vector<std::string> &records)
+{
+    std::string out = "[\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        out += "  " + records[i];
+        if (i + 1 < records.size())
+            out += ",";
+        out += "\n";
+    }
+    return out + "]\n";
+}
+
+// -- parsing ------------------------------------------------------------------
+
+TEST(BenchDiff, ParsesWriterOutput)
+{
+    RunStats stats;
+    stats.cycles = 100;
+    stats.instructions = 250;
+    std::ostringstream os;
+    writeRunRecords(os, {{"470.lbm", "cfg \"quoted\"", stats,
+                          "smoke.champsim (champsim)"}});
+
+    const auto records = parse(os.str());
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].strings.at("workload"), "470.lbm");
+    EXPECT_EQ(records[0].strings.at("config"), "cfg \"quoted\"");
+    EXPECT_EQ(records[0].strings.at("trace_source"),
+              "smoke.champsim (champsim)");
+    EXPECT_DOUBLE_EQ(records[0].numbers.at("ipc"), 2.5);
+    EXPECT_EQ(records[0].key(),
+              "470.lbm | cfg \"quoted\" | smoke.champsim (champsim)");
+}
+
+TEST(BenchDiff, EmptyArrayParses)
+{
+    EXPECT_TRUE(parse("[]").empty());
+    EXPECT_TRUE(parse(" [ ] ").empty());
+}
+
+TEST(BenchDiff, MalformedInputRejectedWithOffset)
+{
+    for (const std::string bad :
+         {"", "[", "[{\"a\": }]", "[{\"a\": 1}", "[{\"a\" 1}]",
+          "[{\"a\": [1]}]"}) {
+        EXPECT_THROW(parse(bad), std::runtime_error) << bad;
+    }
+}
+
+// -- diffing ------------------------------------------------------------------
+
+TEST(BenchDiff, SelfDiffIsClean)
+{
+    const auto records = parse(artifact(
+        {record("a", 1.0, 0.5, 10.0), record("b", 2.0, 0.9, 0.0)}));
+    const BenchDiffResult result =
+        diffRunRecords(records, records, BenchDiffOptions{});
+    EXPECT_TRUE(result.clean());
+    EXPECT_EQ(result.compared, 2u);
+    EXPECT_TRUE(result.onlyOld.empty());
+    EXPECT_TRUE(result.onlyNew.empty());
+}
+
+TEST(BenchDiff, FlagsIpcBeyondRelativeThreshold)
+{
+    const auto before = parse(artifact({record("a", 1.00, 0.5, 10.0)}));
+    const auto ok = parse(artifact({record("a", 1.01, 0.5, 10.0)}));
+    const auto bad = parse(artifact({record("a", 0.90, 0.5, 10.0)}));
+
+    EXPECT_TRUE(
+        diffRunRecords(before, ok, BenchDiffOptions{}).clean());
+    const BenchDiffResult result =
+        diffRunRecords(before, bad, BenchDiffOptions{});
+    ASSERT_EQ(result.flagged.size(), 1u);
+    EXPECT_EQ(result.flagged[0].metric, "ipc");
+    EXPECT_NEAR(result.flagged[0].delta, -0.10, 1e-9);
+}
+
+TEST(BenchDiff, FlagsCoverageBeyondAbsoluteThreshold)
+{
+    const auto before = parse(artifact({record("a", 1.0, 0.50, 10.0)}));
+    const auto ok = parse(artifact({record("a", 1.0, 0.515, 10.0)}));
+    const auto bad = parse(artifact({record("a", 1.0, 0.40, 10.0)}));
+
+    EXPECT_TRUE(
+        diffRunRecords(before, ok, BenchDiffOptions{}).clean());
+    const BenchDiffResult result =
+        diffRunRecords(before, bad, BenchDiffOptions{});
+    ASSERT_EQ(result.flagged.size(), 1u);
+    EXPECT_EQ(result.flagged[0].metric, "prefetch_coverage");
+}
+
+TEST(BenchDiff, FlagsDramTrafficAppearingFromZero)
+{
+    // Off a zero baseline any movement is an infinite relative
+    // change, so even a tiny absolute delta must be flagged.
+    const auto before = parse(artifact({record("a", 1.0, 0.5, 0.0)}));
+    for (const double traffic : {3.0, 0.04}) {
+        const auto after =
+            parse(artifact({record("a", 1.0, 0.5, traffic)}));
+        const BenchDiffResult result =
+            diffRunRecords(before, after, BenchDiffOptions{});
+        ASSERT_EQ(result.flagged.size(), 1u) << traffic;
+        EXPECT_EQ(result.flagged[0].metric, "dram_per_1k_instr");
+    }
+}
+
+TEST(BenchDiff, MissingTraceSourceDefaultsToGenerator)
+{
+    // Artifacts produced before the trace_source field existed must
+    // keep matching their modern generator-driven counterparts.
+    const auto old_style = parse(
+        "[{\"workload\": \"a\", \"config\": \"baseline\", "
+        "\"ipc\": 1.0}]");
+    const auto new_style = parse(artifact({record("a", 1.2, 0.5, 0.0)}));
+    EXPECT_EQ(old_style[0].key(), "a | baseline | generator");
+
+    const BenchDiffResult result =
+        diffRunRecords(old_style, new_style, BenchDiffOptions{});
+    EXPECT_EQ(result.compared, 1u);
+    ASSERT_EQ(result.flagged.size(), 1u);
+    EXPECT_EQ(result.flagged[0].metric, "ipc");
+}
+
+TEST(BenchDiff, TraceSourceIsPartOfRunIdentity)
+{
+    // The same workload+config driven by a generator and by a trace
+    // file are different runs; they must not be diffed against each
+    // other.
+    const auto gen = parse(artifact({record("a", 1.0, 0.5, 10.0)}));
+    const auto traced = parse(artifact(
+        {record("a", 2.0, 0.9, 20.0, "a.champsim (champsim)")}));
+    const BenchDiffResult result =
+        diffRunRecords(gen, traced, BenchDiffOptions{});
+    EXPECT_EQ(result.compared, 0u);
+    EXPECT_TRUE(result.clean());
+    ASSERT_EQ(result.onlyOld.size(), 1u);
+    ASSERT_EQ(result.onlyNew.size(), 1u);
+}
+
+TEST(BenchDiff, ReportsAddedAndRemovedRuns)
+{
+    const auto before = parse(
+        artifact({record("a", 1.0, 0.5, 10.0), record("b", 1.0, 0.5, 1.0)}));
+    const auto after = parse(
+        artifact({record("b", 1.0, 0.5, 1.0), record("c", 1.0, 0.5, 2.0)}));
+    const BenchDiffResult result =
+        diffRunRecords(before, after, BenchDiffOptions{});
+    EXPECT_EQ(result.compared, 1u);
+    ASSERT_EQ(result.onlyOld.size(), 1u);
+    EXPECT_EQ(result.onlyOld[0].substr(0, 1), "a");
+    ASSERT_EQ(result.onlyNew.size(), 1u);
+    EXPECT_EQ(result.onlyNew[0].substr(0, 1), "c");
+}
+
+} // namespace
+} // namespace bop

@@ -201,6 +201,65 @@ TEST(TraceIo, TruncatedFileThrows)
     EXPECT_THROW(FileTrace(tmp.path()), std::runtime_error);
 }
 
+TEST(TraceIo, TruncatedFileReportsByteOffset)
+{
+    // A file whose header declares more records than the payload holds
+    // must be rejected up front (not silently replay a partial loop),
+    // naming the byte offset where the payload falls short.
+    TempFile tmp("trunc_offset");
+    {
+        TraceWriter w(tmp.path());
+        for (int i = 0; i < 100; ++i)
+            w.append(sampleInstr(InstrKind::IntOp, 1, 0, false, false));
+    }
+    std::ifstream in(tmp.path(), std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    in.close();
+    const std::size_t keep = bytes.size() / 2; // 962 of 1924 bytes
+    std::ofstream out(tmp.path(), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+
+    try {
+        FileTrace trace(tmp.path());
+        FAIL() << "expected rejection";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+        EXPECT_NE(what.find(std::to_string(keep)), std::string::npos)
+            << what;
+    }
+}
+
+TEST(TraceIo, TrailingGarbageAfterDeclaredRecordsThrows)
+{
+    // The inverse disagreement: payload longer than the header record
+    // count. Trailing bytes hide either corruption or a bad writer.
+    TempFile tmp("trailing");
+    {
+        TraceWriter w(tmp.path());
+        for (int i = 0; i < 10; ++i)
+            w.append(sampleInstr(InstrKind::IntOp, 1, 0, false, false));
+    }
+    std::ofstream out(tmp.path(),
+                      std::ios::binary | std::ios::app);
+    out << "junk";
+    out.close();
+
+    try {
+        FileTrace trace(tmp.path());
+        FAIL() << "expected rejection";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("trailing"), std::string::npos) << what;
+        // Mismatch starts right after the 10 declared records.
+        EXPECT_NE(what.find(std::to_string(24 + 10 * traceRecordBytes)),
+                  std::string::npos)
+            << what;
+    }
+}
+
 TEST(TraceIo, EmptyTraceThrows)
 {
     TempFile tmp("empty");

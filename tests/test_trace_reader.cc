@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Tests for the pluggable trace frontend (trace_reader.hh): ChampSim
+ * record decode/expansion, register-dataflow dependence inference,
+ * format autodetection, transparent decompression, malformed-input
+ * rejection with byte offsets, the golden ChampSim -> TraceInstr ->
+ * BOPTRACE -> TraceInstr round trip, and the checked-in fixture that
+ * also drives the `bopsim --trace` smoke test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "trace/trace_io.hh"
+#include "trace/trace_reader.hh"
+#include "trace/workloads.hh"
+
+#ifndef BOP_TEST_DATA_DIR
+#define BOP_TEST_DATA_DIR "tests/data"
+#endif
+
+namespace bop
+{
+namespace
+{
+
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &tag)
+        : path_("/tmp/bop_trace_reader_test_" + tag)
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TraceInstr
+sampleInstr(InstrKind kind, Addr pc, Addr vaddr, bool taken, bool dep)
+{
+    TraceInstr i;
+    i.kind = kind;
+    i.pc = pc;
+    i.vaddr = vaddr;
+    i.taken = taken;
+    i.dependsOnPrevLoad = dep;
+    return i;
+}
+
+bool
+sameInstr(const TraceInstr &a, const TraceInstr &b)
+{
+    return a.kind == b.kind && a.pc == b.pc && a.vaddr == b.vaddr &&
+           a.taken == b.taken &&
+           a.dependsOnPrevLoad == b.dependsOnPrevLoad;
+}
+
+std::vector<TraceInstr>
+drain(TraceReader &reader)
+{
+    std::vector<TraceInstr> out;
+    TraceInstr instr;
+    while (reader.next(instr))
+        out.push_back(instr);
+    return out;
+}
+
+/** A canonical-subset stream: loads precede every dependent op. */
+std::vector<TraceInstr>
+canonicalStream()
+{
+    std::vector<TraceInstr> s;
+    s.push_back(sampleInstr(InstrKind::IntOp, 0x400000, 0, false, false));
+    s.push_back(
+        sampleInstr(InstrKind::Load, 0x400004, 0x7fff0040, false, false));
+    s.push_back(sampleInstr(InstrKind::FpOp, 0x400008, 0, false, true));
+    s.push_back(
+        sampleInstr(InstrKind::Store, 0x40000c, 0x7fff0080, false, true));
+    s.push_back(sampleInstr(InstrKind::Branch, 0x400010, 0, true, false));
+    s.push_back(
+        sampleInstr(InstrKind::Load, 0x400014, 0x7fff00c0, false, true));
+    s.push_back(sampleInstr(InstrKind::Branch, 0x400018, 0, false, false));
+    return s;
+}
+
+void
+writeChampSim(const std::string &path,
+              const std::vector<TraceInstr> &instrs)
+{
+    ChampSimTraceWriter writer(path);
+    for (const TraceInstr &instr : instrs)
+        writer.append(instr);
+    writer.close();
+}
+
+std::vector<unsigned char>
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+/** Raw 64-byte ChampSim record builder for hand-crafted inputs. */
+struct RawRecord
+{
+    unsigned char bytes[champsimRecordBytes] = {};
+
+    RawRecord &ip(std::uint64_t v) { return put64(0, v); }
+    RawRecord &branch(bool taken)
+    {
+        bytes[8] = 1;
+        bytes[9] = taken ? 1 : 0;
+        return *this;
+    }
+    RawRecord &destReg(int slot, unsigned char reg)
+    {
+        bytes[10 + slot] = reg;
+        return *this;
+    }
+    RawRecord &srcReg(int slot, unsigned char reg)
+    {
+        bytes[12 + slot] = reg;
+        return *this;
+    }
+    RawRecord &destMem(int slot, std::uint64_t v)
+    {
+        return put64(16 + 8 * slot, v);
+    }
+    RawRecord &srcMem(int slot, std::uint64_t v)
+    {
+        return put64(32 + 8 * slot, v);
+    }
+
+    RawRecord &put64(int at, std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            bytes[at + i] = static_cast<unsigned char>(v >> (8 * i));
+        return *this;
+    }
+};
+
+void
+writeRaw(const std::string &path, const std::vector<RawRecord> &records)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    for (const RawRecord &r : records)
+        out.write(reinterpret_cast<const char *>(r.bytes),
+                  sizeof(r.bytes));
+}
+
+// -- ChampSim decoding --------------------------------------------------------
+
+TEST(TraceReader, ChampSimWriterReaderRoundTrip)
+{
+    TempFile tmp("cs_roundtrip.champsim");
+    const std::vector<TraceInstr> stream = canonicalStream();
+    writeChampSim(tmp.path(), stream);
+
+    auto reader = openTraceReader(tmp.path());
+    EXPECT_EQ(reader->format(), TraceFormat::ChampSim);
+    EXPECT_EQ(reader->compression(), TraceCompression::None);
+    const std::vector<TraceInstr> decoded = drain(*reader);
+    ASSERT_EQ(decoded.size(), stream.size());
+    for (std::size_t i = 0; i < stream.size(); ++i)
+        EXPECT_TRUE(sameInstr(decoded[i], stream[i])) << "record " << i;
+}
+
+TEST(TraceReader, ChampSimRecordExpandsPerMemoryOperand)
+{
+    // One instruction reading two locations, writing one, and
+    // branching: loads first, then the store, then the branch.
+    TempFile tmp("cs_expand.champsim");
+    writeRaw(tmp.path(), {RawRecord()
+                              .ip(0x1000)
+                              .branch(true)
+                              .srcMem(0, 0xa000)
+                              .srcMem(2, 0xb000)
+                              .destMem(1, 0xc000)});
+
+    auto reader = openTraceReader(tmp.path());
+    const std::vector<TraceInstr> decoded = drain(*reader);
+    ASSERT_EQ(decoded.size(), 4u);
+    EXPECT_EQ(decoded[0].kind, InstrKind::Load);
+    EXPECT_EQ(decoded[0].vaddr, 0xa000u);
+    EXPECT_EQ(decoded[1].kind, InstrKind::Load);
+    EXPECT_EQ(decoded[1].vaddr, 0xb000u);
+    EXPECT_EQ(decoded[2].kind, InstrKind::Store);
+    EXPECT_EQ(decoded[2].vaddr, 0xc000u);
+    EXPECT_EQ(decoded[3].kind, InstrKind::Branch);
+    EXPECT_TRUE(decoded[3].taken);
+    for (const TraceInstr &instr : decoded)
+        EXPECT_EQ(instr.pc, 0x1000u);
+}
+
+TEST(TraceReader, ChampSimDependenceFollowsRegisterDataflow)
+{
+    // r7 <- load; an r7 consumer depends on it, an r9 consumer does
+    // not; a later load redefines the tracked registers.
+    TempFile tmp("cs_dep.champsim");
+    writeRaw(tmp.path(),
+             {RawRecord().ip(1).srcMem(0, 0xa000).destReg(0, 7),
+              RawRecord().ip(2).srcReg(0, 7),
+              RawRecord().ip(3).srcReg(0, 9),
+              RawRecord().ip(4).srcMem(0, 0xb000).destReg(0, 11),
+              RawRecord().ip(5).srcReg(1, 7),
+              RawRecord().ip(6).srcReg(3, 11)});
+
+    auto reader = openTraceReader(tmp.path());
+    const std::vector<TraceInstr> decoded = drain(*reader);
+    ASSERT_EQ(decoded.size(), 6u);
+    EXPECT_FALSE(decoded[0].dependsOnPrevLoad);
+    EXPECT_TRUE(decoded[1].dependsOnPrevLoad);
+    EXPECT_FALSE(decoded[2].dependsOnPrevLoad);
+    EXPECT_FALSE(decoded[3].dependsOnPrevLoad); // reads 0xb000, no r7/r11 use
+    EXPECT_FALSE(decoded[4].dependsOnPrevLoad); // r7 no longer live
+    EXPECT_TRUE(decoded[5].dependsOnPrevLoad);
+}
+
+TEST(TraceReader, ChampSimPartialRecordRejectedWithOffset)
+{
+    TempFile tmp("cs_trunc.champsim");
+    std::ofstream out(tmp.path(), std::ios::binary);
+    const std::vector<char> bytes(100, '\x01'); // not a multiple of 64
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+
+    try {
+        openTraceReader(tmp.path());
+        FAIL() << "expected rejection";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("byte offset 64"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+// -- autodetection ------------------------------------------------------------
+
+TEST(TraceReader, MagicWinsOverExtension)
+{
+    // A BOPTRACE container named *.champsim is still BOPTRACE.
+    TempFile tmp("magic_vs_ext.champsim");
+    {
+        TraceWriter w(tmp.path());
+        w.append(sampleInstr(InstrKind::Load, 1, 2, false, false));
+        w.close();
+    }
+    auto reader = openTraceReader(tmp.path());
+    EXPECT_EQ(reader->format(), TraceFormat::Boptrace);
+    EXPECT_EQ(reader->declaredRecords(), 1u);
+}
+
+TEST(TraceReader, BtExtensionWithoutMagicRejected)
+{
+    TempFile tmp("no_magic.bt");
+    std::ofstream out(tmp.path(), std::ios::binary);
+    const std::vector<char> bytes(champsimRecordBytes, '\x02');
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    EXPECT_THROW(openTraceReader(tmp.path()), std::runtime_error);
+}
+
+TEST(TraceReader, CaptureTracePicksFormatFromExtension)
+{
+    TempFile tmp("capture.champsim");
+    auto src = makeWorkload("462.libquantum", 5);
+    captureTrace(*src, 500, tmp.path());
+
+    FileTrace replay(tmp.path());
+    EXPECT_EQ(replay.format(), TraceFormat::ChampSim);
+    EXPECT_EQ(replay.records(), 500u);
+    EXPECT_EQ(replay.sourceTag(),
+              "bop_trace_reader_test_capture.champsim (champsim)");
+
+    auto fresh = makeWorkload("462.libquantum", 5);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_TRUE(sameInstr(replay.next(), fresh->next()))
+            << "diverged at " << i;
+}
+
+// -- compression --------------------------------------------------------------
+
+TEST(TraceReader, GzipStreamAutodetected)
+{
+    if (std::system("command -v gzip > /dev/null 2>&1") != 0)
+        GTEST_SKIP() << "gzip not installed";
+
+    TempFile plain("gz_src.champsim");
+    writeChampSim(plain.path(), canonicalStream());
+    const std::string gz = plain.path() + ".gz";
+    std::remove(gz.c_str());
+    ASSERT_EQ(std::system(("gzip -k -n '" + plain.path() + "'").c_str()),
+              0);
+
+    auto reader = openTraceReader(gz);
+    EXPECT_EQ(reader->format(), TraceFormat::ChampSim);
+    EXPECT_EQ(reader->compression(), TraceCompression::Gzip);
+    const std::vector<TraceInstr> decoded = drain(*reader);
+    const std::vector<TraceInstr> expect = canonicalStream();
+    ASSERT_EQ(decoded.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        EXPECT_TRUE(sameInstr(decoded[i], expect[i]));
+    std::remove(gz.c_str());
+}
+
+TEST(TraceReader, CorruptGzipRejected)
+{
+    if (std::system("command -v gzip > /dev/null 2>&1") != 0)
+        GTEST_SKIP() << "gzip not installed";
+
+    TempFile tmp("corrupt.champsim.gz");
+    std::ofstream out(tmp.path(), std::ios::binary);
+    const unsigned char gzMagic[4] = {0x1f, 0x8b, 0x08, 0x00};
+    out.write(reinterpret_cast<const char *>(gzMagic), sizeof(gzMagic));
+    out << "this is not a deflate stream";
+    out.close();
+    EXPECT_THROW(
+        {
+            auto reader = openTraceReader(tmp.path());
+            TraceInstr instr;
+            while (reader->next(instr)) {
+            }
+        },
+        std::runtime_error);
+}
+
+// -- golden round trips -------------------------------------------------------
+
+TEST(TraceReader, GoldenChampSimToBoptraceRoundTrip)
+{
+    // ChampSim -> TraceInstr -> BOPTRACE -> TraceInstr, bit-identical.
+    const std::string fixture =
+        std::string(BOP_TEST_DATA_DIR) + "/smoke.champsim";
+    auto reader = openTraceReader(fixture);
+    const std::vector<TraceInstr> direct = drain(*reader);
+    ASSERT_EQ(direct.size(), 3000u);
+
+    TempFile bt("golden.bt");
+    {
+        TraceWriter w(bt.path());
+        for (const TraceInstr &instr : direct)
+            w.append(instr);
+        w.close();
+    }
+    auto btReader = openTraceReader(bt.path());
+    const std::vector<TraceInstr> viaBt = drain(*btReader);
+    ASSERT_EQ(viaBt.size(), direct.size());
+    for (std::size_t i = 0; i < direct.size(); ++i)
+        EXPECT_TRUE(sameInstr(viaBt[i], direct[i])) << "record " << i;
+}
+
+TEST(TraceReader, CanonicalConvertRoundTripsByteIdentically)
+{
+    // fixture.champsim -> TraceInstr -> fixture2.champsim must
+    // reproduce the file byte for byte (the canonical subset is
+    // self-inverse), which is what `boptrace convert` relies on.
+    const std::string fixture =
+        std::string(BOP_TEST_DATA_DIR) + "/smoke.champsim";
+    auto reader = openTraceReader(fixture);
+    const std::vector<TraceInstr> stream = drain(*reader);
+
+    TempFile rewritten("rewrite.champsim");
+    writeChampSim(rewritten.path(), stream);
+    EXPECT_EQ(fileBytes(rewritten.path()), fileBytes(fixture));
+}
+
+TEST(TraceReader, GzFixtureMatchesPlainFixture)
+{
+    const std::string data = BOP_TEST_DATA_DIR;
+    auto plain = openTraceReader(data + "/smoke.champsim");
+    auto gz = openTraceReader(data + "/smoke.champsim.gz");
+    EXPECT_EQ(gz->compression(), TraceCompression::Gzip);
+    const std::vector<TraceInstr> a = drain(*plain);
+    const std::vector<TraceInstr> b = drain(*gz);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_TRUE(sameInstr(a[i], b[i]));
+}
+
+} // namespace
+} // namespace bop

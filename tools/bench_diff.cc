@@ -1,0 +1,122 @@
+/**
+ * @file
+ * bench_diff — compare two bench-JSON artifacts and flag regressions.
+ *
+ * CI uploads `bench-json-records` on every push (fig06/11/12/13,
+ * ext_scaling, bopsim --json). Point this tool at two such files —
+ * typically the artifact from main and the one from a PR — and it
+ * flags every run whose IPC, prefetch coverage or DRAM traffic moved
+ * beyond a threshold. Exit status: 0 clean, 1 regressions flagged,
+ * 2 usage/parse error or a vacuous comparison (two non-empty
+ * artifacts sharing no run) — so it slots straight into CI without
+ * key-format drift silently disarming the guard.
+ *
+ * Examples:
+ *   bench_diff old/fig06.json new/fig06.json
+ *   bench_diff old.json new.json --ipc 0.05 --coverage 0.03 --dram 0.10
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "harness/bench_diff.hh"
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s OLD.json NEW.json [options]\n"
+        "\n"
+        "  --ipc FRAC       relative IPC threshold   (default 0.02)\n"
+        "  --coverage ABS   absolute coverage threshold (default 0.02)\n"
+        "  --dram FRAC      relative DRAM-traffic threshold (default 0.05)\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string old_path;
+    std::string new_path;
+    bop::BenchDiffOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_arg = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "bench_diff: %s needs an argument\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--ipc") {
+            options.ipcRelative = std::atof(next_arg());
+        } else if (arg == "--coverage") {
+            options.coverageAbsolute = std::atof(next_arg());
+        } else if (arg == "--dram") {
+            options.dramRelative = std::atof(next_arg());
+        } else if (old_path.empty()) {
+            old_path = arg;
+        } else if (new_path.empty()) {
+            new_path = arg;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (old_path.empty() || new_path.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    try {
+        const auto old_records = bop::parseRunRecordsFile(old_path);
+        const auto new_records = bop::parseRunRecordsFile(new_path);
+        const bop::BenchDiffResult result =
+            bop::diffRunRecords(old_records, new_records, options);
+
+        std::printf("compared %zu runs (%s -> %s)\n", result.compared,
+                    old_path.c_str(), new_path.c_str());
+        for (const std::string &key : result.onlyOld)
+            std::printf("  - disappeared: %s\n", key.c_str());
+        for (const std::string &key : result.onlyNew)
+            std::printf("  + new run    : %s\n", key.c_str());
+
+        if (result.compared == 0 &&
+            !(old_records.empty() && new_records.empty())) {
+            std::fprintf(stderr,
+                         "bench_diff: the artifacts share no run — "
+                         "key format drift? Nothing was guarded.\n");
+            return 2;
+        }
+        if (result.clean()) {
+            std::printf("no metric moved beyond thresholds "
+                        "(ipc %.3f rel, coverage %.3f abs, dram %.3f rel)\n",
+                        options.ipcRelative, options.coverageAbsolute,
+                        options.dramRelative);
+            return 0;
+        }
+        for (const bop::BenchDelta &d : result.flagged) {
+            std::printf("REGRESSION %-18s %+.4f  (%.4f -> %.4f)  %s\n",
+                        d.metric.c_str(), d.delta, d.oldValue,
+                        d.newValue, d.key.c_str());
+        }
+        std::printf("%zu metric movement(s) beyond thresholds\n",
+                    result.flagged.size());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "bench_diff: %s\n", e.what());
+        return 2;
+    }
+}

@@ -38,7 +38,11 @@ usage(const char *argv0)
         "\n"
         "workload selection (one of):\n"
         "  --workload NAME     built-in SPEC CPU2006-like generator\n"
-        "  --trace FILE        binary trace file (see boptrace)\n"
+        "  --trace FILE[,FILE...]\n"
+        "                      trace file(s): BOPTRACE or ChampSim/DPC,\n"
+        "                      .gz/.xz ok, format autodetected; with\n"
+        "                      --cores N, file i drives core i and any\n"
+        "                      remaining cores run the thrasher\n"
         "  --list              list built-in workloads and exit\n"
         "\n"
         "configuration (defaults: paper baseline, Table 1):\n"
@@ -196,11 +200,43 @@ main(int argc, char **argv)
 
     try {
         std::vector<std::unique_ptr<TraceSource>> traces;
-        if (!trace_file.empty())
-            traces.push_back(std::make_unique<FileTrace>(trace_file));
-        else
+        std::string trace_source;
+        if (!trace_file.empty()) {
+            // Per-core assignment: file i drives core i.
+            std::vector<std::string> files;
+            std::size_t begin = 0;
+            while (begin <= trace_file.size()) {
+                const std::size_t comma = trace_file.find(',', begin);
+                const std::size_t end = comma == std::string::npos
+                                            ? trace_file.size()
+                                            : comma;
+                if (end > begin)
+                    files.push_back(
+                        trace_file.substr(begin, end - begin));
+                if (comma == std::string::npos)
+                    break;
+                begin = comma + 1;
+            }
+            if (files.empty())
+                die("--trace needs at least one file");
+            if (static_cast<int>(files.size()) > cfg.activeCores) {
+                die("--trace names " + std::to_string(files.size()) +
+                    " files but only " +
+                    std::to_string(cfg.activeCores) +
+                    " cores are active (raise --cores)");
+            }
+            for (const std::string &file : files) {
+                auto trace = std::make_unique<FileTrace>(file);
+                if (!trace_source.empty())
+                    trace_source += "+";
+                trace_source += trace->sourceTag();
+                traces.push_back(std::move(trace));
+            }
+        } else {
             traces.push_back(makeWorkload(workload, cfg.seed));
-        for (int c = 1; c < cfg.activeCores; ++c) {
+        }
+        for (int c = static_cast<int>(traces.size());
+             c < cfg.activeCores; ++c) {
             traces.push_back(
                 makeThrasher(cfg.seed + static_cast<unsigned>(c)));
         }
@@ -210,6 +246,8 @@ main(int argc, char **argv)
         const RunStats s = sys.run(warmup, instr);
 
         std::printf("workload     : %s\n", label.c_str());
+        if (!trace_source.empty())
+            std::printf("trace source : %s\n", trace_source.c_str());
         std::printf("config       : %s\n", cfg.describe().c_str());
         std::printf("window       : %llu warm-up + %llu measured\n",
                     static_cast<unsigned long long>(warmup),
@@ -253,8 +291,9 @@ main(int argc, char **argv)
                         s.boFinalOffset, s.boFinalScore);
         }
         if (!json_path.empty() &&
-            !writeRunRecordsFile(json_path,
-                                 {{label, cfg.describe(), s}})) {
+            !writeRunRecordsFile(
+                json_path,
+                {{label, cfg.describe(), s, trace_source}})) {
             return 1;
         }
         return 0;

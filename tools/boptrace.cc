@@ -1,13 +1,20 @@
 /**
  * @file
- * boptrace — create and inspect binary trace files.
+ * boptrace — create, convert and inspect binary trace files.
  *
  * Subcommands:
  *   capture   dump a built-in workload generator to a trace file
- *   info      print a trace file's header and instruction mix
+ *   convert   re-serialise a trace into another on-disk format
+ *   info      print a trace file's format, header and instruction mix
+ *
+ * Both the native BOPTRACE container and ChampSim/DPC input-instruction
+ * traces are read with autodetection (and transparent .gz/.xz
+ * decompression); see docs/TRACE_FORMATS.md for the byte-level specs.
  *
  * Examples:
  *   boptrace capture --workload 470.lbm --count 1000000 --out lbm.bt
+ *   boptrace convert --in 605.mcf_s.champsimtrace.xz --out mcf.bt
+ *   boptrace convert --in lbm.bt --out lbm.champsim
  *   boptrace info lbm.bt
  */
 
@@ -18,6 +25,7 @@
 #include <string>
 
 #include "trace/trace_io.hh"
+#include "trace/trace_reader.hh"
 #include "trace/workloads.hh"
 
 namespace
@@ -29,9 +37,15 @@ usage(const char *argv0)
     std::printf(
         "usage:\n"
         "  %s capture --workload NAME --count N --out FILE [--seed S]\n"
+        "  %s convert --in FILE --out FILE [--format boptrace|champsim]\n"
+        "             [--count N]\n"
         "  %s info FILE\n"
-        "  %s list\n",
-        argv0, argv0, argv0);
+        "  %s list\n"
+        "\n"
+        "Input format and .gz/.xz compression are autodetected; convert\n"
+        "picks the output format from --format or the --out extension\n"
+        "(.champsim/.champsimtrace/.trace -> ChampSim, else BOPTRACE).\n",
+        argv0, argv0, argv0, argv0);
 }
 
 [[noreturn]] void
@@ -80,6 +94,62 @@ cmdCapture(int argc, char **argv)
 }
 
 int
+cmdConvert(int argc, char **argv)
+{
+    std::string in_path;
+    std::string out_path;
+    std::string format_name;
+    std::uint64_t limit = 0;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_arg = [&]() -> std::string {
+            if (i + 1 >= argc)
+                die(arg + " needs an argument");
+            return argv[++i];
+        };
+        if (arg == "--in")
+            in_path = next_arg();
+        else if (arg == "--out")
+            out_path = next_arg();
+        else if (arg == "--format")
+            format_name = next_arg();
+        else if (arg == "--count")
+            limit = std::strtoull(next_arg().c_str(), nullptr, 10);
+        else
+            die("unknown convert option '" + arg + "'");
+    }
+    if (in_path.empty() || out_path.empty())
+        die("convert needs --in and --out");
+
+    bop::TraceFormat out_format = bop::traceFormatForPath(out_path);
+    if (format_name == "boptrace")
+        out_format = bop::TraceFormat::Boptrace;
+    else if (format_name == "champsim")
+        out_format = bop::TraceFormat::ChampSim;
+    else if (!format_name.empty())
+        die("--format must be boptrace or champsim");
+
+    // Streaming: records never all live in memory, so converting
+    // paper-scale (billions of instructions) traces is flat-memory.
+    auto reader = bop::openTraceReader(in_path);
+    auto sink = bop::makeTraceSink(out_path, out_format);
+    bop::TraceInstr instr;
+    while ((limit == 0 || sink->count() < limit) &&
+           reader->next(instr))
+        sink->append(instr);
+    sink->close();
+
+    std::printf("converted %llu records: %s (%s) -> %s (%s)\n",
+                static_cast<unsigned long long>(sink->count()),
+                in_path.c_str(),
+                bop::traceFormatName(reader->format()),
+                out_path.c_str(),
+                bop::traceFormatName(out_format));
+    return 0;
+}
+
+int
 cmdInfo(const std::string &path)
 {
     bop::FileTrace trace(path);
@@ -111,6 +181,12 @@ cmdInfo(const std::string &path)
                  : 0.0;
     };
     std::printf("trace        : %s\n", trace.name().c_str());
+    std::printf("format       : %s",
+                bop::traceFormatName(trace.format()));
+    if (trace.compression() != bop::TraceCompression::None)
+        std::printf(" (%s-compressed)",
+                    bop::traceCompressionName(trace.compression()));
+    std::printf("\n");
     std::printf("records      : %llu\n",
                 static_cast<unsigned long long>(n));
     std::printf("int ops      : %5.1f%%\n", pct(kinds[0]));
@@ -146,6 +222,8 @@ main(int argc, char **argv)
     try {
         if (cmd == "capture")
             return cmdCapture(argc, argv);
+        if (cmd == "convert")
+            return cmdConvert(argc, argv);
         if (cmd == "info") {
             if (argc != 3)
                 die("info needs exactly one FILE argument");
