@@ -1,0 +1,155 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the cache tag-array engine: the
+ * per-access cost of hits (tag scan + replacement MRU-touch), misses
+ * (full-set scan), insert-with-eviction (victim choice + fill-position
+ * update) and peekVictim, across the four replacement policies at the
+ * paper's geometries (Table 1: DL1 32KB/8w, L2 512KB/8w, L3 8MB/16w).
+ *
+ * These isolate the replacement hot path that dominates the zoo
+ * integration test (docs/PERFORMANCE.md), so a regression in the packed
+ * recency/RRPV code shows up here long before it is visible in a full
+ * simulation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cache/cache.hh"
+#include "cache/drrip.hh"
+#include "cache/policy_5p.hh"
+#include "cache/replacement.hh"
+
+namespace
+{
+
+enum class PolicyKind : int
+{
+    Lru = 0,
+    Bip = 1,
+    Drrip = 2,
+    P5 = 3,
+};
+
+std::unique_ptr<bop::ReplacementPolicy>
+makePolicy(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Lru:
+        return std::make_unique<bop::LruPolicy>();
+      case PolicyKind::Bip:
+        return std::make_unique<bop::BipPolicy>();
+      case PolicyKind::Drrip:
+        return std::make_unique<bop::DrripPolicy>();
+      case PolicyKind::P5:
+        return std::make_unique<bop::Policy5P>();
+    }
+    return std::make_unique<bop::LruPolicy>();
+}
+
+struct Geometry
+{
+    const char *name;
+    std::uint64_t bytes;
+    unsigned ways;
+};
+
+// Paper geometries (Table 1).
+constexpr Geometry dl1Geom{"dl1_32k_8w", 32 * 1024, 8};
+constexpr Geometry l3Geom{"l3_8m_16w", 8ull * 1024 * 1024, 16};
+
+bop::SetAssocCache
+makeCache(const Geometry &geom, PolicyKind kind)
+{
+    return bop::SetAssocCache(geom.name, geom.bytes, geom.ways,
+                              makePolicy(kind));
+}
+
+std::uint64_t
+lineCount(const Geometry &geom)
+{
+    return geom.bytes / bop::lineBytes;
+}
+
+/** Hit path: every access finds its line and promotes it. */
+void
+BM_CacheHit(benchmark::State &state, Geometry geom, PolicyKind kind)
+{
+    auto cache = makeCache(geom, kind);
+    const std::uint64_t resident = lineCount(geom);
+    for (bop::LineAddr l = 0; l < resident; ++l)
+        cache.insert(l, {});
+    bop::LineAddr l = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(l, false));
+        l = (l + 1) % resident;
+    }
+}
+
+/** Miss path: the full-set tag scan that finds nothing. */
+void
+BM_CacheMiss(benchmark::State &state, Geometry geom, PolicyKind kind)
+{
+    auto cache = makeCache(geom, kind);
+    const std::uint64_t resident = lineCount(geom);
+    for (bop::LineAddr l = 0; l < resident; ++l)
+        cache.insert(l, {});
+    // Same sets, different tags: every access scans a full set and
+    // misses.
+    bop::LineAddr l = resident;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(l, false));
+        l = resident + (l + 1) % resident;
+    }
+}
+
+/** Streaming fill of a full cache: victim choice + eviction each time. */
+void
+BM_CacheInsertEvict(benchmark::State &state, Geometry geom, PolicyKind kind)
+{
+    auto cache = makeCache(geom, kind);
+    const std::uint64_t resident = lineCount(geom);
+    for (bop::LineAddr l = 0; l < resident; ++l)
+        cache.insert(l, {});
+    bop::LineAddr next = resident;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.insert(next, {}));
+        ++next;
+    }
+}
+
+/** Victim prediction on a full cache (the backpressure pre-check). */
+void
+BM_CachePeekVictim(benchmark::State &state, Geometry geom, PolicyKind kind)
+{
+    auto cache = makeCache(geom, kind);
+    const std::uint64_t resident = lineCount(geom);
+    for (bop::LineAddr l = 0; l < resident; ++l)
+        cache.insert(l, {});
+    bop::LineAddr l = resident;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.peekVictim(l));
+        ++l;
+    }
+}
+
+#define BOP_CACHE_BENCH(fn)                                              \
+    BENCHMARK_CAPTURE(fn, lru_dl1, dl1Geom, PolicyKind::Lru);            \
+    BENCHMARK_CAPTURE(fn, lru_l3, l3Geom, PolicyKind::Lru);              \
+    BENCHMARK_CAPTURE(fn, bip_l3, l3Geom, PolicyKind::Bip);              \
+    BENCHMARK_CAPTURE(fn, drrip_l3, l3Geom, PolicyKind::Drrip);          \
+    BENCHMARK_CAPTURE(fn, p5_l3, l3Geom, PolicyKind::P5)
+
+BOP_CACHE_BENCH(BM_CacheHit);
+BOP_CACHE_BENCH(BM_CacheMiss);
+BOP_CACHE_BENCH(BM_CacheInsertEvict);
+BOP_CACHE_BENCH(BM_CachePeekVictim);
+
+#undef BOP_CACHE_BENCH
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,5 +1,6 @@
 #include "cache/cache.hh"
 
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -21,145 +22,156 @@ SetAssocCache::SetAssocCache(std::string name_, std::uint64_t size_bytes,
                              unsigned ways_,
                              std::unique_ptr<ReplacementPolicy> policy_)
     : name(std::move(name_)),
-      sets(size_bytes / lineBytes / ways_),
+      sets(ways_ ? size_bytes / lineBytes / ways_ : 0),
       ways(ways_),
       policy(std::move(policy_))
 {
     if (!policy)
         throw std::invalid_argument(name + ": null replacement policy");
+    if (ways == 0 || ways > 64)
+        throw std::invalid_argument(name + ": way count must be 1..64");
     if (sets == 0 || !isPowerOfTwo(sets))
         throw std::invalid_argument(name + ": set count must be a power "
                                            "of two and non-zero");
-    linesArr.assign(sets * ways, {});
+    tags.assign(sets * ways, invalidTag);
+    dirtyBits.assign(sets * ways, 0);
+    prefetchBits.assign(sets * ways, 0);
+    fillCores.assign(sets * ways, 0);
+    validMask.assign(sets, 0);
     policy->reset(sets, ways);
 }
 
-CacheLineState *
-SetAssocCache::lookup(LineAddr line, unsigned &way_out)
+std::uint64_t
+SetAssocCache::fullSetMask() const
 {
-    const std::size_t set = setOf(line);
+    return ways == 64 ? ~0ull : (1ull << ways) - 1;
+}
+
+unsigned
+SetAssocCache::findWay(std::size_t set, LineAddr line) const
+{
+    const LineAddr *row = &tags[set * ways];
     for (unsigned w = 0; w < ways; ++w) {
-        CacheLineState &ls = linesArr[set * ways + w];
-        if (ls.valid && ls.line == line) {
-            way_out = w;
-            return &ls;
-        }
+        if (row[w] == line)
+            return w;
     }
-    return nullptr;
+    return ways;
 }
 
 CacheAccessResult
 SetAssocCache::access(LineAddr line, bool is_write, bool from_core_side)
 {
     CacheAccessResult res;
-    unsigned way = 0;
-    CacheLineState *ls = lookup(line, way);
-    if (!ls)
+    const std::size_t set = setOf(line);
+    const unsigned way = findWay(set, line);
+    if (way == ways)
         return res;
 
+    const std::size_t idx = set * ways + way;
     res.hit = true;
     res.way = way;
     if (from_core_side) {
-        res.prefetchedHit = ls->prefetchBit;
-        ls->prefetchBit = false;
+        res.prefetchedHit = prefetchBits[idx] != 0;
+        prefetchBits[idx] = 0;
     }
     if (is_write)
-        ls->dirty = true;
-    policy->onHit(setOf(line), way);
+        dirtyBits[idx] = 1;
+    policy->onHit(set, way);
     return res;
 }
 
 bool
 SetAssocCache::probe(LineAddr line) const
 {
-    const std::size_t set = line & (sets - 1);
-    for (unsigned w = 0; w < ways; ++w) {
-        const CacheLineState &ls = linesArr[set * ways + w];
-        if (ls.valid && ls.line == line)
-            return true;
-    }
-    return false;
+    return findWay(setOf(line), line) != ways;
+}
+
+CacheVictim
+SetAssocCache::victimAt(std::size_t set, unsigned way) const
+{
+    const std::size_t idx = set * ways + way;
+    CacheVictim victim;
+    victim.valid = true;
+    victim.line = tags[idx];
+    victim.dirty = dirtyBits[idx] != 0;
+    victim.core = fillCores[idx];
+    victim.prefetchBit = prefetchBits[idx] != 0;
+    return victim;
 }
 
 CacheVictim
 SetAssocCache::insert(LineAddr line, const CacheFill &fill)
 {
     assert(!probe(line) && "duplicate insertion: caller must tag-check");
+    assert(line != invalidTag && "line address collides with the "
+                                 "invalid-tag sentinel");
 
     const std::size_t set = setOf(line);
     CacheVictim victim;
 
-    // Prefer an invalid way; otherwise ask the policy for a victim.
-    unsigned way = ways;
-    for (unsigned w = 0; w < ways; ++w) {
-        if (!linesArr[set * ways + w].valid) {
-            way = w;
-            break;
-        }
-    }
-    if (way == ways) {
+    // Prefer the first invalid way; otherwise ask the policy for a victim.
+    unsigned way;
+    const std::uint64_t invalid = ~validMask[set] & fullSetMask();
+    if (invalid != 0) {
+        way = static_cast<unsigned>(std::countr_zero(invalid));
+    } else {
         way = policy->victim(set);
-        const CacheLineState &old = linesArr[set * ways + way];
-        victim.valid = true;
-        victim.line = old.line;
-        victim.dirty = old.dirty;
-        victim.core = old.fillCore;
-        victim.prefetchBit = old.prefetchBit;
+        victim = victimAt(set, way);
     }
 
-    CacheLineState &ls = linesArr[set * ways + way];
-    ls.valid = true;
-    ls.line = line;
-    ls.dirty = fill.markDirty;
-    ls.prefetchBit = fill.markPrefetch;
-    ls.fillCore = fill.core;
+    const std::size_t idx = set * ways + way;
+    tags[idx] = line;
+    dirtyBits[idx] = fill.markDirty ? 1 : 0;
+    prefetchBits[idx] = fill.markPrefetch ? 1 : 0;
+    fillCores[idx] = fill.core;
+    validMask[set] |= 1ull << way;
 
-    policy->onFill(set, way, FillInfo{fill.core, fill.demand});
+    if (policy->fillIsMruTouch())
+        policy->onHit(set, way);
+    else
+        policy->onFill(set, way, FillInfo{fill.core, fill.demand});
     return victim;
 }
 
 CacheVictim
 SetAssocCache::peekVictim(LineAddr line) const
 {
-    const std::size_t set = line & (sets - 1);
-    CacheVictim victim;
-    for (unsigned w = 0; w < ways; ++w) {
-        if (!linesArr[set * ways + w].valid)
-            return victim; // an invalid way will be used: no eviction
-    }
-    const unsigned way = policy->victimPeek(set);
-    const CacheLineState &old = linesArr[set * ways + way];
-    victim.valid = true;
-    victim.line = old.line;
-    victim.dirty = old.dirty;
-    victim.core = old.fillCore;
-    victim.prefetchBit = old.prefetchBit;
-    return victim;
+    const std::size_t set = setOf(line);
+    if (validMask[set] != fullSetMask())
+        return {}; // an invalid way will be used: no eviction
+    return victimAt(set, policy->victimPeek(set));
 }
 
 bool
 SetAssocCache::invalidate(LineAddr line)
 {
-    unsigned way = 0;
-    CacheLineState *ls = lookup(line, way);
-    if (!ls)
+    const std::size_t set = setOf(line);
+    const unsigned way = findWay(set, line);
+    if (way == ways)
         return false;
-    ls->valid = false;
-    ls->dirty = false;
-    ls->prefetchBit = false;
+    const std::size_t idx = set * ways + way;
+    tags[idx] = invalidTag;
+    dirtyBits[idx] = 0;
+    prefetchBits[idx] = 0;
+    validMask[set] &= ~(1ull << way);
     return true;
 }
 
-const CacheLineState *
+std::optional<CacheLineState>
 SetAssocCache::findLine(LineAddr line) const
 {
-    const std::size_t set = line & (sets - 1);
-    for (unsigned w = 0; w < ways; ++w) {
-        const CacheLineState &ls = linesArr[set * ways + w];
-        if (ls.valid && ls.line == line)
-            return &ls;
-    }
-    return nullptr;
+    const std::size_t set = setOf(line);
+    const unsigned way = findWay(set, line);
+    if (way == ways)
+        return std::nullopt;
+    const std::size_t idx = set * ways + way;
+    CacheLineState ls;
+    ls.valid = true;
+    ls.line = tags[idx];
+    ls.dirty = dirtyBits[idx] != 0;
+    ls.prefetchBit = prefetchBits[idx] != 0;
+    ls.fillCore = fillCores[idx];
+    return ls;
 }
 
 } // namespace bop

@@ -8,6 +8,14 @@
  * first time the line is requested from the core side (paper Sec. 5.6),
  * which is how "prefetched hits" are recognised as prefetcher trigger
  * events and how useless prefetches are measured.
+ *
+ * The tag array is stored structure-of-arrays: lookups scan one
+ * contiguous 8-byte-stride `tags` run per set (invalid ways hold a
+ * sentinel tag no simulated line address can equal, so the scan is a
+ * single compare per way), while the dirty/prefetch bits and fill-core
+ * ids live in parallel flat arrays touched only on a hit or fill.
+ * Validity is one bitmask word per set, so "first invalid way" and
+ * "set full" are a mask op instead of a scan.
  */
 
 #ifndef BOP_CACHE_CACHE_HH
@@ -15,7 +23,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "cache/replacement.hh"
 #include "common/types.hh"
@@ -23,7 +33,7 @@
 namespace bop
 {
 
-/** One cache line's tag-array state. */
+/** Snapshot of one line's tag-array state (findLine result). */
 struct CacheLineState
 {
     bool valid = false;
@@ -73,7 +83,7 @@ class SetAssocCache
     /**
      * @param name        debug name
      * @param size_bytes  total capacity; must be sets*ways*64
-     * @param ways        associativity
+     * @param ways        associativity (1..64)
      * @param policy      replacement policy (owned)
      */
     SetAssocCache(std::string name, std::uint64_t size_bytes, unsigned ways,
@@ -108,7 +118,7 @@ class SetAssocCache
     bool invalidate(LineAddr line);
 
     /** Direct line-state inspection (tests/debug). */
-    const CacheLineState *findLine(LineAddr line) const;
+    std::optional<CacheLineState> findLine(LineAddr line) const;
 
     std::size_t numSets() const { return sets; }
     unsigned numWays() const { return ways; }
@@ -119,13 +129,37 @@ class SetAssocCache
     ReplacementPolicy &replacementPolicy() { return *policy; }
 
   private:
-    CacheLineState *lookup(LineAddr line, unsigned &way_out);
+    /**
+     * Sentinel stored in invalid ways' tag slots. No simulated line
+     * address can equal it (line addresses are byte addresses >> 6, so
+     * an all-ones line would need a 70-bit byte address), which keeps
+     * the lookup scan a single compare per way.
+     */
+    static constexpr LineAddr invalidTag = ~static_cast<LineAddr>(0);
+
+    /**
+     * Shared tag-scan core for access/probe/invalidate/findLine:
+     * way holding @p line in @p set, or the way count when absent.
+     */
+    unsigned findWay(std::size_t set, LineAddr line) const;
+
+    /** Snapshot the (valid) block at set/way as an eviction victim. */
+    CacheVictim victimAt(std::size_t set, unsigned way) const;
+
+    /** Bitmask covering every way of one set. */
+    std::uint64_t fullSetMask() const;
 
     std::string name;
     std::size_t sets;
     unsigned ways;
     std::unique_ptr<ReplacementPolicy> policy;
-    std::vector<CacheLineState> linesArr; ///< sets * ways, row-major
+
+    // Structure-of-arrays line state, all sets * ways, row-major.
+    std::vector<LineAddr> tags;            ///< invalidTag when invalid
+    std::vector<std::uint8_t> dirtyBits;
+    std::vector<std::uint8_t> prefetchBits;
+    std::vector<CoreId> fillCores;
+    std::vector<std::uint64_t> validMask;  ///< per-set bitmask of valid ways
 };
 
 } // namespace bop

@@ -1,15 +1,25 @@
 #include "cache/drrip.hh"
 
-#include <cassert>
-
 namespace bop
 {
 
 void
 DrripPolicy::reset(std::size_t sets, unsigned ways)
 {
-    rrpv.assign(sets, std::vector<std::uint8_t>(ways, rrpvMax));
+    resetFlatState(sets, ways, rrpvMax);
+    if (packed) {
+        // Every in-range nibble at rrpvMax, filler nibbles at 0xF.
+        const std::uint64_t init =
+            ((nibbleOnes * rrpvMax) & packedWaysMask()) | ~packedWaysMask();
+        words.assign(sets, init);
+    }
     psel = pselMax / 2;
+    leaderTable.resize(sets);
+    for (std::size_t set = 0; set < sets; ++set) {
+        leaderTable[set] = isSrripLeader(set)   ? srripLeader
+                           : isBrripLeader(set) ? brripLeader
+                                                : follower;
+    }
 }
 
 bool
@@ -27,9 +37,10 @@ DrripPolicy::isBrripLeader(std::size_t set) const
 bool
 DrripPolicy::useBrrip(std::size_t set) const
 {
-    if (isSrripLeader(set))
+    const std::uint8_t kind = leaderTable[set];
+    if (kind == srripLeader)
         return false;
-    if (isBrripLeader(set))
+    if (kind == brripLeader)
         return true;
     // PSEL counts SRRIP-leader misses up, BRRIP-leader misses down; a
     // high PSEL therefore means SRRIP is missing more -> use BRRIP.
@@ -39,14 +50,25 @@ DrripPolicy::useBrrip(std::size_t set) const
 unsigned
 DrripPolicy::victim(std::size_t set)
 {
-    auto &vals = rrpv[set];
+    // Evict the lowest-index way at the distant RRPV, aging every way
+    // until one saturates. All RRPVs are <= rrpvMax - 1 whenever the
+    // aging step runs, so the packed per-nibble add cannot carry.
+    if (packed) {
+        for (;;) {
+            const unsigned w = findNibble(words[set], rrpvMax);
+            if (w < numWays)
+                return w;
+            words[set] += nibbleOnes & packedWaysMask();
+        }
+    }
+    std::uint8_t *vals = &wide[set * numWays];
     for (;;) {
-        for (unsigned w = 0; w < vals.size(); ++w) {
+        for (unsigned w = 0; w < numWays; ++w) {
             if (vals[w] == rrpvMax)
                 return w;
         }
-        for (auto &v : vals)
-            ++v;
+        for (unsigned w = 0; w < numWays; ++w)
+            ++vals[w];
     }
 }
 
@@ -55,19 +77,12 @@ DrripPolicy::victimPeek(std::size_t set) const
 {
     // The increment-until-saturated loop in victim() always evicts the
     // lowest-index way holding the current maximum RRPV.
-    const auto &vals = rrpv[set];
     unsigned best = 0;
-    for (unsigned w = 1; w < vals.size(); ++w) {
-        if (vals[w] > vals[best])
+    for (unsigned w = 1; w < numWays; ++w) {
+        if (rrpvOf(set, w) > rrpvOf(set, best))
             best = w;
     }
     return best;
-}
-
-void
-DrripPolicy::onHit(std::size_t set, unsigned way)
-{
-    rrpv[set][way] = 0;
 }
 
 void
@@ -75,17 +90,18 @@ DrripPolicy::onFill(std::size_t set, unsigned way, const FillInfo &info)
 {
     // Set dueling feedback: count demand misses in leader sets.
     if (info.demand) {
-        if (isSrripLeader(set) && psel < pselMax)
+        const std::uint8_t kind = leaderTable[set];
+        if (kind == srripLeader && psel < pselMax)
             ++psel;
-        else if (isBrripLeader(set) && psel > 0)
+        else if (kind == brripLeader && psel > 0)
             --psel;
     }
 
     const bool brrip = useBrrip(set);
     if (brrip)
-        rrpv[set][way] = (rng.below(32) == 0) ? rrpvMax - 1 : rrpvMax;
+        setRrpv(set, way, (rng.below(32) == 0) ? rrpvMax - 1 : rrpvMax);
     else
-        rrpv[set][way] = rrpvMax - 1;
+        setRrpv(set, way, rrpvMax - 1);
 }
 
 } // namespace bop

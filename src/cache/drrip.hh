@@ -7,6 +7,11 @@
  * BRRIP inserts at RRPV=3 except with probability 1/32 at RRPV=2. Set
  * dueling between SRRIP and BRRIP leader sets drives a PSEL counter that
  * selects the policy used by follower sets.
+ *
+ * RRPVs live in the flat base-class state: one packed 64-bit word per
+ * set (way w's RRPV in nibble w) for up to 16 ways, a flat byte array
+ * beyond that. Hits clear the RRPV through the base class's non-virtual
+ * onHit fast path.
  */
 
 #ifndef BOP_CACHE_DRRIP_HH
@@ -22,7 +27,7 @@ namespace bop
 {
 
 /** DRRIP: SRRIP/BRRIP set dueling on 2-bit RRPVs. */
-class DrripPolicy : public ReplacementPolicy
+class DrripPolicy final : public ReplacementPolicy
 {
   public:
     /**
@@ -32,14 +37,15 @@ class DrripPolicy : public ReplacementPolicy
      */
     explicit DrripPolicy(std::uint64_t seed = 0xdead,
                          std::size_t constituency = 64)
-        : rng(seed), constituencySize(constituency)
+        : ReplacementPolicy(HitUpdate::RrpvClear),
+          rng(seed),
+          constituencySize(constituency)
     {
     }
 
     void reset(std::size_t sets, unsigned ways) override;
     unsigned victim(std::size_t set) override;
     unsigned victimPeek(std::size_t set) const override;
-    void onHit(std::size_t set, unsigned way) override;
     void onFill(std::size_t set, unsigned way, const FillInfo &info) override;
 
     /** Exposed for tests: current PSEL value. */
@@ -52,12 +58,44 @@ class DrripPolicy : public ReplacementPolicy
     static constexpr std::uint8_t rrpvMax = 3;     // 2-bit RRPV
     static constexpr int pselMax = 1023;           // 10-bit PSEL
 
+    /** Leader-set classification, precomputed per set in reset(). */
+    enum LeaderKind : std::uint8_t
+    {
+        follower = 0,
+        srripLeader = 1,
+        brripLeader = 2,
+    };
+
     bool useBrrip(std::size_t set) const;
+
+    std::uint8_t
+    rrpvOf(std::size_t set, unsigned way) const
+    {
+        if (packed)
+            return static_cast<std::uint8_t>(
+                (words[set] >> (4u * way)) & nibbleMask);
+        return wide[set * numWays + way];
+    }
+
+    void
+    setRrpv(std::size_t set, unsigned way, std::uint8_t value)
+    {
+        if (packed)
+            words[set] = (words[set] & ~(nibbleMask << (4u * way))) |
+                         (static_cast<std::uint64_t>(value) << (4u * way));
+        else
+            wide[set * numWays + way] = value;
+    }
 
     Rng rng;
     std::size_t constituencySize;
     int psel = pselMax / 2;
-    std::vector<std::vector<std::uint8_t>> rrpv;
+    /**
+     * Flat per-set LeaderKind table: onFill consults the leader status
+     * on every insertion, and the two modulo reductions were measurable
+     * there.
+     */
+    std::vector<std::uint8_t> leaderTable;
 };
 
 } // namespace bop

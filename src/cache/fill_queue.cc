@@ -10,6 +10,7 @@ FillQueue::FillQueue(std::string name_, std::size_t capacity_)
     : name(std::move(name_)), capacity(capacity_)
 {
     slots.resize(capacity);
+    fifo.reserve(capacity);
 }
 
 std::size_t
@@ -17,7 +18,7 @@ FillQueue::slotOf(std::uint32_t id) const
 {
     // The fifo holds exactly the live slots, so scanning it visits
     // size() entries instead of all capacity slots.
-    for (const std::size_t s : fifo) {
+    for (const std::uint32_t s : fifo) {
         if (slots[s].id == id)
             return s;
     }
@@ -38,7 +39,7 @@ FillQueue::allocate(LineAddr line, const ReqMeta &meta, bool is_prefetch)
             slot.isPrefetch = is_prefetch;
             slot.meta = meta;
             slot.id = nextId++;
-            fifo.push_back(s);
+            fifo.push_back(static_cast<std::uint32_t>(s));
             ++liveEntries;
             return slot.id;
         }
@@ -53,6 +54,8 @@ FillQueue::release(std::uint32_t id)
         FillQueueEntry &slot = slots[*it];
         if (slot.id == id) {
             slot.valid = false;
+            if (slot.hasData)
+                --dataEntries;
             --liveEntries;
             fifo.erase(it);
             return;
@@ -65,6 +68,8 @@ void
 FillQueue::fillData(std::uint32_t id, Cycle ready_at)
 {
     const std::size_t s = slotOf(id);
+    if (!slots[s].hasData)
+        ++dataEntries;
     slots[s].hasData = true;
     slots[s].readyAt = ready_at;
 }
@@ -107,7 +112,9 @@ FillQueue::find(LineAddr line) const
 FillQueueEntry *
 FillQueue::peekReady(Cycle now)
 {
-    for (const std::size_t s : fifo) {
+    if (dataEntries == 0)
+        return nullptr;
+    for (const std::uint32_t s : fifo) {
         FillQueueEntry &slot = slots[s];
         if (slot.hasData && slot.readyAt <= now)
             return &slot;
@@ -118,11 +125,14 @@ FillQueue::peekReady(Cycle now)
 std::optional<FillQueueEntry>
 FillQueue::popReady(Cycle now)
 {
+    if (dataEntries == 0)
+        return std::nullopt;
     for (auto it = fifo.begin(); it != fifo.end(); ++it) {
         FillQueueEntry &slot = slots[*it];
         if (slot.hasData && slot.readyAt <= now) {
             FillQueueEntry copy = slot;
             slot.valid = false;
+            --dataEntries;
             --liveEntries;
             fifo.erase(it);
             return copy;

@@ -22,7 +22,6 @@
 #define BOP_CACHE_FILL_QUEUE_HH
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
@@ -114,9 +113,20 @@ class FillQueue
     std::string name;
     std::size_t capacity;
     std::size_t liveEntries = 0;
+    /**
+     * Live entries whose data has arrived. The ready-drain scans run
+     * every cycle and on most cycles no entry carries data yet; this
+     * count lets them bail before touching the fifo at all.
+     */
+    std::size_t dataEntries = 0;
     std::uint32_t nextId = 1;
     std::vector<FillQueueEntry> slots;
-    std::deque<std::size_t> fifo; ///< live slot indices, allocation order
+    /**
+     * Live slot indices in allocation order. A flat vector (capacity
+     * reserved up front): the per-cycle scans walk one contiguous run,
+     * and the occasional mid-erase is a short memmove.
+     */
+    std::vector<std::uint32_t> fifo;
 };
 
 } // namespace bop

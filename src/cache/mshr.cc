@@ -8,16 +8,26 @@ namespace bop
 MshrFile::MshrFile(std::size_t capacity)
 {
     entries.resize(capacity);
+    lineTags.assign(capacity, freeTag);
+}
+
+std::size_t
+MshrFile::slotOf(LineAddr line) const
+{
+    if (live == 0)
+        return lineTags.size();
+    for (std::size_t s = 0; s < lineTags.size(); ++s) {
+        if (lineTags[s] == line)
+            return s;
+    }
+    return lineTags.size();
 }
 
 MshrEntry *
 MshrFile::find(LineAddr line)
 {
-    for (auto &e : entries) {
-        if (e.valid && e.line == line)
-            return &e;
-    }
-    return nullptr;
+    const std::size_t s = slotOf(line);
+    return s < entries.size() ? &entries[s] : nullptr;
 }
 
 std::uint32_t
@@ -25,7 +35,10 @@ MshrFile::allocate(LineAddr line, bool prefetch_only, Cycle now)
 {
     assert(!full());
     assert(!find(line) && "caller must coalesce instead of reallocating");
-    for (auto &e : entries) {
+    assert(line != freeTag && "line address collides with the free-slot "
+                              "sentinel");
+    for (std::size_t s = 0; s < entries.size(); ++s) {
+        MshrEntry &e = entries[s];
         if (!e.valid) {
             e.valid = true;
             e.line = line;
@@ -35,6 +48,7 @@ MshrFile::allocate(LineAddr line, bool prefetch_only, Cycle now)
             e.waiters.clear();
             e.issuedAt = now;
             e.id = nextId++;
+            lineTags[s] = line;
             ++live;
             return e.id;
         }
@@ -46,24 +60,25 @@ MshrFile::allocate(LineAddr line, bool prefetch_only, Cycle now)
 std::optional<MshrEntry>
 MshrFile::complete(LineAddr line)
 {
-    for (auto &e : entries) {
-        if (e.valid && e.line == line) {
-            MshrEntry copy = e;
-            e.valid = false;
-            --live;
-            return copy;
-        }
-    }
-    return std::nullopt;
+    const std::size_t s = slotOf(line);
+    if (s == entries.size())
+        return std::nullopt;
+    MshrEntry copy = entries[s];
+    entries[s].valid = false;
+    lineTags[s] = freeTag;
+    --live;
+    return copy;
 }
 
 std::optional<MshrEntry>
 MshrFile::completeById(std::uint32_t id)
 {
-    for (auto &e : entries) {
+    for (std::size_t s = 0; s < entries.size(); ++s) {
+        MshrEntry &e = entries[s];
         if (e.valid && e.id == id) {
             MshrEntry copy = e;
             e.valid = false;
+            lineTags[s] = freeTag;
             --live;
             return copy;
         }

@@ -33,7 +33,14 @@ struct MshrEntry
     std::uint32_t id = 0;
 };
 
-/** Fixed-size MSHR file with line-address matching. */
+/**
+ * Fixed-size MSHR file with line-address matching.
+ *
+ * The CAM probe runs on every DL1 request, so the line match scans a
+ * flat tag array (invalid slots hold a sentinel no simulated line can
+ * equal) instead of striding over the fat entry structs, and skips the
+ * scan entirely while the file is empty.
+ */
 class MshrFile
 {
   public:
@@ -58,7 +65,14 @@ class MshrFile
     std::optional<MshrEntry> completeById(std::uint32_t id);
 
   private:
+    /** Sentinel tag for free slots (no line address reaches ~0). */
+    static constexpr LineAddr freeTag = ~static_cast<LineAddr>(0);
+
+    /** Slot holding @p line, or the capacity when absent. */
+    std::size_t slotOf(LineAddr line) const;
+
     std::vector<MshrEntry> entries;
+    std::vector<LineAddr> lineTags; ///< parallel to entries; freeTag = free
     std::size_t live = 0;
     std::uint32_t nextId = 1;
 };

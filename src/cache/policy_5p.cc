@@ -1,5 +1,7 @@
 #include "cache/policy_5p.hh"
 
+#include <cassert>
+
 namespace bop
 {
 
@@ -9,10 +11,14 @@ Policy5P::reset(std::size_t sets, unsigned ways)
     StackPolicy::reset(sets, ways);
     policyCounters.reset();
     coreMissCounters.reset();
+    leaderTable.resize(sets);
+    for (std::size_t set = 0; set < sets; ++set)
+        leaderTable[set] =
+            static_cast<std::int8_t>(computeLeaderPolicy(set));
 }
 
 int
-Policy5P::leaderPolicyOf(std::size_t set) const
+Policy5P::computeLeaderPolicy(std::size_t set) const
 {
     // Spread the five leader sets across the constituency so they do not
     // cluster in one region of the index space.
@@ -23,6 +29,13 @@ Policy5P::leaderPolicyOf(std::size_t set) const
             return i;
     }
     return -1;
+}
+
+int
+Policy5P::leaderPolicyOf(std::size_t set) const
+{
+    assert(set < leaderTable.size() && "set out of range: reset() first");
+    return leaderTable[set];
 }
 
 InsertionPolicy

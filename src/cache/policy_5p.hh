@@ -24,6 +24,7 @@
 #define BOP_CACHE_POLICY_5P_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "cache/replacement.hh"
 #include "common/prop_counter.hh"
@@ -47,7 +48,7 @@ enum class InsertionPolicy : int
 constexpr int numInsertionPolicies = 5;
 
 /** The 5P prefetch- and core-aware replacement policy. */
-class Policy5P : public StackPolicy
+class Policy5P final : public StackPolicy
 {
   public:
     /**
@@ -74,7 +75,9 @@ class Policy5P : public StackPolicy
     /**
      * Leader-set mapping: within each constituency, one set is dedicated
      * to each insertion policy. Returns the policy index for a leader
-     * set, or -1 for follower sets. Exposed for tests.
+     * set, or -1 for follower sets. Exposed for tests. Answered from a
+     * flat per-set table built in reset() (onFill runs once per cache
+     * insertion, and the modulo arithmetic was measurable there).
      */
     int leaderPolicyOf(std::size_t set) const;
 
@@ -95,10 +98,15 @@ class Policy5P : public StackPolicy
     void applyInsertion(InsertionPolicy ip, std::size_t set, unsigned way,
                         const FillInfo &info);
 
+    /** Leader policy of a set from the constituency layout alone. */
+    int computeLeaderPolicy(std::size_t set) const;
+
     Rng rng;
     std::size_t constituencySize;
     PropCounterGroup policyCounters;
     PropCounterGroup coreMissCounters;
+    /** Per-set leader policy (-1 follower), precomputed in reset(). */
+    std::vector<std::int8_t> leaderTable;
 };
 
 } // namespace bop

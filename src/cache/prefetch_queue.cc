@@ -3,6 +3,16 @@
 namespace bop
 {
 
+void
+PrefetchQueue::recomputeMinReady()
+{
+    minReady = noneReady;
+    for (const auto &req : queue) {
+        if (req.readyAt < minReady)
+            minReady = req.readyAt;
+    }
+}
+
 bool
 PrefetchQueue::insert(const PrefetchRequest &req)
 {
@@ -10,8 +20,11 @@ PrefetchQueue::insert(const PrefetchRequest &req)
     if (queue.size() >= capacity) {
         queue.pop_front();
         cancelled = true;
+        recomputeMinReady();
     }
     queue.push_back(req);
+    if (req.readyAt < minReady)
+        minReady = req.readyAt;
     return cancelled;
 }
 
@@ -28,6 +41,10 @@ PrefetchQueue::contains(LineAddr line) const
 const PrefetchRequest *
 PrefetchQueue::peekReady(Cycle now) const
 {
+    // The drain runs every cycle; minReady (maintained on mutation)
+    // gates the scan so idle cycles cost one compare.
+    if (minReady > now)
+        return nullptr;
     for (const auto &req : queue) {
         if (req.readyAt <= now)
             return &req;
@@ -38,9 +55,12 @@ PrefetchQueue::peekReady(Cycle now) const
 void
 PrefetchQueue::popFront(Cycle now)
 {
+    if (minReady > now)
+        return;
     for (auto it = queue.begin(); it != queue.end(); ++it) {
         if (it->readyAt <= now) {
             queue.erase(it);
+            recomputeMinReady();
             return;
         }
     }
@@ -49,10 +69,13 @@ PrefetchQueue::popFront(Cycle now)
 std::optional<PrefetchRequest>
 PrefetchQueue::popReady(Cycle now)
 {
+    if (minReady > now)
+        return std::nullopt;
     for (auto it = queue.begin(); it != queue.end(); ++it) {
         if (it->readyAt <= now) {
             PrefetchRequest req = *it;
             queue.erase(it);
+            recomputeMinReady();
             return req;
         }
     }

@@ -58,8 +58,19 @@ class PrefetchQueue
     std::size_t cap() const { return capacity; }
 
   private:
+    /** Sentinel: no queued request can ever become ready. */
+    static constexpr Cycle noneReady = ~static_cast<Cycle>(0);
+
+    void recomputeMinReady();
+
     std::size_t capacity;
     std::deque<PrefetchRequest> queue;
+    /**
+     * Smallest readyAt in the queue (noneReady when empty), maintained
+     * on every mutation so the per-cycle ready checks can bail with one
+     * compare instead of scanning the queue.
+     */
+    Cycle minReady = noneReady;
 };
 
 } // namespace bop

@@ -66,6 +66,7 @@ MemoryController::enqueueWrite(LineAddr line, CoreId core, Cycle now)
     coord.channel = channelId;
     writeQueues[static_cast<std::size_t>(core)].push_back(
         {line, core, now, coord});
+    ++pendingWriteCount;
 }
 
 std::size_t
@@ -83,12 +84,8 @@ MemoryController::writeQueueSize(CoreId core) const
 bool
 MemoryController::anyPending() const
 {
-    if (pendingReadCount > 0)
+    if (pendingReadCount > 0 || pendingWriteCount > 0)
         return true;
-    for (const auto &q : writeQueues) {
-        if (!q.empty())
-            return true;
-    }
     return !completedReads.empty();
 }
 
@@ -192,6 +189,7 @@ MemoryController::issueWrite(BusCycle bc)
     else
         ++chanStats.rowMisses;
     writeQueues[static_cast<std::size_t>(best_core)].erase(best_it);
+    --pendingWriteCount;
     return true;
 }
 
@@ -246,9 +244,26 @@ void
 MemoryController::tick(Cycle now)
 {
     const unsigned ratio = timing.params().busRatio;
-    if (now % ratio != 0)
+    if (now == lastTicked + 1) {
+        if (++busPhase >= ratio) {
+            busPhase = 0;
+            ++busCycleNum;
+        }
+    } else {
+        busPhase = static_cast<unsigned>(now % ratio);
+        busCycleNum = now / ratio;
+    }
+    lastTicked = now;
+    if (busPhase != 0)
         return;
-    const BusCycle bc = now / ratio;
+    const BusCycle bc = busCycleNum;
+
+    // Idle gate: with nothing queued and no drain batch open,
+    // scheduleStep cannot issue or change state — skip it.
+    if (pendingReadCount == 0 && pendingWriteCount == 0 &&
+        writeDrainRemaining == 0) {
+        return;
+    }
 
     // Issue at most one request per bus cycle, and never run the
     // command stream more than a couple of bursts ahead of the data
@@ -257,7 +272,6 @@ MemoryController::tick(Cycle now)
     // FR-FCFS and the fairness counters.
     if (timing.busFreeAt() <= bc + 2 * timing.params().tBURST)
         scheduleStep(bc);
-    lastTicked = now;
 }
 
 std::vector<CompletedRead>

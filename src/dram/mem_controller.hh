@@ -99,6 +99,13 @@ class MemoryController
     /** Drain reads whose data is available by @p now. */
     std::vector<CompletedRead> popCompleted(Cycle now);
 
+    /**
+     * Cheap per-tick gate for the completion drain: most cycles finish
+     * no read, and the caller should not pay a vector round trip to
+     * learn that.
+     */
+    bool hasCompletedReads() const { return !completedReads.empty(); }
+
     // -- observability -----------------------------------------------------
     const DramChannelStats &stats() const { return chanStats; }
     CoreId servedCore() const { return served; }
@@ -137,11 +144,21 @@ class MemoryController
     std::vector<std::deque<ReadReq>> readQueues;
     std::vector<std::deque<WriteReq>> writeQueues;
     PropCounterGroup fairness;
-    std::size_t pendingReadCount = 0; ///< over all read queues (CAM gate)
+    std::size_t pendingReadCount = 0;  ///< over all read queues (CAM gate)
+    std::size_t pendingWriteCount = 0; ///< over all write queues
     CoreId served = 0;
     int writeDrainRemaining = 0;
     bool l3FillFull = false;
     Cycle lastTicked = 0;
+    /**
+     * Bus-edge bookkeeping: tick() runs every core cycle and the
+     * core/bus ratio is a runtime value, so deriving the bus cycle with
+     * divisions every call is measurable. The counters advance
+     * incrementally while calls stay contiguous (the simulator's case)
+     * and fall back to the exact divide on any gap.
+     */
+    unsigned busPhase = 0;
+    BusCycle busCycleNum = 0;
     std::vector<CompletedRead> completedReads;
     DramChannelStats chanStats;
 };

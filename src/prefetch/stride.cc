@@ -11,16 +11,16 @@ StridePrefetcher::StridePrefetcher(StrideConfig cfg_)
 {
     assert(numSets > 0 && (numSets & (numSets - 1)) == 0);
     table.resize(cfg.tableEntries);
+    pcTags.assign(cfg.tableEntries, freePc);
 }
 
 StridePrefetcher::Entry *
 StridePrefetcher::find(Addr pc)
 {
-    const std::size_t set = (pc >> 2) & (numSets - 1);
+    const std::size_t base = ((pc >> 2) & (numSets - 1)) * cfg.ways;
     for (unsigned w = 0; w < cfg.ways; ++w) {
-        Entry &e = table[set * cfg.ways + w];
-        if (e.valid && e.pc == pc)
-            return &e;
+        if (pcTags[base + w] == pc)
+            return &table[base + w];
     }
     return nullptr;
 }
@@ -34,21 +34,21 @@ StridePrefetcher::find(Addr pc) const
 StridePrefetcher::Entry &
 StridePrefetcher::allocate(Addr pc)
 {
-    const std::size_t set = (pc >> 2) & (numSets - 1);
-    Entry *victim = &table[set * cfg.ways];
+    assert(pc != freePc && "pc collides with the free-slot sentinel");
+    const std::size_t base = ((pc >> 2) & (numSets - 1)) * cfg.ways;
+    std::size_t victim = base;
     for (unsigned w = 0; w < cfg.ways; ++w) {
-        Entry &e = table[set * cfg.ways + w];
-        if (!e.valid) {
-            victim = &e;
+        const std::size_t s = base + w;
+        if (pcTags[s] == freePc) {
+            victim = s;
             break;
         }
-        if (e.lruStamp < victim->lruStamp)
-            victim = &e;
+        if (table[s].lruStamp < table[victim].lruStamp)
+            victim = s;
     }
-    *victim = Entry{};
-    victim->valid = true;
-    victim->pc = pc;
-    return *victim;
+    table[victim] = Entry{};
+    pcTags[victim] = pc;
+    return table[victim];
 }
 
 void
@@ -80,9 +80,17 @@ StridePrefetcher::filterAllows(LineAddr line)
 {
     if (std::find(filter.begin(), filter.end(), line) != filter.end())
         return false;
-    if (filter.size() >= cfg.filterEntries)
-        filter.pop_front();
-    filter.push_back(line);
+    if (cfg.filterEntries == 0)
+        return true;
+    // Flat ring: overwrite the oldest entry once the filter is full
+    // (membership is all that matters, so order within the ring is
+    // irrelevant to the scan above).
+    if (filter.size() < cfg.filterEntries) {
+        filter.push_back(line);
+    } else {
+        filter[filterHead] = line;
+        filterHead = (filterHead + 1) % cfg.filterEntries;
+    }
     return true;
 }
 

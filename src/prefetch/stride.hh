@@ -20,7 +20,6 @@
 #define BOP_PREFETCH_STRIDE_HH
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -66,13 +65,14 @@ class StridePrefetcher
   private:
     struct Entry
     {
-        bool valid = false;
-        Addr pc = 0;
         Addr lastAddr = 0;
         std::int64_t stride = 0;
         int confidence = 0;
         std::uint64_t lruStamp = 0;
     };
+
+    /** Sentinel PC tag for free table slots (no real PC reaches ~0). */
+    static constexpr Addr freePc = ~static_cast<Addr>(0);
 
     Entry *find(Addr pc);
     const Entry *find(Addr pc) const;
@@ -82,7 +82,14 @@ class StridePrefetcher
     StrideConfig cfg;
     std::size_t numSets;
     std::vector<Entry> table;   ///< numSets * ways
-    std::deque<LineAddr> filter;
+    /**
+     * PC tags parallel to table (freePc = empty slot). The table is
+     * probed twice per memory micro-op, so the match scans this flat
+     * 8-byte-stride array instead of the fat entry structs.
+     */
+    std::vector<Addr> pcTags;
+    std::vector<LineAddr> filter; ///< flat ring of recent prefetch lines
+    std::size_t filterHead = 0;   ///< oldest ring entry (next overwrite)
     std::uint64_t stamp = 0;
 };
 

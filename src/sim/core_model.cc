@@ -52,7 +52,10 @@ CoreModel::retire(Cycle now)
             --loadsInFlight;
         }
         head.valid = false;
-        robHead = (robHead + 1) % params.robSize;
+        // Wraparound without the runtime-divisor modulo: this runs for
+        // every retired instruction.
+        if (++robHead == params.robSize)
+            robHead = 0;
         --robCount;
         ++retiredCount;
     }
@@ -239,7 +242,8 @@ CoreModel::dispatchOne(const TraceInstr &instr, Cycle now)
       }
     }
 
-    robTail = (robTail + 1) % params.robSize;
+    if (++robTail == params.robSize)
+        robTail = 0;
     ++robCount;
     return true;
 }

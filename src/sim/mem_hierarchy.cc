@@ -535,12 +535,16 @@ MemHierarchy::processPrefetchQueues(Cycle now)
     // congested stays queued without blocking other cores (continue,
     // not break), so the path is already channel-sharded.
     const unsigned budget = l3PrefetchesPerCycle * channelLanes();
+    const unsigned active = static_cast<unsigned>(cfg.activeCores);
     for (unsigned n = 0; n < budget; ++n) {
         bool issued = false;
         for (int i = 0; i < cfg.activeCores && !issued; ++i) {
-            const CoreId c = static_cast<CoreId>(
-                (prefetchRr + static_cast<unsigned>(i)) %
-                static_cast<unsigned>(cfg.activeCores));
+            // Round-robin wrap without the runtime-divisor modulo (this
+            // scan runs every cycle): both operands are < active.
+            unsigned rr = prefetchRr + static_cast<unsigned>(i);
+            if (rr >= active)
+                rr -= active;
+            const CoreId c = static_cast<CoreId>(rr);
             CoreSide &cs = side(c);
             const PrefetchRequest *req = cs.prefetchQueue.peekReady(now);
             if (!req)
@@ -579,8 +583,8 @@ MemHierarchy::processPrefetchQueues(Cycle now)
                 issued = true;
             }
         }
-        prefetchRr =
-            (prefetchRr + 1) % static_cast<unsigned>(cfg.activeCores);
+        if (++prefetchRr >= active)
+            prefetchRr = 0;
         if (!issued)
             break;
     }
@@ -590,6 +594,8 @@ void
 MemHierarchy::drainDramCompletions(Cycle now)
 {
     for (auto &mc : mcs) {
+        if (!mc->hasCompletedReads())
+            continue;
         for (const CompletedRead &r : mc->popCompleted(now)) {
             assert(r.meta.l3FillId != invalidMshr);
             l3Fill.fillData(r.meta.l3FillId, now + 1);

@@ -9,17 +9,17 @@ Tlb::Tlb(std::size_t entries, unsigned ways_)
     : numSets(entries / ways_), ways(ways_)
 {
     assert(numSets > 0 && (numSets & (numSets - 1)) == 0);
-    table.resize(entries);
+    vpns.assign(entries, freeVpn);
+    stamps.assign(entries, 0);
 }
 
 bool
 Tlb::lookup(Addr vpn)
 {
-    const std::size_t set = setOf(vpn);
+    const std::size_t base = setOf(vpn) * ways;
     for (unsigned w = 0; w < ways; ++w) {
-        Entry &e = table[set * ways + w];
-        if (e.valid && e.vpn == vpn) {
-            e.stamp = ++clock;
+        if (vpns[base + w] == vpn) {
+            stamps[base + w] = ++clock;
             return true;
         }
     }
@@ -29,10 +29,9 @@ Tlb::lookup(Addr vpn)
 bool
 Tlb::probe(Addr vpn) const
 {
-    const std::size_t set = setOf(vpn);
+    const std::size_t base = setOf(vpn) * ways;
     for (unsigned w = 0; w < ways; ++w) {
-        const Entry &e = table[set * ways + w];
-        if (e.valid && e.vpn == vpn)
+        if (vpns[base + w] == vpn)
             return true;
     }
     return false;
@@ -41,31 +40,31 @@ Tlb::probe(Addr vpn) const
 void
 Tlb::insert(Addr vpn)
 {
-    const std::size_t set = setOf(vpn);
-    Entry *victim = &table[set * ways];
+    assert(vpn != freeVpn && "vpn collides with the free-slot sentinel");
+    const std::size_t base = setOf(vpn) * ways;
+    std::size_t victim = base;
     for (unsigned w = 0; w < ways; ++w) {
-        Entry &e = table[set * ways + w];
-        if (e.valid && e.vpn == vpn) {
-            e.stamp = ++clock;
+        const std::size_t s = base + w;
+        if (vpns[s] == vpn) {
+            stamps[s] = ++clock;
             return;
         }
-        if (!e.valid) {
-            victim = &e;
+        if (vpns[s] == freeVpn) {
+            victim = s;
             break;
         }
-        if (e.stamp < victim->stamp)
-            victim = &e;
+        if (stamps[s] < stamps[victim])
+            victim = s;
     }
-    victim->valid = true;
-    victim->vpn = vpn;
-    victim->stamp = ++clock;
+    vpns[victim] = vpn;
+    stamps[victim] = ++clock;
 }
 
 void
 Tlb::flush()
 {
-    for (auto &e : table)
-        e.valid = false;
+    for (auto &v : vpns)
+        v = freeVpn;
 }
 
 unsigned

@@ -37,21 +37,21 @@ class Tlb
     /** Drop all entries. */
     void flush();
 
-    std::size_t entryCount() const { return table.size(); }
+    std::size_t entryCount() const { return vpns.size(); }
 
   private:
-    struct Entry
-    {
-        bool valid = false;
-        Addr vpn = 0;
-        std::uint64_t stamp = 0;
-    };
+    /** Sentinel tag for free slots (no virtual page number reaches ~0). */
+    static constexpr Addr freeVpn = ~static_cast<Addr>(0);
 
     std::size_t setOf(Addr vpn) const { return vpn & (numSets - 1); }
 
     std::size_t numSets;
     unsigned ways;
-    std::vector<Entry> table;
+    // Structure-of-arrays: lookups run on every load, so the tag match
+    // scans a flat 8-byte-stride run; the LRU stamps live beside it and
+    // are touched only on hit/insert.
+    std::vector<Addr> vpns;   ///< freeVpn when the slot is empty
+    std::vector<std::uint64_t> stamps;
     std::uint64_t clock = 0;
 };
 

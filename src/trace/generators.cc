@@ -46,8 +46,16 @@ SyntheticTrace::patternAddr(StreamState &st)
       case StreamPattern::Sequential:
       case StreamPattern::Strided: {
         const Addr a = st.base + st.cursor;
-        st.cursor = (st.cursor + static_cast<std::uint64_t>(ss.stepBytes)) %
-                    ss.regionBytes;
+        // This runs per generated memory access and the runtime-divisor
+        // division was measurable: one subtract covers the common
+        // forward stride, the modulo keeps large/negative (wrapped)
+        // steps O(1) with the exact old ring semantics.
+        st.cursor += static_cast<std::uint64_t>(ss.stepBytes);
+        if (st.cursor >= ss.regionBytes) {
+            st.cursor -= ss.regionBytes;
+            if (st.cursor >= ss.regionBytes)
+                st.cursor %= ss.regionBytes;
+        }
         return a;
       }
       case StreamPattern::PointerChase: {
@@ -108,7 +116,8 @@ SyntheticTrace::streamAddr(StreamState &st)
         st.lastSubIndex = st.subAccess;
         const Addr a =
             st.elementAddr + static_cast<Addr>(st.subAccess % 8) * 8;
-        st.subAccess = (st.subAccess + 1) % ss.accessesPerElement;
+        if (++st.subAccess == ss.accessesPerElement)
+            st.subAccess = 0;
         return a;
     }
 
@@ -181,8 +190,8 @@ SyntheticTrace::next()
                    static_cast<Addr>(st.lastSubIndex) * 4 +
                    static_cast<Addr>(st.pcIndex) * 64 +
                    (st.lastWasReuse ? 0x800 : 0);
-        if (ss.pcCount > 1)
-            st.pcIndex = (st.pcIndex + 1) % ss.pcCount;
+        if (ss.pcCount > 1 && ++st.pcIndex == ss.pcCount)
+            st.pcIndex = 0;
 
         instr.dependsOnPrevLoad =
             ss.pattern == StreamPattern::PointerChase ||
@@ -195,12 +204,13 @@ SyntheticTrace::next()
             instr.taken = rng.chance(spec.branchBias);
             instr.dependsOnPrevLoad = rng.chance(0.5);
         } else {
-            // Loop branch: taken except every loopPeriod-th execution.
+            // Loop branch: taken except every loopPeriod-th execution
+            // (phase counter == the modulo, without the division).
             instr.pc = 0x500100;
             ++loopCounter;
-            instr.taken =
-                (loopCounter % static_cast<std::uint64_t>(
-                                   spec.loopPeriod)) != 0;
+            if (loopCounter == static_cast<std::uint64_t>(spec.loopPeriod))
+                loopCounter = 0;
+            instr.taken = loopCounter != 0;
         }
     } else {
         instr.kind = rng.chance(spec.fpFraction) ? InstrKind::FpOp

@@ -42,8 +42,8 @@ TEST(Cache, PrefetchBitSetOnPrefetchFill)
     CacheFill fill;
     fill.markPrefetch = true;
     c.insert(0x2000, fill);
-    const CacheLineState *ls = c.findLine(0x2000);
-    ASSERT_NE(ls, nullptr);
+    const std::optional<CacheLineState> ls = c.findLine(0x2000);
+    ASSERT_TRUE(ls.has_value());
     EXPECT_TRUE(ls->prefetchBit);
 }
 
