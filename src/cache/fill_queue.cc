@@ -53,11 +53,19 @@ FillQueue::release(std::uint32_t id)
     for (auto it = fifo.begin(); it != fifo.end(); ++it) {
         FillQueueEntry &slot = slots[*it];
         if (slot.id == id) {
+            const bool had_data = slot.hasData;
+            const Cycle ready = slot.readyAt;
             slot.valid = false;
-            if (slot.hasData)
-                --dataEntries;
+            slot.hasData = false;
             --liveEntries;
+            // Erase before recomputing the minimum, or the scan would
+            // still see the dying entry and pin a stale value.
             fifo.erase(it);
+            if (had_data) {
+                --dataEntries;
+                if (ready == minDataReady)
+                    recomputeMinDataReady();
+            }
             return;
         }
     }
@@ -72,6 +80,8 @@ FillQueue::fillData(std::uint32_t id, Cycle ready_at)
         ++dataEntries;
     slots[s].hasData = true;
     slots[s].readyAt = ready_at;
+    if (ready_at < minDataReady)
+        minDataReady = ready_at;
 }
 
 std::uint32_t
@@ -132,13 +142,34 @@ FillQueue::popReady(Cycle now)
         if (slot.hasData && slot.readyAt <= now) {
             FillQueueEntry copy = slot;
             slot.valid = false;
+            slot.hasData = false;
             --dataEntries;
             --liveEntries;
             fifo.erase(it);
+            if (copy.readyAt == minDataReady)
+                recomputeMinDataReady();
             return copy;
         }
     }
     return std::nullopt;
+}
+
+void
+FillQueue::recomputeMinDataReady()
+{
+    minDataReady = neverCycle;
+    if (dataEntries == 0)
+        return;
+    std::size_t seen = 0;
+    for (const std::uint32_t s : fifo) {
+        const FillQueueEntry &slot = slots[s];
+        if (!slot.hasData)
+            continue;
+        if (slot.readyAt < minDataReady)
+            minDataReady = slot.readyAt;
+        if (++seen == dataEntries)
+            break;
+    }
 }
 
 FillQueueEntry &
@@ -146,5 +177,6 @@ FillQueue::entry(std::uint32_t id)
 {
     return slots[slotOf(id)];
 }
+
 
 } // namespace bop

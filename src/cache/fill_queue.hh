@@ -104,8 +104,21 @@ class FillQueue
     /** Entry lookup by id (must be live). */
     FillQueueEntry &entry(std::uint32_t id);
 
+    /**
+     * Smallest readyAt among entries that carry data (neverCycle when
+     * none do) — the earliest cycle a drain could pop something.
+     * Entries still waiting for next-level data contribute nothing:
+     * their unblocking event belongs to a downstream component's
+     * horizon. Maintained incrementally (recomputed only when the
+     * minimum entry leaves); used by the event-horizon fast-forward.
+     */
+    Cycle minReadyAt() const { return minDataReady; }
+
   private:
     std::size_t slotOf(std::uint32_t id) const;
+
+    /** Re-derive minDataReady after the minimum entry left. */
+    void recomputeMinDataReady();
 
     /** Slots reserved against waiting-entry exhaustion. */
     static constexpr std::size_t waitingReserve = 2;
@@ -119,6 +132,7 @@ class FillQueue
      * count lets them bail before touching the fifo at all.
      */
     std::size_t dataEntries = 0;
+    Cycle minDataReady = neverCycle; ///< min readyAt over data entries
     std::uint32_t nextId = 1;
     std::vector<FillQueueEntry> slots;
     /**

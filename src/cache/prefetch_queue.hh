@@ -57,9 +57,16 @@ class PrefetchQueue
     bool empty() const { return queue.empty(); }
     std::size_t cap() const { return capacity; }
 
+    /**
+     * Smallest readyAt in the queue; neverCycle when empty. Already
+     * maintained for the per-cycle ready gate — the event-horizon
+     * fast-forward reads it as this queue's next-event time.
+     */
+    Cycle minReadyAt() const { return minReady; }
+
   private:
     /** Sentinel: no queued request can ever become ready. */
-    static constexpr Cycle noneReady = ~static_cast<Cycle>(0);
+    static constexpr Cycle noneReady = neverCycle;
 
     void recomputeMinReady();
 

@@ -77,6 +77,10 @@ struct RunStats
     int boFinalOffset = 0;
     int boFinalScore = 0;
 
+    /** Field-wise equality (the fast-forward equivalence gate compares
+     *  whole runs; every counter above participates). */
+    bool operator==(const RunStats &) const = default;
+
     /** Instructions per cycle for the measured window. */
     double
     ipc() const

@@ -27,6 +27,14 @@ using LineAddr = std::uint64_t;
 using Cycle = std::uint64_t;
 
 /**
+ * Sentinel for "no cycle" / "never": later than every representable
+ * event time. Used by the event-horizon plumbing (a component with no
+ * self-scheduled future work reports this from nextEventAt) and by the
+ * min-readyAt gates on the queues.
+ */
+constexpr Cycle neverCycle = ~static_cast<Cycle>(0);
+
+/**
  * Identifier of a core (0..numCores-1). The core count is a runtime
  * property of the simulated chip, carried in SystemConfig; every
  * structure that is per-core (DRAM queues, fairness counters, 5P miss

@@ -144,6 +144,7 @@ MemoryController::issueReadFrom(CoreId core, BusCycle bc)
     done.line = pick->line;
     done.meta = pick->meta;
     done.finishCycle = t.dataEnd * timing.params().busRatio;
+    minFinishAt = std::min(minFinishAt, done.finishCycle);
     completedReads.push_back(done);
 
     fairness.increment(static_cast<std::size_t>(core));
@@ -274,16 +275,47 @@ MemoryController::tick(Cycle now)
         scheduleStep(bc);
 }
 
+Cycle
+MemoryController::nextEventAt(Cycle now) const
+{
+    const Cycle next = now + 1;
+    Cycle ev = neverCycle;
+
+    // Finished reads are handed back when the hierarchy polls at
+    // finishCycle (drainDramCompletions runs every simulated step).
+    if (minFinishAt != neverCycle)
+        ev = std::max(next, minFinishAt);
+
+    // Scheduling decisions happen on bus edges while work is pending —
+    // but tick() also refuses to run the command stream more than
+    // 2*tBURST ahead of the data bus, so while that throttle holds the
+    // next actionable edge is the one where the window reopens.
+    if (pendingReadCount > 0 || pendingWriteCount > 0 ||
+        writeDrainRemaining > 0) {
+        const unsigned ratio = timing.params().busRatio;
+        const BusCycle window = 2 * timing.params().tBURST;
+        BusCycle bc = now / ratio + 1; // first edge strictly after now
+        if (timing.busFreeAt() > window)
+            bc = std::max(bc, timing.busFreeAt() - window);
+        ev = std::min(ev, bc * ratio);
+    }
+    return ev;
+}
+
 std::vector<CompletedRead>
 MemoryController::popCompleted(Cycle now)
 {
     std::vector<CompletedRead> out;
+    if (minFinishAt > now)
+        return out;
+    minFinishAt = neverCycle;
     auto it = completedReads.begin();
     while (it != completedReads.end()) {
         if (it->finishCycle <= now) {
             out.push_back(*it);
             it = completedReads.erase(it);
         } else {
+            minFinishAt = std::min(minFinishAt, it->finishCycle);
             ++it;
         }
     }

@@ -96,6 +96,17 @@ class MemoryController
     /** Advance to @p now (core cycles); schedules on bus-cycle edges. */
     void tick(Cycle now);
 
+    /**
+     * Earliest core cycle > @p now at which this controller can act:
+     * the next bus edge inside the scheduling look-ahead window while
+     * any request is queued (or a write-drain batch is open), or the
+     * completion time of a finished read awaiting pickup. neverCycle
+     * when fully idle. Contract (event-horizon fast-forward): ticking
+     * at any cycle strictly between @p now and the returned horizon
+     * would neither issue a request nor complete one.
+     */
+    Cycle nextEventAt(Cycle now) const;
+
     /** Drain reads whose data is available by @p now. */
     std::vector<CompletedRead> popCompleted(Cycle now);
 
@@ -105,6 +116,14 @@ class MemoryController
      * learn that.
      */
     bool hasCompletedReads() const { return !completedReads.empty(); }
+
+    /**
+     * Earliest finishCycle among completed-but-unclaimed reads
+     * (neverCycle when none). Scheduled reads sit here until their
+     * data-bus burst ends, so this gates the per-tick drain — and it
+     * is the completion half of nextEventAt().
+     */
+    Cycle nextCompletionAt() const { return minFinishAt; }
 
     // -- observability -----------------------------------------------------
     const DramChannelStats &stats() const { return chanStats; }
@@ -160,6 +179,7 @@ class MemoryController
     unsigned busPhase = 0;
     BusCycle busCycleNum = 0;
     std::vector<CompletedRead> completedReads;
+    Cycle minFinishAt = neverCycle; ///< min finishCycle in completedReads
     DramChannelStats chanStats;
 };
 

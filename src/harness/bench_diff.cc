@@ -220,6 +220,32 @@ compareMetric(const ParsedRunRecord &oldRecord,
     }
 }
 
+/** Flag a one-sided relative *drop* in @p metric. Records without the
+ *  metric (or with a zero value — "not measured") are skipped, so
+ *  artifacts from before the field existed keep diffing cleanly. */
+void
+compareDropMetric(const ParsedRunRecord &oldRecord,
+                  const ParsedRunRecord &newRecord,
+                  const std::string &key, const std::string &metric,
+                  double threshold, std::vector<BenchDelta> &flagged)
+{
+    if (threshold <= 0.0)
+        return;
+    const auto oldIt = oldRecord.numbers.find(metric);
+    const auto newIt = newRecord.numbers.find(metric);
+    if (oldIt == oldRecord.numbers.end() ||
+        newIt == newRecord.numbers.end())
+        return;
+    const double oldValue = oldIt->second;
+    const double newValue = newIt->second;
+    if (oldValue <= 0.0 || newValue <= 0.0)
+        return;
+    if ((oldValue - newValue) / oldValue > threshold) {
+        flagged.push_back(
+            {key, metric, oldValue, newValue, newValue - oldValue});
+    }
+}
+
 } // namespace
 
 std::string
@@ -279,6 +305,10 @@ diffRunRecords(const std::vector<ParsedRunRecord> &oldRecords,
         compareMetric(oldRecord, newRecord, key, "dram_per_1k_instr",
                       /*relative=*/true, options.dramRelative,
                       result.flagged);
+        compareDropMetric(oldRecord, newRecord, key,
+                          "sim_mcycles_per_s",
+                          options.throughputDropRelative,
+                          result.flagged);
     }
     for (const ParsedRunRecord &record : oldRecords) {
         const std::string key = record.key();

@@ -53,6 +53,15 @@ struct BenchDiffOptions
     double ipcRelative = 0.02;      ///< |ΔIPC| / old IPC
     double coverageAbsolute = 0.02; ///< |Δ prefetch_coverage|
     double dramRelative = 0.05;     ///< |Δ dram_per_1k_instr| / old
+    /**
+     * Relative drop in sim_mcycles_per_s (engine throughput) before a
+     * run is flagged. One-sided — getting faster is never a
+     * regression — and compared only when both artifacts carry a
+     * non-zero measurement (older artifacts predate the field, and
+     * CI machine noise dwarfs the simulated-metric thresholds, hence
+     * the deliberately loose default). Set <= 0 to disable.
+     */
+    double throughputDropRelative = 0.5;
 };
 
 /** One flagged metric movement. */

@@ -1,5 +1,6 @@
 #include "harness/experiment.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -102,9 +103,14 @@ ExperimentRunner::run(const std::string &benchmark, const SystemConfig &cfg)
         return it->second;
 
     System system(cfg, makeTraces(benchmark, cfg));
+    const auto t0 = std::chrono::steady_clock::now();
     RunStats stats = system.run(budget.warmup, budget.measure);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
     runRecords.push_back({benchmark, cfg.describe(), stats,
-                          /*traceSource=*/""});
+                          /*traceSource=*/"", wall});
 
     if (std::getenv("BOP_VERBOSE")) {
         std::fprintf(stderr, "  [run] %-16s %-44s IPC=%.3f\n",

@@ -63,7 +63,10 @@ writeRunRecord(std::ostream &os, const RunRecord &record)
        << "\"dram_writes\": " << s.dramWrites << ", "
        << "\"dram_per_1k_instr\": " << s.dramPer1kInstr() << ", "
        << "\"l3_channel_stalls\": " << s.l3ChannelStalls << ", "
-       << "\"bo_final_offset\": " << s.boFinalOffset
+       << "\"bo_final_offset\": " << s.boFinalOffset << ", "
+       << "\"wall_seconds\": " << record.wallSeconds << ", "
+       << "\"sim_mcycles_per_s\": " << record.mcyclesPerSecond() << ", "
+       << "\"retired_minstr_per_s\": " << record.minstrPerSecond()
        << "}";
     os << std::defaultfloat;
 }

@@ -33,6 +33,33 @@ struct RunRecord
      *  generators (serialised as "generator") — keeps bench artifacts
      *  comparable across workload sources. */
     std::string traceSource;
+
+    /**
+     * Wall-clock seconds the simulation itself took (0 when not
+     * measured, e.g. a hand-assembled record). Serialised together
+     * with the derived engine-throughput rates (simulated Mcycles/s,
+     * retired Minstr/s) so BENCH_perf trajectories track simulator
+     * speed per benchmark, not just suite wall clock.
+     */
+    double wallSeconds = 0.0;
+
+    /** Simulated megacycles per wall second (0 when not measured). */
+    double
+    mcyclesPerSecond() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(stats.cycles) / wallSeconds / 1e6
+                   : 0.0;
+    }
+
+    /** Retired mega-instructions per wall second (0 when unmeasured). */
+    double
+    minstrPerSecond() const
+    {
+        return wallSeconds > 0.0 ? static_cast<double>(stats.instructions) /
+                                       wallSeconds / 1e6
+                                 : 0.0;
+    }
 };
 
 /** Escape a string for inclusion in a JSON string literal. */

@@ -136,6 +136,18 @@ struct SystemConfig
     std::uint64_t seed = 42;      ///< run seed (vmem, policies, traces)
 
     /**
+     * Event-horizon fast-forward: System::step() jumps the clock over
+     * cycles in which no component can possibly act (every component
+     * reports a nextEventAt horizon and the step takes the minimum).
+     * Provably cycle-exact — all simulated statistics and cycle counts
+     * are bit-identical with this off — so it is a pure speed knob.
+     * The BOP_DISABLE_FASTFORWARD environment variable (any non-empty
+     * value except "0") forces it off at System construction, which is
+     * how CI exercises the exactness gate.
+     */
+    bool fastForward = true;
+
+    /**
      * Fill the shared L3 with (clean) placeholder lines at construction
      * so replacement behaviour is exercised from the first cycle. The
      * paper's 1B-instruction samples run with a long-filled cache; at

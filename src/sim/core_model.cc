@@ -1,5 +1,6 @@
 #include "sim/core_model.hh"
 
+#include <algorithm>
 #include <cassert>
 
 namespace bop
@@ -248,9 +249,65 @@ CoreModel::dispatchOne(const TraceInstr &instr, Cycle now)
     return true;
 }
 
+Cycle
+CoreModel::nextEventAt(Cycle now) const
+{
+    const Cycle next = now + 1;
+    Cycle ev = neverCycle;
+
+    // Dispatch. Unless fetch is redirect-stalled or the ROB is full,
+    // the next tick attempts to dispatch — with side effects (at
+    // minimum trace.next() when no instruction is held). The one
+    // provably recurring stall: a held load/store that cannot enter
+    // its full load/store queue, which only retirement (below) or a
+    // hierarchy storeCompleted() callback can unblock.
+    if (!stalledOnBranchDep && robCount < params.robSize) {
+        const bool hold_blocked =
+            holdValid &&
+            ((holdInstr.kind == InstrKind::Load &&
+              loadsInFlight >= params.loadQueue) ||
+             (holdInstr.kind == InstrKind::Store &&
+              pendingStores >= params.storeQueue));
+        if (!hold_blocked) {
+            if (fetchStallUntil <= next)
+                return next;
+            ev = fetchStallUntil;
+        }
+    }
+
+    // Retirement: a completed ROB head retires at its readyAt. An
+    // incomplete head is waiting on a loadCompleted() callback — that
+    // event lives on the hierarchy's horizon, not ours.
+    if (robCount > 0) {
+        const RobEntry &head = rob[robHead];
+        if (head.done) {
+            if (head.readyAt <= next)
+                return next;
+            ev = std::min(ev, head.readyAt);
+        }
+    }
+
+    // The waiting list: an entry whose dependence has resolved is
+    // (re)processed — and can change state — at the very next tick
+    // (issueWaiting computes completion times from the tick's `now`,
+    // so deferring it would not be cycle-exact). Unresolved entries
+    // wait for loadCompleted() and contribute no event of their own.
+    for (const std::uint32_t idx : waiting) {
+        const RobEntry &e = rob[idx];
+        if (!e.valid || e.done)
+            return next; // stale entry: swept out next tick
+        Cycle dep_ready = 0;
+        if (depResolved(e, dep_ready))
+            return next;
+    }
+
+    return ev;
+}
+
 void
 CoreModel::tick(Cycle now)
 {
+    horizonStaleFlag = true;
     loadsThisCycle = 0;
     storesThisCycle = 0;
 
@@ -283,6 +340,7 @@ CoreModel::loadCompleted(std::uint32_t rob_tag, Cycle when)
     assert(e.valid && e.kind == InstrKind::Load && e.issued);
     e.done = true;
     e.readyAt = when;
+    horizonStaleFlag = true;
 }
 
 void
@@ -290,6 +348,7 @@ CoreModel::storeCompleted(int count)
 {
     assert(pendingStores >= static_cast<std::size_t>(count));
     pendingStores -= static_cast<std::size_t>(count);
+    horizonStaleFlag = true;
 }
 
 } // namespace bop

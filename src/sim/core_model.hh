@@ -72,6 +72,24 @@ class CoreModel
     /** Advance one cycle. */
     void tick(Cycle now);
 
+    /**
+     * Earliest cycle > @p now at which this core can possibly act
+     * (event-horizon fast-forward). neverCycle means the core is fully
+     * blocked on hierarchy callbacks (loadCompleted / storeCompleted) —
+     * the unblocking event belongs to another component's horizon, and
+     * this core's horizon must be re-queried after it fires. The
+     * contract: ticking the core at any cycle strictly between @p now
+     * and the returned horizon would change no state — which also
+     * means such ticks can be skipped outright (System does, caching
+     * the horizon until horizonStale() reports a state change).
+     */
+    Cycle nextEventAt(Cycle now) const;
+
+    /** True when state changed since the last clearHorizonStale() —
+     *  a cached nextEventAt value is no longer trustworthy. */
+    bool horizonStale() const { return horizonStaleFlag; }
+    void clearHorizonStale() { horizonStaleFlag = false; }
+
     /** Hierarchy callback: a pending load's data arrived. */
     void loadCompleted(std::uint32_t rob_tag, Cycle when);
 
@@ -139,6 +157,9 @@ class CoreModel
     std::uint64_t retiredCount = 0;
     std::uint64_t branches = 0;
     std::uint64_t mispredicts = 0;
+
+    /** Set by tick() and the hierarchy callbacks; see horizonStale(). */
+    bool horizonStaleFlag = true;
 };
 
 } // namespace bop

@@ -154,6 +154,7 @@ LoadOutcome
 MemHierarchy::coreLoad(CoreId core, Addr vaddr, Addr pc,
                        std::uint32_t rob_tag, Cycle now)
 {
+    horizonStaleFlag = true;
     CoreSide &cs = side(core);
     const LineAddr line = lineOf(cs.vmem.translate(vaddr));
 
@@ -209,6 +210,7 @@ MemHierarchy::coreLoad(CoreId core, Addr vaddr, Addr pc,
 StoreOutcome
 MemHierarchy::coreStore(CoreId core, Addr vaddr, Addr pc, Cycle now)
 {
+    horizonStaleFlag = true;
     CoreSide &cs = side(core);
     const LineAddr line = lineOf(cs.vmem.translate(vaddr));
 
@@ -594,7 +596,10 @@ void
 MemHierarchy::drainDramCompletions(Cycle now)
 {
     for (auto &mc : mcs) {
-        if (!mc->hasCompletedReads())
+        // Most completed reads sit with a future finishCycle (the data
+        // burst is still on the bus); the min-finish gate spares both
+        // the vector round trip and the erase scan until one is due.
+        if (mc->nextCompletionAt() > now)
             continue;
         for (const CompletedRead &r : mc->popCompleted(now)) {
             assert(r.meta.l3FillId != invalidMshr);
@@ -763,6 +768,22 @@ MemHierarchy::processDl1Deliveries(CoreSide &cs, Cycle now)
 void
 MemHierarchy::tick(Cycle now)
 {
+    horizonStaleFlag = true;
+    // Jump-safety for the one piece of per-tick state that advances
+    // even when the uncore is idle: processPrefetchQueues moves the
+    // round-robin pointer by exactly one on every tick that issues
+    // nothing. A fast-forwarded stretch is by construction a run of
+    // such ticks (no prefetch-queue entry was ready anywhere in it),
+    // so catching the pointer up by the gap keeps the arbitration
+    // order bit-identical to single-stepping.
+    if (now > lastTicked + 1) {
+        const Cycle gap = now - lastTicked - 1;
+        const unsigned active = static_cast<unsigned>(cfg.activeCores);
+        prefetchRr = static_cast<unsigned>(
+            (prefetchRr + gap) % active);
+    }
+    lastTicked = now;
+
     for (auto &side : sides) {
         processWbToL2(*side, now);
         processToL2(*side, now);
@@ -786,6 +807,57 @@ MemHierarchy::tick(Cycle now)
         drainL2Fill(*side, now);
         processDl1Deliveries(*side, now);
     }
+}
+
+Cycle
+MemHierarchy::nextEventAt(Cycle now) const
+{
+    const Cycle next = now + 1;
+    Cycle ev = neverCycle;
+
+    // Helper: fold in a time-gated event; a source already due (or due
+    // next cycle) pins the horizon to next, which short-circuits the
+    // caller via the `ev == next` checks below.
+    const auto fold = [&](Cycle at) {
+        ev = std::min(ev, std::max(next, at));
+    };
+
+    for (const auto &side : sides) {
+        // DL1 dirty victims drain unconditionally while queued.
+        if (!side->wbToL2.empty())
+            return next;
+        // The DL1-miss path is strict FIFO: only the front gates.
+        if (!side->toL2.empty())
+            fold(side->toL2.front().readyAt);
+        // Fill-queue entries carrying data insert at their readyAt;
+        // data-less entries wait on downstream components' events.
+        fold(side->l2Fill.minReadyAt());
+        fold(side->prefetchQueue.minReadyAt());
+        for (const Dl1Delivery &d : side->dl1Due)
+            fold(d.at);
+        if (ev == next)
+            return next;
+    }
+
+    // Sharded L3 demand queues: served in global arrival order, and
+    // arrival order implies readyAt order within a shard, so the
+    // shard heads bound the next serviceable request.
+    for (const auto &q : toL3) {
+        if (!q.empty())
+            fold(q.front().readyAt);
+    }
+    if (!wbToL3.empty())
+        return next;
+    fold(l3Fill.minReadyAt());
+    if (ev == next)
+        return next;
+
+    for (const auto &mc : mcs) {
+        fold(mc->nextEventAt(now));
+        if (ev == next)
+            return next;
+    }
+    return ev;
 }
 
 RunStats

@@ -84,6 +84,24 @@ class MemHierarchy : public CoreMemInterface
     /** Advance the uncore one core cycle. */
     void tick(Cycle now);
 
+    /**
+     * Earliest cycle > @p now at which any uncore component can act
+     * (event-horizon fast-forward); neverCycle when every queue is
+     * empty and every controller idle. Time-gated queues (fill queues
+     * with data, prefetch queues, DL1 deliveries, the inter-level
+     * request queues) report their min-readyAt; anything occupied but
+     * not purely time-gated (writeback buffers, a blocked-but-due
+     * head) conservatively reports now + 1. Contract: ticking the
+     * hierarchy at any cycle strictly between @p now and the returned
+     * horizon would change no state.
+     */
+    Cycle nextEventAt(Cycle now) const;
+
+    /** True when uncore state changed since clearHorizonStale() (own
+     *  tick, or a core-side entry point pushed work in). */
+    bool horizonStale() const { return horizonStaleFlag; }
+    void clearHorizonStale() { horizonStaleFlag = false; }
+
     /** Cumulative counters (take deltas across windows for results). */
     RunStats collectStats() const;
 
@@ -177,6 +195,8 @@ class MemHierarchy : public CoreMemInterface
 
     std::vector<CoreModel *> cores;
     unsigned prefetchRr = 0;   ///< round-robin over cores' prefetch queues
+    Cycle lastTicked = 0;      ///< gap detection (fast-forward catch-up)
+    bool horizonStaleFlag = true; ///< see horizonStale()
     RunStats stats;            ///< cumulative core-0 + chip counters
     std::vector<LineAddr> prefetchScratch;
     std::vector<char> chanStalled; ///< per-channel scratch (processToL3)

@@ -1,10 +1,27 @@
 #include "sim/system.hh"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 
 namespace bop
 {
+
+namespace
+{
+
+/** BOP_DISABLE_FASTFORWARD set to anything but "" or "0" forces the
+ *  per-cycle reference loop (CI's exactness gate). */
+bool
+fastForwardDisabledByEnv()
+{
+    const char *v = std::getenv("BOP_DISABLE_FASTFORWARD");
+    return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+} // namespace
 
 RunStats
 deltaStats(const RunStats &end, const RunStats &begin)
@@ -42,7 +59,8 @@ deltaStats(const RunStats &end, const RunStats &begin)
 
 System::System(const SystemConfig &cfg_,
                std::vector<std::unique_ptr<TraceSource>> traces_)
-    : cfg(cfg_.resolved()), traces(std::move(traces_)), hier(cfg)
+    : cfg(cfg_.resolved()), traces(std::move(traces_)), hier(cfg),
+      fastForward(cfg.fastForward && !fastForwardDisabledByEnv())
 {
     if (static_cast<int>(traces.size()) != cfg.activeCores) {
         throw std::invalid_argument(
@@ -53,34 +71,95 @@ System::System(const SystemConfig &cfg_,
             c, cfg.core, *traces[static_cast<std::size_t>(c)], hier));
         hier.attachCore(c, cores.back().get());
     }
+    // Every component starts with its staleness flag set, so these
+    // placeholders are refreshed before they are ever consulted.
+    coreHorizon.assign(cores.size(), 0);
+}
+
+Cycle
+System::nextEventCycle()
+{
+    // Refresh every stale cache entry — step() bases its tick-or-skip
+    // decisions on these values, so none may be left stale here.
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+        if (cores[c]->horizonStale()) {
+            coreHorizon[c] = cores[c]->nextEventAt(now);
+            cores[c]->clearHorizonStale();
+        }
+    }
+    if (hier.horizonStale()) {
+        hierHorizon = hier.nextEventAt(now);
+        hier.clearHorizonStale();
+    }
+
+    Cycle ev = hierHorizon;
+    for (const Cycle h : coreHorizon)
+        ev = std::min(ev, h);
+    const Cycle next = now + 1;
+    if (ev <= next)
+        return next;
+    // A horizon of neverCycle means no component has any future work —
+    // a genuine deadlock. Cap the jump just past the watchdog window so
+    // the deadlock trap fires with its diagnostic instead of the clock
+    // leaping to infinity.
+    return std::min(ev, now + watchdogCycles + 1);
 }
 
 void
 System::step()
 {
-    ++now;
-    for (auto &core : cores)
-        core->tick(now);
-    hier.tick(now);
+    if (!fastForward) {
+        // Reference semantics: tick everything, every cycle.
+        ++now;
+        for (auto &core : cores)
+            core->tick(now);
+        hier.tick(now);
+        return;
+    }
+
+    now = nextEventCycle();
+    // Tick only the components whose horizon is due. Skipped ticks are
+    // exactly the ones the horizon contract proves are no-ops; ticking
+    // anyway would be correct but wasted (the reference loop does, and
+    // the equivalence tests pin the two modes against each other).
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+        if (coreHorizon[c] <= now)
+            cores[c]->tick(now);
+    }
+    if (hierHorizon <= now)
+        hier.tick(now);
 }
 
 void
 System::runUntilRetired(std::uint64_t target)
 {
-    std::uint64_t last_retired = cores[0]->retired();
-    Cycle last_progress = now;
+    // Watchdog over every active core: a wedged core is a simulator
+    // bug wherever it sits, and blaming core 0 for core 3's stall
+    // buries the diagnosis. (Thrasher cores retire continuously, so
+    // per-core progress is the cheap invariant to watch.)
+    const std::size_t n = cores.size();
+    std::vector<std::uint64_t> last_retired(n);
+    std::vector<Cycle> last_progress(n, now);
+    for (std::size_t c = 0; c < n; ++c)
+        last_retired[c] = cores[c]->retired();
 
     while (cores[0]->retired() < target) {
         step();
-        if (cores[0]->retired() != last_retired) {
-            last_retired = cores[0]->retired();
-            last_progress = now;
-        } else if (now - last_progress > 1000000) {
-            std::ostringstream oss;
-            oss << "System: core 0 made no progress for 1M cycles at "
-                << "cycle " << now << " (retired " << last_retired
-                << ", target " << target << ") — deadlock?";
-            throw std::runtime_error(oss.str());
+        for (std::size_t c = 0; c < n; ++c) {
+            const std::uint64_t retired = cores[c]->retired();
+            if (retired != last_retired[c]) {
+                last_retired[c] = retired;
+                last_progress[c] = now;
+            } else if (now - last_progress[c] > watchdogCycles) {
+                std::ostringstream oss;
+                oss << "System: core " << c << " made no progress for "
+                    << "1M cycles at cycle " << now << " (retired "
+                    << retired;
+                if (c == 0)
+                    oss << ", target " << target;
+                oss << ") — deadlock?";
+                throw std::runtime_error(oss.str());
+            }
         }
     }
 }

@@ -46,8 +46,30 @@ class System
      */
     RunStats run(std::uint64_t warmup_instr, std::uint64_t measure_instr);
 
-    /** Advance the whole system one cycle (fine-grained control). */
+    /**
+     * Advance the whole system to the next cycle in which anything can
+     * happen. With fast-forward enabled (the default) that is the
+     * event-horizon minimum over all components — the clock may jump
+     * by more than one cycle over provably idle stretches, with
+     * bit-identical simulated statistics; with it disabled (config or
+     * BOP_DISABLE_FASTFORWARD) exactly one cycle.
+     */
     void step();
+
+    /**
+     * The cycle the next step() will tick at: the minimum over every
+     * component's nextEventAt horizon, clamped to at most
+     * watchdogCycles + 1 ahead so a dead system still reaches the
+     * deadlock trap. Refreshes the stale entries of the horizon cache
+     * (hence not const). Exposed for the fast-forward soundness tests.
+     */
+    Cycle nextEventCycle();
+
+    /** True when event-horizon fast-forward is active for this run. */
+    bool fastForwardEnabled() const { return fastForward; }
+
+    /** Progress window of the per-core deadlock watchdog. */
+    static constexpr Cycle watchdogCycles = 1000000;
 
     Cycle currentCycle() const { return now; }
     MemHierarchy &hierarchy() { return hier; }
@@ -67,6 +89,20 @@ class System
     MemHierarchy hier;
     std::vector<std::unique_ptr<CoreModel>> cores;
     Cycle now = 0;
+    bool fastForward = true; ///< cfg.fastForward minus the env override
+
+    /**
+     * Cached per-component horizons (fast-forward only). A component's
+     * cached value stays valid until its horizonStale() flag reports a
+     * state change: its own tick, or a cross-component callback
+     * (loadCompleted/storeCompleted into a core, coreLoad/coreStore
+     * into the uncore). nextEventCycle() refreshes stale entries;
+     * step() then ticks only the components whose horizon is due —
+     * skipping a tick before a component's horizon is exactly the
+     * no-op the horizon contract guarantees it would have been.
+     */
+    std::vector<Cycle> coreHorizon;
+    Cycle hierHorizon = 0;
 };
 
 } // namespace bop

@@ -110,21 +110,35 @@ TraceWriter::close()
 
 // -- FileTrace ----------------------------------------------------------------
 
-FileTrace::FileTrace(const std::string &path)
+FileTrace::FileTrace(const std::string &path, std::uint64_t skip,
+                     std::uint64_t sample)
+    : skipped(skip), sampled(sample)
 {
     auto reader = openTraceReader(path);
     fmt = reader->format();
     comp = reader->compression();
+
+    if (skip > 0 && reader->skipInstructions(skip) < skip) {
+        throw std::runtime_error(
+            "FileTrace: --skip " + std::to_string(skip) +
+            " reaches past the end of " + path);
+    }
 
     // The header count steers the reserve but is capped: on a piped
     // (compressed) stream it cannot be cross-checked against the
     // payload size up front, and a lying header must produce the
     // reader's truncation diagnostic, not a bad_alloc here.
     constexpr std::uint64_t reserveCap = 1u << 24;
-    if (const std::uint64_t declared = reader->declaredRecords())
-        instrs.reserve(std::min(declared, reserveCap));
+    std::uint64_t reserve = sample;
+    if (const std::uint64_t declared = reader->declaredRecords()) {
+        const std::uint64_t rest = declared - skip;
+        reserve = sample ? std::min(sample, rest) : rest;
+    }
+    if (reserve)
+        instrs.reserve(std::min(reserve, reserveCap));
     TraceInstr instr;
-    while (reader->next(instr))
+    while ((sample == 0 || instrs.size() < sample) &&
+           reader->next(instr))
         instrs.push_back(instr);
     if (instrs.empty())
         throw std::runtime_error("FileTrace: empty trace " + path);
@@ -149,6 +163,12 @@ FileTrace::sourceTag() const
     if (comp != TraceCompression::None)
         tag += std::string("+") + traceCompressionName(comp);
     tag += ")";
+    if (skipped || sampled) {
+        tag += "[skip=" + std::to_string(skipped);
+        if (sampled)
+            tag += ",sample=" + std::to_string(sampled);
+        tag += "]";
+    }
     return tag;
 }
 

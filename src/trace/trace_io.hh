@@ -122,8 +122,22 @@ class TraceWriter : public TraceSink
 class FileTrace : public TraceSource
 {
   public:
-    /** Load @p path; throws std::runtime_error on malformed files. */
-    explicit FileTrace(const std::string &path);
+    /**
+     * Load @p path; throws std::runtime_error on malformed files.
+     *
+     * @param skip    instructions to discard before the replay window
+     *                (a byte seek for BOPTRACE's fixed records,
+     *                streaming decode-and-discard for ChampSim input)
+     * @param sample  cap on the window length in instructions; 0 means
+     *                "to the end of the trace". SimPoint-style region
+     *                slicing of long DPC traces: `--skip N --sample M`
+     *                replays [N, N+M) in a loop.
+     *
+     * A window that selects no instructions (skip at or past the end
+     * of the trace) is rejected.
+     */
+    explicit FileTrace(const std::string &path, std::uint64_t skip = 0,
+                       std::uint64_t sample = 0);
 
     TraceInstr next() override;
     std::string name() const override { return label; }
@@ -139,7 +153,9 @@ class FileTrace : public TraceSource
     /**
      * Provenance tag for run records, e.g. "lbm.champsim.xz
      * (champsim+xz)" — file name, decoded format, and compression
-     * when any.
+     * when any; a skip/sample window is appended as "[skip=N]" /
+     * "[skip=N,sample=M]" so sliced runs never alias full-trace runs
+     * in bench artifacts.
      */
     std::string sourceTag() const;
 
@@ -147,6 +163,8 @@ class FileTrace : public TraceSource
     std::string label;
     TraceFormat fmt = TraceFormat::Boptrace;
     TraceCompression comp = TraceCompression::None;
+    std::uint64_t skipped = 0;  ///< window start (instructions)
+    std::uint64_t sampled = 0;  ///< requested window cap (0 = rest)
     std::vector<TraceInstr> instrs;
     std::size_t pos = 0;
 };

@@ -126,6 +126,35 @@ ByteStream::unread(const unsigned char *buf, std::size_t n)
     consumed -= n;
 }
 
+std::uint64_t
+ByteStream::skip(std::uint64_t n)
+{
+    std::uint64_t done = 0;
+    while (done < n && !pushback.empty()) {
+        pushback.pop_back();
+        ++done;
+    }
+    done += skipRaw(n - done);
+    consumed += done;
+    return done;
+}
+
+std::uint64_t
+ByteStream::skipRaw(std::uint64_t n)
+{
+    unsigned char scratch[4096];
+    std::uint64_t done = 0;
+    while (done < n) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(n - done, sizeof(scratch)));
+        const std::size_t got = readRaw(scratch, want);
+        done += got;
+        if (got < want)
+            break; // EOF
+    }
+    return done;
+}
+
 FileByteStream::FileByteStream(const std::string &path)
     : in(path, std::ios::binary)
 {
@@ -142,6 +171,16 @@ FileByteStream::readRaw(unsigned char *buf, std::size_t n)
     in.read(reinterpret_cast<char *>(buf),
             static_cast<std::streamsize>(n));
     return static_cast<std::size_t>(in.gcount());
+}
+
+std::uint64_t
+FileByteStream::skipRaw(std::uint64_t n)
+{
+    const std::uint64_t pos = static_cast<std::uint64_t>(in.tellg());
+    const std::uint64_t remaining = pos < size ? size - pos : 0;
+    const std::uint64_t k = std::min(n, remaining);
+    in.seekg(static_cast<std::streamoff>(k), std::ios::cur);
+    return k;
 }
 
 PipeByteStream::PipeByteStream(const std::string &tool,
@@ -272,6 +311,33 @@ BoptraceReader::next(TraceInstr &out)
     out = decodeTraceInstr(buf);
     ++produced;
     return true;
+}
+
+std::uint64_t
+TraceReader::skipInstructions(std::uint64_t n)
+{
+    TraceInstr discard;
+    std::uint64_t done = 0;
+    while (done < n && next(discard))
+        ++done;
+    return done;
+}
+
+std::uint64_t
+BoptraceReader::skipInstructions(std::uint64_t n)
+{
+    const std::uint64_t k = std::min(n, count - produced);
+    const std::uint64_t skipped = in->skip(k * traceRecordBytes);
+    if (skipped != k * traceRecordBytes) {
+        throw std::runtime_error(
+            path + ": truncated at byte offset " +
+            std::to_string(in->offset()) + " — header declares " +
+            std::to_string(count) + " records, skip of " +
+            std::to_string(k) + " from record " +
+            std::to_string(produced) + " ran off the end");
+    }
+    produced += k;
+    return k;
 }
 
 // -- ChampSimReader -----------------------------------------------------------

@@ -89,6 +89,12 @@ class ByteStream
     /** Push @p n bytes back; they are returned by the next read(). */
     void unread(const unsigned char *buf, std::size_t n);
 
+    /**
+     * Discard up to @p n bytes; returns the number actually skipped
+     * (< n only at EOF). A plain file seeks; pipes read-and-discard.
+     */
+    std::uint64_t skip(std::uint64_t n);
+
     /** Bytes handed out so far (pushed-back bytes not yet re-read
      *  are excluded). */
     std::uint64_t offset() const { return consumed; }
@@ -103,6 +109,10 @@ class ByteStream
   protected:
     /** Produce up to @p n bytes from the underlying source. */
     virtual std::size_t readRaw(unsigned char *buf, std::size_t n) = 0;
+
+    /** Discard up to @p n bytes from the underlying source; the
+     *  default reads into a scratch buffer, seekable sources seek. */
+    virtual std::uint64_t skipRaw(std::uint64_t n);
 
   private:
     std::vector<unsigned char> pushback; ///< stored reversed
@@ -123,6 +133,7 @@ class FileByteStream : public ByteStream
 
   protected:
     std::size_t readRaw(unsigned char *buf, std::size_t n) override;
+    std::uint64_t skipRaw(std::uint64_t n) override; ///< seeks
 
   private:
     std::ifstream in;
@@ -181,6 +192,16 @@ class TraceReader
     /** Record count declared by the container header, when the
      *  format has one (BOPTRACE); 0 otherwise. */
     virtual std::uint64_t declaredRecords() const { return 0; }
+
+    /**
+     * Discard the next @p n instructions; returns the number actually
+     * skipped (< n only when the trace ends first). The base
+     * implementation streams decode-and-discard (ChampSim has no
+     * random access: records expand to a variable number of
+     * instructions); BOPTRACE overrides with a byte seek over its
+     * fixed 19-byte records.
+     */
+    virtual std::uint64_t skipInstructions(std::uint64_t n);
 };
 
 /** Reader for the native BOPTRACE v1 container. */
@@ -201,6 +222,10 @@ class BoptraceReader : public TraceReader
     TraceFormat format() const override { return TraceFormat::Boptrace; }
     TraceCompression compression() const override { return comp; }
     std::uint64_t declaredRecords() const override { return count; }
+
+    /** One record per instruction at a fixed 19 bytes: a skip is a
+     *  bounded byte seek (a read-through on compressed pipes). */
+    std::uint64_t skipInstructions(std::uint64_t n) override;
 
   private:
     std::unique_ptr<ByteStream> in;

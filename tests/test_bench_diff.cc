@@ -180,6 +180,43 @@ TEST(BenchDiff, TraceSourceIsPartOfRunIdentity)
     ASSERT_EQ(result.onlyNew.size(), 1u);
 }
 
+TEST(BenchDiff, FlagsEngineThroughputDropsOneSided)
+{
+    auto rec = [](double mcps) {
+        std::ostringstream os;
+        os << "{\"workload\": \"a\", \"config\": \"baseline\", "
+           << "\"trace_source\": \"generator\", \"ipc\": 1.0, "
+           << "\"sim_mcycles_per_s\": " << mcps << "}";
+        return os.str();
+    };
+    const auto before = parse(artifact({rec(10.0)}));
+    const auto faster = parse(artifact({rec(30.0)}));
+    const auto slower = parse(artifact({rec(4.0)}));
+    const auto unmeasured = parse(artifact({rec(0.0)}));
+
+    // Speedups and small movements are never flagged.
+    EXPECT_TRUE(
+        diffRunRecords(before, faster, BenchDiffOptions{}).clean());
+    // A beyond-threshold drop is.
+    const BenchDiffResult result =
+        diffRunRecords(before, slower, BenchDiffOptions{});
+    ASSERT_EQ(result.flagged.size(), 1u);
+    EXPECT_EQ(result.flagged[0].metric, "sim_mcycles_per_s");
+    // Unmeasured sides (0, or the field absent in old artifacts) and a
+    // disabled threshold compare clean.
+    EXPECT_TRUE(
+        diffRunRecords(before, unmeasured, BenchDiffOptions{}).clean());
+    EXPECT_TRUE(
+        diffRunRecords(unmeasured, before, BenchDiffOptions{}).clean());
+    EXPECT_TRUE(diffRunRecords(parse(artifact({record("a", 1.0, 0.5,
+                                                      1.0)})),
+                               slower, BenchDiffOptions{})
+                    .clean());
+    BenchDiffOptions off;
+    off.throughputDropRelative = 0.0;
+    EXPECT_TRUE(diffRunRecords(before, slower, off).clean());
+}
+
 TEST(BenchDiff, ReportsAddedAndRemovedRuns)
 {
     const auto before = parse(

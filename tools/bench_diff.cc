@@ -34,7 +34,12 @@ usage(const char *argv0)
         "\n"
         "  --ipc FRAC       relative IPC threshold   (default 0.02)\n"
         "  --coverage ABS   absolute coverage threshold (default 0.02)\n"
-        "  --dram FRAC      relative DRAM-traffic threshold (default 0.05)\n",
+        "  --dram FRAC      relative DRAM-traffic threshold (default 0.05)\n"
+        "  --throughput FRAC\n"
+        "                   relative sim_mcycles_per_s drop before an\n"
+        "                   engine-speed regression is flagged; one-sided,\n"
+        "                   skipped when either side lacks the field\n"
+        "                   (default 0.5; 0 disables)\n",
         argv0);
 }
 
@@ -66,6 +71,8 @@ main(int argc, char **argv)
             options.coverageAbsolute = std::atof(next_arg());
         } else if (arg == "--dram") {
             options.dramRelative = std::atof(next_arg());
+        } else if (arg == "--throughput") {
+            options.throughputDropRelative = std::atof(next_arg());
         } else if (old_path.empty()) {
             old_path = arg;
         } else if (new_path.empty()) {

@@ -15,6 +15,7 @@
  *   bopsim --trace my.trace --prefetcher bo-dpc2 --instr 1000000
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +44,12 @@ usage(const char *argv0)
         "                      .gz/.xz ok, format autodetected; with\n"
         "                      --cores N, file i drives core i and any\n"
         "                      remaining cores run the thrasher\n"
+        "  --skip N            discard the first N trace instructions\n"
+        "                      (a seek for BOPTRACE; ChampSim decodes\n"
+        "                      and discards); requires --trace\n"
+        "  --sample M          replay a window of at most M trace\n"
+        "                      instructions (SimPoint-style slicing);\n"
+        "                      requires --trace\n"
         "  --list              list built-in workloads and exit\n"
         "\n"
         "configuration (defaults: paper baseline, Table 1):\n"
@@ -68,6 +75,9 @@ usage(const char *argv0)
         "  --warmup N          warm-up instructions (default 100000)\n"
         "  --instr N           measured instructions (default 400000)\n"
         "  --seed S            run seed (default 42)\n"
+        "  --no-fast-forward   tick every cycle (reference engine; the\n"
+        "                      simulated stats are bit-identical either\n"
+        "                      way — also BOP_DISABLE_FASTFORWARD=1)\n"
         "  --json PATH         write a machine-readable run record\n",
         argv0);
 }
@@ -120,6 +130,8 @@ main(int argc, char **argv)
     cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
     std::uint64_t warmup = 100000;
     std::uint64_t instr = 400000;
+    std::uint64_t skip = 0;
+    std::uint64_t sample = 0;
 
     auto next_arg = [&](int &i) -> std::string {
         if (i + 1 >= argc)
@@ -140,6 +152,12 @@ main(int argc, char **argv)
             workload = next_arg(i);
         } else if (arg == "--trace") {
             trace_file = next_arg(i);
+        } else if (arg == "--skip") {
+            skip = std::strtoull(next_arg(i).c_str(), nullptr, 10);
+        } else if (arg == "--sample") {
+            sample = std::strtoull(next_arg(i).c_str(), nullptr, 10);
+        } else if (arg == "--no-fast-forward") {
+            cfg.fastForward = false;
         } else if (arg == "--prefetcher") {
             cfg.l2Prefetcher = parsePrefetcher(next_arg(i));
         } else if (arg == "--offset") {
@@ -197,6 +215,8 @@ main(int argc, char **argv)
 
     if (workload.empty() == trace_file.empty())
         die("select exactly one of --workload / --trace (see --help)");
+    if ((skip || sample) && trace_file.empty())
+        die("--skip/--sample window trace replay; use them with --trace");
 
     try {
         std::vector<std::unique_ptr<TraceSource>> traces;
@@ -226,7 +246,8 @@ main(int argc, char **argv)
                     " cores are active (raise --cores)");
             }
             for (const std::string &file : files) {
-                auto trace = std::make_unique<FileTrace>(file);
+                auto trace =
+                    std::make_unique<FileTrace>(file, skip, sample);
                 if (!trace_source.empty())
                     trace_source += "+";
                 trace_source += trace->sourceTag();
@@ -243,7 +264,11 @@ main(int argc, char **argv)
         const std::string label = traces.front()->name();
 
         System sys(cfg, std::move(traces));
+        const auto t0 = std::chrono::steady_clock::now();
         const RunStats s = sys.run(warmup, instr);
+        const double wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
 
         std::printf("workload     : %s\n", label.c_str());
         if (!trace_source.empty())
@@ -290,10 +315,15 @@ main(int argc, char **argv)
             std::printf("BO offset    : %d (best score %d)\n",
                         s.boFinalOffset, s.boFinalScore);
         }
+        const RunRecord record{label, cfg.describe(), s, trace_source,
+                               wall};
+        std::printf("engine       : %.3f s wall, %.2f Mcycles/s, "
+                    "%.2f Minstr/s%s\n",
+                    wall, record.mcyclesPerSecond(),
+                    record.minstrPerSecond(),
+                    sys.fastForwardEnabled() ? "" : " (no fast-forward)");
         if (!json_path.empty() &&
-            !writeRunRecordsFile(
-                json_path,
-                {{label, cfg.describe(), s, trace_source}})) {
+            !writeRunRecordsFile(json_path, {record})) {
             return 1;
         }
         return 0;
