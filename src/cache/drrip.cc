@@ -13,12 +13,14 @@ DrripPolicy::reset(std::size_t sets, unsigned ways)
             ((nibbleOnes * rrpvMax) & packedWaysMask()) | ~packedWaysMask();
         words.assign(sets, init);
     }
-    psel = pselMax / 2;
+    shared->psel = pselMax / 2;
     leaderTable.resize(sets);
     for (std::size_t set = 0; set < sets; ++set) {
-        leaderTable[set] = isSrripLeader(set)   ? srripLeader
-                           : isBrripLeader(set) ? brripLeader
-                                                : follower;
+        const std::size_t global =
+            globalSetIds.empty() ? set : globalSetIds[set];
+        leaderTable[set] = isSrripLeader(global)   ? srripLeader
+                           : isBrripLeader(global) ? brripLeader
+                                                   : follower;
     }
 }
 
@@ -44,7 +46,7 @@ DrripPolicy::useBrrip(std::size_t set) const
         return true;
     // PSEL counts SRRIP-leader misses up, BRRIP-leader misses down; a
     // high PSEL therefore means SRRIP is missing more -> use BRRIP.
-    return psel > pselMax / 2;
+    return shared->psel > pselMax / 2;
 }
 
 unsigned
@@ -91,15 +93,16 @@ DrripPolicy::onFill(std::size_t set, unsigned way, const FillInfo &info)
     // Set dueling feedback: count demand misses in leader sets.
     if (info.demand) {
         const std::uint8_t kind = leaderTable[set];
-        if (kind == srripLeader && psel < pselMax)
-            ++psel;
-        else if (kind == brripLeader && psel > 0)
-            --psel;
+        if (kind == srripLeader && shared->psel < pselMax)
+            ++shared->psel;
+        else if (kind == brripLeader && shared->psel > 0)
+            --shared->psel;
     }
 
     const bool brrip = useBrrip(set);
     if (brrip)
-        setRrpv(set, way, (rng.below(32) == 0) ? rrpvMax - 1 : rrpvMax);
+        setRrpv(set, way,
+                (shared->rng.below(32) == 0) ? rrpvMax - 1 : rrpvMax);
     else
         setRrpv(set, way, rrpvMax - 1);
 }

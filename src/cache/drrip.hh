@@ -18,6 +18,7 @@
 #define BOP_CACHE_DRRIP_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cache/replacement.hh"
@@ -25,6 +26,19 @@
 
 namespace bop
 {
+
+/**
+ * DRRIP state global to the whole cache: the BRRIP RNG and the duel
+ * PSEL counter. Bank instances of a channel-banked LLC share one so
+ * the global draw/duel order matches the monolithic cache exactly.
+ */
+struct DrripSharedState
+{
+    explicit DrripSharedState(std::uint64_t seed) : rng(seed) {}
+
+    Rng rng;
+    int psel = 0; ///< re-initialised by DrripPolicy::reset()
+};
 
 /** DRRIP: SRRIP/BRRIP set dueling on 2-bit RRPVs. */
 class DrripPolicy final : public ReplacementPolicy
@@ -38,8 +52,24 @@ class DrripPolicy final : public ReplacementPolicy
     explicit DrripPolicy(std::uint64_t seed = 0xdead,
                          std::size_t constituency = 64)
         : ReplacementPolicy(HitUpdate::RrpvClear),
-          rng(seed),
+          shared(std::make_shared<DrripSharedState>(seed)),
           constituencySize(constituency)
+    {
+    }
+
+    /**
+     * Bank constructor: share cache-global state with sibling banks and
+     * translate this bank's dense local set ids back to the monolithic
+     * cache's ids (@p global_sets, one entry per local set) so the
+     * leader-set layout is preserved exactly.
+     */
+    DrripPolicy(std::shared_ptr<DrripSharedState> shared_state,
+                std::vector<std::size_t> global_sets,
+                std::size_t constituency = 64)
+        : ReplacementPolicy(HitUpdate::RrpvClear),
+          shared(std::move(shared_state)),
+          constituencySize(constituency),
+          globalSetIds(std::move(global_sets))
     {
     }
 
@@ -49,7 +79,7 @@ class DrripPolicy final : public ReplacementPolicy
     void onFill(std::size_t set, unsigned way, const FillInfo &info) override;
 
     /** Exposed for tests: current PSEL value. */
-    int pselValue() const { return psel; }
+    int pselValue() const { return shared->psel; }
     /** Exposed for tests: leader-set classification. */
     bool isSrripLeader(std::size_t set) const;
     bool isBrripLeader(std::size_t set) const;
@@ -87,9 +117,13 @@ class DrripPolicy final : public ReplacementPolicy
             wide[set * numWays + way] = value;
     }
 
-    Rng rng;
+    std::shared_ptr<DrripSharedState> shared;
     std::size_t constituencySize;
-    int psel = pselMax / 2;
+    /**
+     * Local-to-monolithic set-id translation for bank instances (empty
+     * = identity). Only consulted in reset() for the leader table.
+     */
+    std::vector<std::size_t> globalSetIds;
     /**
      * Flat per-set LeaderKind table: onFill consults the leader status
      * on every insertion, and the two modulo reductions were measurable

@@ -7,10 +7,19 @@ namespace bop
 {
 
 FillQueue::FillQueue(std::string name_, std::size_t capacity_)
-    : name(std::move(name_)), capacity(capacity_)
+    : name(std::move(name_)),
+      ownGroup(std::make_unique<FillQueueGroup>(capacity_)),
+      group(ownGroup.get())
 {
-    slots.resize(capacity);
-    fifo.reserve(capacity);
+    slots.resize(group->capacity);
+    fifo.reserve(group->capacity);
+}
+
+FillQueue::FillQueue(std::string name_, FillQueueGroup &group_)
+    : name(std::move(name_)), group(&group_)
+{
+    slots.resize(group->capacity);
+    fifo.reserve(group->capacity);
 }
 
 std::size_t
@@ -38,9 +47,10 @@ FillQueue::allocate(LineAddr line, const ReqMeta &meta, bool is_prefetch)
             slot.readyAt = 0;
             slot.isPrefetch = is_prefetch;
             slot.meta = meta;
-            slot.id = nextId++;
+            slot.id = group->nextId++;
             fifo.push_back(static_cast<std::uint32_t>(s));
             ++liveEntries;
+            ++group->liveEntries;
             return slot.id;
         }
     }
@@ -58,6 +68,7 @@ FillQueue::release(std::uint32_t id)
             slot.valid = false;
             slot.hasData = false;
             --liveEntries;
+            --group->liveEntries;
             // Erase before recomputing the minimum, or the scan would
             // still see the dying entry and pin a stale value.
             fifo.erase(it);
@@ -145,6 +156,7 @@ FillQueue::popReady(Cycle now)
             slot.hasData = false;
             --dataEntries;
             --liveEntries;
+            --group->liveEntries;
             fifo.erase(it);
             if (copy.readyAt == minDataReady)
                 recomputeMinDataReady();

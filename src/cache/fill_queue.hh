@@ -22,6 +22,7 @@
 #define BOP_CACHE_FILL_QUEUE_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -44,15 +45,43 @@ struct FillQueueEntry
     std::uint32_t id = 0;
 };
 
+/**
+ * Occupancy/id bookkeeping shared by the banks of a banked fill queue.
+ *
+ * A channel-banked L3 splits its fill queue into per-bank FIFOs, but
+ * the structure must still behave as ONE queue architecturally: a
+ * single capacity (backpressure fires on total occupancy, not per
+ * bank) and a single monotonic id sequence (ids define the global
+ * drain order the banks' drains are merged in). Banks point at one
+ * group; a standalone queue owns a private one.
+ */
+struct FillQueueGroup
+{
+    explicit FillQueueGroup(std::size_t capacity_) : capacity(capacity_) {}
+
+    std::size_t capacity;
+    std::size_t liveEntries = 0;
+    std::uint32_t nextId = 1;
+};
+
 /** Fixed-capacity fill queue with FIFO-ish drain and CAM search. */
 class FillQueue
 {
   public:
     FillQueue(std::string name, std::size_t capacity);
 
-    bool full() const { return liveEntries >= capacity; }
+    /**
+     * Bank constructor: this queue is one bank of a larger structure
+     * whose capacity/occupancy/id sequence live in @p group_ (which
+     * must outlive the queue). The bank sizes its slot array at the
+     * full group capacity so any skew of entries across banks fits.
+     */
+    FillQueue(std::string name, FillQueueGroup &group_);
+
+    bool full() const { return group->liveEntries >= group->capacity; }
+    /** Live entries in this queue/bank (not the whole group). */
     std::size_t size() const { return liveEntries; }
-    std::size_t cap() const { return capacity; }
+    std::size_t cap() const { return group->capacity; }
 
     /**
      * Data-less ("waiting") allocations keep a couple of slots in
@@ -63,7 +92,7 @@ class FillQueue
     bool
     canAllocateWaiting() const
     {
-        return liveEntries + waitingReserve < capacity;
+        return group->liveEntries + waitingReserve < group->capacity;
     }
 
     /** Reserve an entry for a miss issued to the next level. */
@@ -124,8 +153,11 @@ class FillQueue
     static constexpr std::size_t waitingReserve = 2;
 
     std::string name;
-    std::size_t capacity;
-    std::size_t liveEntries = 0;
+    /** Private group for the standalone (non-banked) constructor. */
+    std::unique_ptr<FillQueueGroup> ownGroup;
+    /** Shared occupancy/id bookkeeping (== ownGroup.get() standalone). */
+    FillQueueGroup *group;
+    std::size_t liveEntries = 0; ///< live entries in THIS queue/bank
     /**
      * Live entries whose data has arrived. The ready-drain scans run
      * every cycle and on most cycles no entry carries data yet; this
@@ -133,7 +165,6 @@ class FillQueue
      */
     std::size_t dataEntries = 0;
     Cycle minDataReady = neverCycle; ///< min readyAt over data entries
-    std::uint32_t nextId = 1;
     std::vector<FillQueueEntry> slots;
     /**
      * Live slot indices in allocation order. A flat vector (capacity

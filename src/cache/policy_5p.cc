@@ -9,12 +9,17 @@ void
 Policy5P::reset(std::size_t sets, unsigned ways)
 {
     StackPolicy::reset(sets, ways);
-    policyCounters.reset();
-    coreMissCounters.reset();
+    shared->policyCounters.reset();
+    shared->coreMissCounters.reset();
+    assert((globalSetIds.empty() || globalSetIds.size() == sets) &&
+           "bank set translation must cover every local set");
     leaderTable.resize(sets);
-    for (std::size_t set = 0; set < sets; ++set)
+    for (std::size_t set = 0; set < sets; ++set) {
+        const std::size_t global =
+            globalSetIds.empty() ? set : globalSetIds[set];
         leaderTable[set] =
-            static_cast<std::int8_t>(computeLeaderPolicy(set));
+            static_cast<std::int8_t>(computeLeaderPolicy(global));
+    }
 }
 
 int
@@ -41,14 +46,14 @@ Policy5P::leaderPolicyOf(std::size_t set) const
 InsertionPolicy
 Policy5P::followerPolicy() const
 {
-    return static_cast<InsertionPolicy>(policyCounters.argMin());
+    return static_cast<InsertionPolicy>(shared->policyCounters.argMin());
 }
 
 bool
 Policy5P::coreHasLowMissRate(CoreId core) const
 {
-    const std::uint32_t max_val = coreMissCounters.maxValue();
-    return coreMissCounters.value(static_cast<std::size_t>(core)) <
+    const std::uint32_t max_val = shared->coreMissCounters.maxValue();
+    return shared->coreMissCounters.value(static_cast<std::size_t>(core)) <
            max_val / 4;
 }
 
@@ -62,7 +67,7 @@ Policy5P::applyInsertion(InsertionPolicy ip, std::size_t set, unsigned way,
         mru = true;
         break;
       case InsertionPolicy::IP2_Bip:
-        mru = rng.below(32) == 0;
+        mru = shared->rng.below(32) == 0;
         break;
       case InsertionPolicy::IP3_DemandMru:
         mru = info.demand;
@@ -84,14 +89,15 @@ void
 Policy5P::onFill(std::size_t set, unsigned way, const FillInfo &info)
 {
     // Track per-core pressure on the cache: every insertion counts.
-    coreMissCounters.increment(static_cast<std::size_t>(info.core));
+    shared->coreMissCounters.increment(static_cast<std::size_t>(info.core));
 
     const int leader = leaderPolicyOf(set);
     if (leader >= 0) {
         // Leader sets always apply their dedicated policy, and demand
         // misses in them "vote" against that policy.
         if (info.demand)
-            policyCounters.increment(static_cast<std::size_t>(leader));
+            shared->policyCounters.increment(
+                static_cast<std::size_t>(leader));
         applyInsertion(static_cast<InsertionPolicy>(leader), set, way, info);
     } else {
         applyInsertion(followerPolicy(), set, way, info);

@@ -177,6 +177,14 @@ lookupString(const ParsedRunRecord &record, const std::string &name)
     return it == record.strings.end() ? std::string() : it->second;
 }
 
+double
+lookupNumber(const ParsedRunRecord &record, const std::string &name,
+             double fallback)
+{
+    const auto it = record.numbers.find(name);
+    return it == record.numbers.end() ? fallback : it->second;
+}
+
 std::string
 traceSourceOrDefault(const ParsedRunRecord &record)
 {
@@ -305,10 +313,16 @@ diffRunRecords(const std::vector<ParsedRunRecord> &oldRecords,
         compareMetric(oldRecord, newRecord, key, "dram_per_1k_instr",
                       /*relative=*/true, options.dramRelative,
                       result.flagged);
-        compareDropMetric(oldRecord, newRecord, key,
-                          "sim_mcycles_per_s",
-                          options.throughputDropRelative,
-                          result.flagged);
+        // Engine throughput is only comparable between runs ticked on
+        // the same number of worker threads (records predating the
+        // field read as single-threaded).
+        if (lookupNumber(oldRecord, "threads", 1.0) ==
+            lookupNumber(newRecord, "threads", 1.0)) {
+            compareDropMetric(oldRecord, newRecord, key,
+                              "sim_mcycles_per_s",
+                              options.throughputDropRelative,
+                              result.flagged);
+        }
     }
     for (const ParsedRunRecord &record : oldRecords) {
         const std::string key = record.key();

@@ -110,7 +110,8 @@ ExperimentRunner::run(const std::string &benchmark, const SystemConfig &cfg)
                                       t0)
             .count();
     runRecords.push_back({benchmark, cfg.describe(), stats,
-                          /*traceSource=*/"", wall});
+                          /*traceSource=*/"", system.threadCount(),
+                          wall});
 
     if (std::getenv("BOP_VERBOSE")) {
         std::fprintf(stderr, "  [run] %-16s %-44s IPC=%.3f\n",

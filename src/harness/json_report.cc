@@ -64,6 +64,7 @@ writeRunRecord(std::ostream &os, const RunRecord &record)
        << "\"dram_per_1k_instr\": " << s.dramPer1kInstr() << ", "
        << "\"l3_channel_stalls\": " << s.l3ChannelStalls << ", "
        << "\"bo_final_offset\": " << s.boFinalOffset << ", "
+       << "\"threads\": " << record.threads << ", "
        << "\"wall_seconds\": " << record.wallSeconds << ", "
        << "\"sim_mcycles_per_s\": " << record.mcyclesPerSecond() << ", "
        << "\"retired_minstr_per_s\": " << record.minstrPerSecond()

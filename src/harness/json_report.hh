@@ -35,6 +35,15 @@ struct RunRecord
     std::string traceSource;
 
     /**
+     * Worker threads the run ticked on (System::threadCount()). A
+     * host-side speed knob: simulated statistics are identical for
+     * every value, but wall clock is not, so throughput comparisons
+     * are only meaningful between records with equal thread counts
+     * (bench_diff --throughput enforces this).
+     */
+    int threads = 1;
+
+    /**
      * Wall-clock seconds the simulation itself took (0 when not
      * measured, e.g. a hand-assembled record). Serialised together
      * with the derived engine-throughput rates (simulated Mcycles/s,

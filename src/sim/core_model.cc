@@ -63,11 +63,61 @@ CoreModel::retire(Cycle now)
 }
 
 void
+CoreModel::wakeDependents(std::uint32_t producer, std::uint64_t gen,
+                          std::vector<WaitRef> &into, std::size_t from)
+{
+    if (blockedQ.empty())
+        return;
+    std::size_t keep = 0;
+    for (const WaitRef &w : blockedQ) {
+        const RobEntry &e = rob[w.idx];
+        if (e.valid && e.waitingDep && e.depIdx == producer &&
+            e.depGen == gen) {
+            // Sorted insert past the already-consumed prefix. Wakes
+            // are rare and the queues tiny, so the insert's memmove
+            // is noise next to the per-tick scans it saves.
+            const auto it = std::lower_bound(
+                into.begin() + static_cast<std::ptrdiff_t>(from),
+                into.end(), w.seq,
+                [](const WaitRef &a, std::uint64_t s) {
+                    return a.seq < s;
+                });
+            into.insert(it, w);
+        } else {
+            blockedQ[keep++] = w;
+        }
+    }
+    blockedQ.resize(keep);
+}
+
+void
 CoreModel::issueWaiting(Cycle now)
 {
-    std::size_t keep = 0;
-    for (std::size_t i = 0; i < waiting.size(); ++i) {
-        const std::uint32_t idx = waiting[i];
+    if (readyQ.empty())
+        return;
+    // Two-way merge in seq order of the ready list against entries
+    // woken mid-scan: a load completing as a cache hit wakes its
+    // blocked dependents, whose stamps are all greater than the
+    // producer's (a dependent dispatches after its producer), so the
+    // merged visit order is exactly the order the historical single
+    // list scan processed these entries in.
+    keepScratch.clear();
+    wokenScratch.clear();
+    std::size_t ri = 0;
+    std::size_t wi = 0;
+    for (;;) {
+        const bool have_r = ri < readyQ.size();
+        const bool have_w = wi < wokenScratch.size();
+        if (!have_r && !have_w)
+            break;
+        WaitRef cur;
+        if (!have_w ||
+            (have_r && readyQ[ri].seq < wokenScratch[wi].seq))
+            cur = readyQ[ri++];
+        else
+            cur = wokenScratch[wi++];
+
+        const std::uint32_t idx = cur.idx;
         RobEntry &e = rob[idx];
         bool still_waiting = true;
 
@@ -86,12 +136,14 @@ CoreModel::issueWaiting(Cycle now)
                             e.readyAt = out.readyAt;
                             e.issued = true;
                             still_waiting = false;
+                            wakeDependents(idx, e.gen, wokenScratch,
+                                           wi);
                         } else if (out.kind == LoadOutcome::Kind::Pending) {
                             e.issued = true;
                             e.waitingDep = false;
                             still_waiting = false;
                         }
-                        // Retry: stays in the waiting list.
+                        // Retry: stays in the ready list.
                     }
                 } else if (e.kind == InstrKind::Branch) {
                     // Load-dependent branch: resolves when the load data
@@ -116,9 +168,9 @@ CoreModel::issueWaiting(Cycle now)
         }
 
         if (still_waiting)
-            waiting[keep++] = idx;
+            keepScratch.push_back(cur);
     }
-    waiting.resize(keep);
+    readyQ.swap(keepScratch);
 }
 
 bool
@@ -172,8 +224,10 @@ CoreModel::dispatchOne(const TraceInstr &instr, Cycle now)
             return false; // load queue full: dispatch stalls
         }
         ++loadsInFlight;
-        if (dep_pending || loadsThisCycle >= params.loadPorts) {
-            waiting.push_back(idx);
+        if (dep_pending) {
+            blockedQ.push_back({idx, waitSeq++});
+        } else if (loadsThisCycle >= params.loadPorts) {
+            readyQ.push_back({idx, waitSeq++});
         } else {
             ++loadsThisCycle;
             const LoadOutcome out =
@@ -185,7 +239,7 @@ CoreModel::dispatchOne(const TraceInstr &instr, Cycle now)
             } else if (out.kind == LoadOutcome::Kind::Pending) {
                 e.issued = true;
             } else {
-                waiting.push_back(idx); // MSHRs full: retry
+                readyQ.push_back({idx, waitSeq++}); // MSHRs full: retry
             }
         }
         lastLoadIdx = idx;
@@ -226,7 +280,7 @@ CoreModel::dispatchOne(const TraceInstr &instr, Cycle now)
             ++mispredicts;
         if (dep_pending) {
             e.mispredict = mispredicted;
-            waiting.push_back(idx);
+            blockedQ.push_back({idx, waitSeq++});
             if (mispredicted) {
                 // Redirect happens when the branch executes, i.e. when
                 // the load it depends on returns.
@@ -287,19 +341,14 @@ CoreModel::nextEventAt(Cycle now) const
         }
     }
 
-    // The waiting list: an entry whose dependence has resolved is
-    // (re)processed — and can change state — at the very next tick
-    // (issueWaiting computes completion times from the tick's `now`,
-    // so deferring it would not be cycle-exact). Unresolved entries
-    // wait for loadCompleted() and contribute no event of their own.
-    for (const std::uint32_t idx : waiting) {
-        const RobEntry &e = rob[idx];
-        if (!e.valid || e.done)
-            return next; // stale entry: swept out next tick
-        Cycle dep_ready = 0;
-        if (depResolved(e, dep_ready))
-            return next;
-    }
+    // The waiting list is pre-partitioned: readyQ holds exactly the
+    // entries issueWaiting will (re)process — with side effects — at
+    // the very next tick, so its emptiness is the whole test. Blocked
+    // entries wait for a wake (the producer's completion, an event on
+    // the hierarchy's or this scan's own horizon) and contribute no
+    // event of their own.
+    if (!readyQ.empty())
+        return next;
 
     return ev;
 }
@@ -340,6 +389,9 @@ CoreModel::loadCompleted(std::uint32_t rob_tag, Cycle when)
     assert(e.valid && e.kind == InstrKind::Load && e.issued);
     e.done = true;
     e.readyAt = when;
+    // Entries parked on this load become processable: merge them into
+    // the ready list at their seq positions.
+    wakeDependents(rob_tag, e.gen, readyQ, 0);
     horizonStaleFlag = true;
 }
 

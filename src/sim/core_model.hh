@@ -120,11 +120,38 @@ class CoreModel
         bool mispredict = false;     ///< branches: redirect when resolved
     };
 
+    /**
+     * A parked ROB entry. The waiting list is split in two seq-sorted
+     * halves: readyQ holds entries issueWaiting will (re)process next
+     * tick (structural retries, woken dependents), blockedQ entries
+     * parked on a live, not-yet-done producer load. Blocked entries
+     * move to ready only through an explicit wake — the producer
+     * completing as a cache hit mid-scan, or a loadCompleted()
+     * callback — so the per-tick scan and the horizon test touch the
+     * (typically tiny) ready half only. seq is the insertion stamp:
+     * merging wakes in seq order reproduces the single-list scan's
+     * processing order exactly (a dependent always dispatches, hence
+     * stamps, after its producer).
+     */
+    struct WaitRef
+    {
+        std::uint32_t idx = 0;  ///< rob index
+        std::uint64_t seq = 0;  ///< insertion order stamp
+    };
+
     bool dispatchOne(const TraceInstr &instr, Cycle now);
     void issueWaiting(Cycle now);
     void retire(Cycle now);
     /** True when the dependence of @p e has resolved; sets dep time. */
     bool depResolved(const RobEntry &e, Cycle &dep_ready) const;
+
+    /**
+     * Move @p producer's (generation @p gen) blocked dependents into
+     * @p into, keeping it seq-sorted from position @p from on. Used
+     * with readyQ (callback wakes) and the mid-scan woken buffer.
+     */
+    void wakeDependents(std::uint32_t producer, std::uint64_t gen,
+                        std::vector<WaitRef> &into, std::size_t from);
 
     CoreId coreId;
     CoreParams params;
@@ -138,7 +165,11 @@ class CoreModel
     std::size_t robCount = 0;
     std::uint64_t genCounter = 1;
 
-    std::vector<std::uint32_t> waiting; ///< rob indices awaiting dep/retry
+    std::vector<WaitRef> readyQ;   ///< processable next tick (seq order)
+    std::vector<WaitRef> blockedQ; ///< parked on a producer (seq order)
+    std::uint64_t waitSeq = 0;     ///< next WaitRef::seq stamp
+    std::vector<WaitRef> keepScratch;  ///< issueWaiting: survivors
+    std::vector<WaitRef> wokenScratch; ///< issueWaiting: mid-scan wakes
 
     bool holdValid = false;   ///< instruction stalled at dispatch
     TraceInstr holdInstr;

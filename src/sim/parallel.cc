@@ -1,0 +1,85 @@
+#include "sim/parallel.hh"
+
+namespace bop
+{
+
+WorkerPool::WorkerPool(unsigned workers_) : workers(workers_ ? workers_ : 1)
+{
+    for (unsigned w = 1; w < workers; ++w)
+        helpers.emplace_back([this, w] { helperLoop(w); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(m);
+        stopping = true;
+    }
+    cvStart.notify_all();
+    for (std::thread &t : helpers)
+        t.join();
+}
+
+void
+WorkerPool::runImpl(std::size_t items, Trampoline call, void *ctx)
+{
+    if (workers == 1 || items <= 1) {
+        for (std::size_t i = 0; i < items; ++i)
+            call(ctx, i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(m);
+        job = call;
+        jobCtx = ctx;
+        jobItems = items;
+        pending = workers - 1;
+        ++epoch;
+    }
+    cvStart.notify_all();
+
+    // The caller is worker 0: it takes its own item stripe instead of
+    // blocking, so a 1-item phase never pays a thread hand-off.
+    for (std::size_t i = 0; i < items; i += workers)
+        call(ctx, i);
+
+    std::unique_lock<std::mutex> lk(m);
+    cvDone.wait(lk, [this] { return pending == 0; });
+    job = nullptr;
+    jobCtx = nullptr;
+}
+
+void
+WorkerPool::helperLoop(unsigned self)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        Trampoline call = nullptr;
+        void *ctx = nullptr;
+        std::size_t items = 0;
+        {
+            std::unique_lock<std::mutex> lk(m);
+            cvStart.wait(lk, [this, seen] {
+                return stopping || epoch != seen;
+            });
+            if (stopping)
+                return;
+            seen = epoch;
+            call = job;
+            ctx = jobCtx;
+            items = jobItems;
+        }
+
+        for (std::size_t i = self; i < items; i += workers)
+            call(ctx, i);
+
+        {
+            std::lock_guard<std::mutex> lk(m);
+            if (--pending == 0)
+                cvDone.notify_one();
+        }
+    }
+}
+
+} // namespace bop

@@ -21,6 +21,18 @@ fastForwardDisabledByEnv()
     return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
 }
 
+/** BOP_THREADS set to a positive integer overrides cfg.numThreads
+ *  (host-side speed knob; simulated results are identical). */
+int
+threadsFromEnv(int cfg_threads)
+{
+    const char *v = std::getenv("BOP_THREADS");
+    if (v == nullptr || v[0] == '\0')
+        return cfg_threads;
+    const int n = std::atoi(v);
+    return n >= 1 ? n : cfg_threads;
+}
+
 } // namespace
 
 RunStats
@@ -60,7 +72,8 @@ deltaStats(const RunStats &end, const RunStats &begin)
 System::System(const SystemConfig &cfg_,
                std::vector<std::unique_ptr<TraceSource>> traces_)
     : cfg(cfg_.resolved()), traces(std::move(traces_)), hier(cfg),
-      fastForward(cfg.fastForward && !fastForwardDisabledByEnv())
+      fastForward(cfg.fastForward && !fastForwardDisabledByEnv()),
+      threads(std::min(threadsFromEnv(cfg.numThreads), 64))
 {
     if (static_cast<int>(traces.size()) != cfg.activeCores) {
         throw std::invalid_argument(
@@ -74,6 +87,12 @@ System::System(const SystemConfig &cfg_,
     // Every component starts with its staleness flag set, so these
     // placeholders are refreshed before they are ever consulted.
     coreHorizon.assign(cores.size(), 0);
+
+    if (threads > 1) {
+        pool = std::make_unique<WorkerPool>(
+            static_cast<unsigned>(threads));
+        coreDue.assign(cores.size(), 1);
+    }
 }
 
 Cycle
@@ -111,6 +130,11 @@ System::step()
     if (!fastForward) {
         // Reference semantics: tick everything, every cycle.
         ++now;
+        if (pool) {
+            std::fill(coreDue.begin(), coreDue.end(), 1);
+            stepParallel(true);
+            return;
+        }
         for (auto &core : cores)
             core->tick(now);
         hier.tick(now);
@@ -122,12 +146,58 @@ System::step()
     // exactly the ones the horizon contract proves are no-ops; ticking
     // anyway would be correct but wasted (the reference loop does, and
     // the equivalence tests pin the two modes against each other).
+    if (pool) {
+        for (std::size_t c = 0; c < cores.size(); ++c)
+            coreDue[c] = coreHorizon[c] <= now ? 1 : 0;
+        stepParallel(hierHorizon <= now);
+        return;
+    }
     for (std::size_t c = 0; c < cores.size(); ++c) {
         if (coreHorizon[c] <= now)
             cores[c]->tick(now);
     }
     if (hierHorizon <= now)
         hier.tick(now);
+}
+
+void
+System::stepParallel(bool hier_due)
+{
+    const Cycle at = now;
+
+    // Epoch 1: due cores tick, and (hierarchy due) each core's ingress
+    // stages run — both touch only that core's side of the hierarchy,
+    // plus read-only probes of the quiescent controllers; L2 misses
+    // are staged per side instead of crossing into the shared queues.
+    pool->run(cores.size(), [&](std::size_t c) {
+        if (coreDue[c])
+            cores[c]->tick(at);
+        if (hier_due)
+            hier.tickCoreIngress(static_cast<CoreId>(c), at);
+    });
+    if (!hier_due)
+        return;
+
+    // Serial: merge staged misses in core order, L3 arbitration.
+    hier.commitIngress(at);
+
+    // Epoch 2: the channel/bank pairs are mutually independent.
+    pool->run(static_cast<std::size_t>(hier.channelCount()),
+              [&](std::size_t ch) {
+                  hier.tickChannel(static_cast<int>(ch), at);
+              });
+
+    // Serial: DRAM completions, L3 fill drain in global id order.
+    hier.drainUncore(at);
+
+    // Epoch 3: per-core egress (L2/DL1 fills, completion callbacks —
+    // strictly core-local; L2 victims staged per side).
+    pool->run(cores.size(), [&](std::size_t c) {
+        hier.tickCoreEgress(static_cast<CoreId>(c), at);
+    });
+
+    // Serial: merge staged L2 victims in core order.
+    hier.commitEgress(at);
 }
 
 void

@@ -18,6 +18,7 @@
 #include "sim/config.hh"
 #include "sim/core_model.hh"
 #include "sim/mem_hierarchy.hh"
+#include "sim/parallel.hh"
 #include "trace/trace.hh"
 
 namespace bop
@@ -68,6 +69,12 @@ class System
     /** True when event-horizon fast-forward is active for this run. */
     bool fastForwardEnabled() const { return fastForward; }
 
+    /**
+     * Worker threads this System ticks on (cfg.numThreads, possibly
+     * overridden by BOP_THREADS). 1 = the serial path, no pool.
+     */
+    int threadCount() const { return threads; }
+
     /** Progress window of the per-core deadlock watchdog. */
     static constexpr Cycle watchdogCycles = 1000000;
 
@@ -84,12 +91,28 @@ class System
     /** Run until core 0 has retired @p target instructions in total. */
     void runUntilRetired(std::uint64_t target);
 
+    /**
+     * One clock tick as a barrier-synchronized parallel epoch on the
+     * worker pool. Due cores and — when the hierarchy is due — the
+     * per-core ingress phases tick concurrently, then the serial
+     * ingress commit, then the channel/bank pairs in parallel, the
+     * serial uncore drain, the per-core egress phases in parallel and
+     * the serial egress commit. Bit-identical to the serial tick: the
+     * parallel phases touch disjoint per-core/per-channel state and
+     * every cross-shard hand-off moves at a serial commit point in
+     * global arrival order.
+     */
+    void stepParallel(bool hier_due);
+
     SystemConfig cfg;
     std::vector<std::unique_ptr<TraceSource>> traces;
     MemHierarchy hier;
     std::vector<std::unique_ptr<CoreModel>> cores;
     Cycle now = 0;
     bool fastForward = true; ///< cfg.fastForward minus the env override
+    int threads = 1;         ///< cfg.numThreads with BOP_THREADS applied
+    std::unique_ptr<WorkerPool> pool; ///< null when threads == 1
+    std::vector<char> coreDue; ///< per-core due flags for stepParallel
 
     /**
      * Cached per-component horizons (fast-forward only). A component's

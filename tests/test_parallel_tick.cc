@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Parallel-epoch engine tests: ticking cores and channel shards on a
+ * worker pool (SystemConfig::numThreads > 1) must be bit-identical to
+ * the serial engine for every thread count, topology (banked and
+ * un-banked L3), fast-forward mode and workload mix. The whole-run
+ * RunStats comparison uses the defaulted field-wise operator==, so any
+ * divergent counter anywhere in the chip fails the test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "sim/mem_hierarchy.hh"
+#include "sim/system.hh"
+#include "trace/workloads.hh"
+
+namespace bop
+{
+namespace
+{
+
+RunStats
+runWith(SystemConfig cfg, const std::string &bench, int threads,
+        std::uint64_t warm = 2000, std::uint64_t measure = 10000)
+{
+    cfg.numThreads = threads;
+    System sys(cfg, makeTraces(bench, cfg));
+    EXPECT_EQ(sys.threadCount(), threads);
+    return sys.run(warm, measure);
+}
+
+/** Field-wise comparison so a failure names the diverging counter. */
+void
+expectStatsEqual(const RunStats &parallel, const RunStats &serial,
+                 const std::string &label)
+{
+#define BOP_EXPECT_FIELD(f) EXPECT_EQ(parallel.f, serial.f) << label
+    BOP_EXPECT_FIELD(cycles);
+    BOP_EXPECT_FIELD(instructions);
+    BOP_EXPECT_FIELD(dl1Accesses);
+    BOP_EXPECT_FIELD(dl1Misses);
+    BOP_EXPECT_FIELD(dl1PrefIssued);
+    BOP_EXPECT_FIELD(dl1PrefDropTlb);
+    BOP_EXPECT_FIELD(l2Accesses);
+    BOP_EXPECT_FIELD(l2Misses);
+    BOP_EXPECT_FIELD(l2PrefetchedHits);
+    BOP_EXPECT_FIELD(l2PrefIssued);
+    BOP_EXPECT_FIELD(l2PrefDropped);
+    BOP_EXPECT_FIELD(l2PrefFills);
+    BOP_EXPECT_FIELD(l2LatePromotions);
+    BOP_EXPECT_FIELD(l2PrefUselessEvicted);
+    BOP_EXPECT_FIELD(l3Accesses);
+    BOP_EXPECT_FIELD(l3Misses);
+    BOP_EXPECT_FIELD(l3ChannelStalls);
+    BOP_EXPECT_FIELD(dtlb1Misses);
+    BOP_EXPECT_FIELD(tlb2Misses);
+    BOP_EXPECT_FIELD(branches);
+    BOP_EXPECT_FIELD(branchMispredicts);
+    BOP_EXPECT_FIELD(dramReads);
+    BOP_EXPECT_FIELD(dramWrites);
+    BOP_EXPECT_FIELD(dramRowHits);
+    BOP_EXPECT_FIELD(dramRowMisses);
+    BOP_EXPECT_FIELD(boLearningPhases);
+    BOP_EXPECT_FIELD(boPrefetchOffPhases);
+    BOP_EXPECT_FIELD(boFinalOffset);
+    BOP_EXPECT_FIELD(boFinalScore);
+#undef BOP_EXPECT_FIELD
+    EXPECT_TRUE(parallel == serial)
+        << label << ": a counter outside the listed fields diverged "
+        << "(extend this comparison when adding RunStats fields)";
+}
+
+void
+expectThreadEquivalence(SystemConfig cfg, const std::string &bench,
+                        std::uint64_t warm = 2000,
+                        std::uint64_t measure = 10000)
+{
+    const RunStats serial = runWith(cfg, bench, 1, warm, measure);
+    for (const int threads : {2, 4, 8}) {
+        const RunStats parallel =
+            runWith(cfg, bench, threads, warm, measure);
+        expectStatsEqual(parallel, serial,
+                         bench + " " + cfg.describe() +
+                             " threads=" + std::to_string(threads));
+    }
+}
+
+TEST(ParallelTick, SingleCoreBankedL3)
+{
+    // 2 channels: the default 8MB L3 banks per channel.
+    expectThreadEquivalence(baselineConfig(1, PageSize::FourKB),
+                            "462.libquantum");
+}
+
+TEST(ParallelTick, FourCoreFourChannelBanked)
+{
+    SystemConfig cfg = baselineConfig(4, PageSize::FourKB);
+    cfg.numChannels = 4;
+    cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
+    expectThreadEquivalence(cfg, "429.mcf");
+}
+
+TEST(ParallelTick, EightChannelSingleBankFallback)
+{
+    // 8 channels need 14 XOR-fold bits but the 8MB L3 has only 13 set
+    // bits: the cache must fall back to one bank, and the parallel
+    // engine must still match the serial one on the un-banked shape.
+    SystemConfig cfg = baselineConfig(2, PageSize::FourKB);
+    cfg.numChannels = 8;
+    expectThreadEquivalence(cfg, "433.milc");
+}
+
+TEST(ParallelTick, NoFastForwardPath)
+{
+    // The reference engine ticks every cycle; the worker pool must not
+    // change that schedule either.
+    SystemConfig cfg = baselineConfig(2, PageSize::FourKB);
+    cfg.fastForward = false;
+    expectThreadEquivalence(cfg, "450.soplex", 1000, 6000);
+}
+
+TEST(ParallelTick, RandomizedConfigsMatchSerial)
+{
+    // Deterministically-seeded random sweep over topology, policy,
+    // prefetcher, page size and run seed: every drawn configuration
+    // must tick bit-identically on 2/4/8 workers. Random interleaving
+    // of per-core work onto the pool is exactly what this hunts —
+    // worker assignment is static but completion order is not, so any
+    // cross-shard state touched outside the serial commit phases would
+    // show up as a diverging counter under some draw.
+    std::mt19937 rng(0xb0b5u);
+    const std::vector<std::string> benches = {
+        "401.bzip2", "456.hmmer", "470.lbm", "482.sphinx3", "403.gcc"};
+    const std::vector<L2PrefetcherKind> pfs = {
+        L2PrefetcherKind::None, L2PrefetcherKind::NextLine,
+        L2PrefetcherKind::BestOffset, L2PrefetcherKind::Stream};
+    const std::vector<L3PolicyKind> policies = {
+        L3PolicyKind::P5, L3PolicyKind::Lru, L3PolicyKind::Drrip};
+    for (int draw = 0; draw < 4; ++draw) {
+        const int cores = 1 << (rng() % 3); // 1, 2 or 4
+        SystemConfig cfg = baselineConfig(
+            cores, (rng() & 1) ? PageSize::FourKB : PageSize::FourMB);
+        cfg.numChannels = (rng() & 1) ? 2 : 4;
+        cfg.l2Prefetcher = pfs[rng() % pfs.size()];
+        cfg.l3Policy = policies[rng() % policies.size()];
+        cfg.seed = 1 + rng() % 1000;
+        const std::string &bench = benches[rng() % benches.size()];
+        expectThreadEquivalence(cfg, bench, 1500, 6000);
+    }
+}
+
+TEST(ParallelTick, ThreadsEnvOverride)
+{
+    // BOP_THREADS overrides the config knob (CI's TSan job uses it to
+    // force the pool onto every binary without plumbing flags).
+    setenv("BOP_THREADS", "3", 1);
+    SystemConfig cfg = baselineConfig(1, PageSize::FourKB);
+    System sys(cfg, makeTraces("456.hmmer", cfg));
+    unsetenv("BOP_THREADS");
+    EXPECT_EQ(sys.threadCount(), 3);
+}
+
+TEST(ParallelTick, ThreadCountValidated)
+{
+    SystemConfig cfg = baselineConfig(1, PageSize::FourKB);
+    cfg.numThreads = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg.numThreads = 65;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg.numThreads = 8;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+} // namespace
+} // namespace bop

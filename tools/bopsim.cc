@@ -78,6 +78,10 @@ usage(const char *argv0)
         "  --no-fast-forward   tick every cycle (reference engine; the\n"
         "                      simulated stats are bit-identical either\n"
         "                      way — also BOP_DISABLE_FASTFORWARD=1)\n"
+        "  --threads N         worker threads for the tick engine\n"
+        "                      (default 1 = serial; stats are\n"
+        "                      bit-identical for every N — also\n"
+        "                      BOP_THREADS=N)\n"
         "  --json PATH         write a machine-readable run record\n",
         argv0);
 }
@@ -205,6 +209,8 @@ main(int argc, char **argv)
             instr = std::strtoull(next_arg(i).c_str(), nullptr, 10);
         } else if (arg == "--seed") {
             cfg.seed = std::strtoull(next_arg(i).c_str(), nullptr, 10);
+        } else if (arg == "--threads") {
+            cfg.numThreads = std::atoi(next_arg(i).c_str());
         } else if (arg == "--json") {
             json_path = next_arg(i);
         } else {
@@ -316,7 +322,7 @@ main(int argc, char **argv)
                         s.boFinalOffset, s.boFinalScore);
         }
         const RunRecord record{label, cfg.describe(), s, trace_source,
-                               wall};
+                               sys.threadCount(), wall};
         std::printf("engine       : %.3f s wall, %.2f Mcycles/s, "
                     "%.2f Minstr/s%s\n",
                     wall, record.mcyclesPerSecond(),
