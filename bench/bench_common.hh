@@ -21,15 +21,29 @@
 #include "common/table.hh"
 #include "harness/experiment.hh"
 #include "harness/json_report.hh"
+#include "harness/sweep_farm.hh"
 #include "trace/workloads.hh"
 
 namespace bop
 {
 
+/** Default sweep-farm worker count: BOP_JOBS, else 1 (serial). */
+inline int
+jobsFromEnv()
+{
+    if (const char *j = std::getenv("BOP_JOBS")) {
+        const int jobs = std::atoi(j);
+        if (jobs >= 1)
+            return jobs;
+    }
+    return 1;
+}
+
 /** Command-line options shared by the figure benches. */
 struct BenchOptions
 {
     std::string jsonPath; ///< --json PATH: machine-readable run records
+    int jobs = 1;         ///< --jobs N / BOP_JOBS: sweep-farm workers
 };
 
 /**
@@ -42,17 +56,27 @@ inline BenchOptions
 parseBenchOptions(int argc, char **argv, std::string *positional = nullptr)
 {
     BenchOptions opts;
+    opts.jobs = jobsFromEnv();
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--json" && i + 1 < argc) {
             opts.jsonPath = argv[++i];
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            opts.jobs = std::atoi(argv[++i]);
+            if (opts.jobs < 1)
+                opts.jobs = 1;
         } else if (positional && !arg.empty() && arg[0] != '-') {
             *positional = arg;
         } else {
             std::cerr << "usage: " << argv[0] << " [--json PATH]"
+                      << " [--jobs N]"
                       << (positional ? " [benchmark]" : "") << "\n"
                       << "  --json PATH  write one JSON record per "
-                         "simulation run to PATH\n";
+                         "simulation run to PATH\n"
+                      << "  --jobs N     sweep-farm worker threads "
+                         "(default BOP_JOBS or 1; records are\n"
+                      << "               byte-identical for every N, "
+                         "timing fields aside)\n";
             std::exit(arg == "--help" || arg == "-h" ? 0 : 2);
         }
     }
@@ -88,12 +112,30 @@ benchHeader(const std::string &what, const ExperimentRunner &runner)
  * benchmark, one column per (cores, page) grid point, plus the
  * geometric mean row. @p variant mutates the baseline config into the
  * configuration under test.
+ *
+ * The sweep runs in two passes: a prefetch pass submits every design
+ * point to the farm (enumerated in the exact order the serial sweep
+ * would first simulate them, so --jobs 1 reproduces the old record
+ * order verbatim), then after drain() the table is computed through
+ * the runner's warm memo cache.
  */
 template <typename ConfigMutator>
 void
-printSpeedupFigure(ExperimentRunner &runner, ConfigMutator &&variant,
+printSpeedupFigure(SweepFarm &farm, ConfigMutator &&variant,
                    std::ostream &os = std::cout)
 {
+    for (const auto &bench : benchmarkNames()) {
+        for (const auto &[cores, page] : baselineGrid()) {
+            const SystemConfig base = baselineConfig(cores, page);
+            SystemConfig cfg = base;
+            variant(cfg);
+            farm.submit(bench, cfg);
+            farm.submit(bench, base);
+        }
+    }
+    farm.drain();
+
+    ExperimentRunner &runner = farm.runner();
     TextTable table;
     std::vector<std::string> header = {"benchmark"};
     for (const auto &[cores, page] : baselineGrid())
@@ -124,7 +166,9 @@ printSpeedupFigure(ExperimentRunner &runner, ConfigMutator &&variant,
 
 /**
  * Geometric-mean-only figure (paper Figs. 7, 9, 10, 11): one row per
- * variant, one column per grid point.
+ * variant, one column per grid point. Each addVariant() farms its
+ * design points out (prefetch pass in serial-sweep order, then
+ * drain) before computing the row from the memo cache.
  */
 class GeomeanFigure
 {
@@ -139,9 +183,21 @@ class GeomeanFigure
 
     template <typename ConfigMutator>
     void
-    addVariant(ExperimentRunner &runner, const std::string &name,
+    addVariant(SweepFarm &farm, const std::string &name,
                ConfigMutator &&variant)
     {
+        for (const auto &[cores, page] : baselineGrid()) {
+            const SystemConfig base = baselineConfig(cores, page);
+            SystemConfig cfg = base;
+            variant(cfg);
+            for (const auto &bench : benchmarkNames()) {
+                farm.submit(bench, cfg);
+                farm.submit(bench, base);
+            }
+        }
+        farm.drain();
+
+        ExperimentRunner &runner = farm.runner();
         std::vector<std::string> row = {name};
         for (const auto &[cores, page] : baselineGrid()) {
             const SystemConfig base = baselineConfig(cores, page);

@@ -17,33 +17,35 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bop;
+    const BenchOptions opts = parseBenchOptions(argc, argv);
     ExperimentRunner runner;
+    SweepFarm farm(runner, opts.jobs);
     benchHeader("Extension ablations: BO variants + stream prefetcher",
                 runner);
 
     GeomeanFigure fig;
-    fig.addVariant(runner, "BO (paper)", [](SystemConfig &cfg) {
+    fig.addVariant(farm, "BO (paper)", [](SystemConfig &cfg) {
         cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
     });
-    fig.addVariant(runner, "BO degree-2", [](SystemConfig &cfg) {
+    fig.addVariant(farm, "BO degree-2", [](SystemConfig &cfg) {
         cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
         cfg.bo.degree = 2;
     });
-    fig.addVariant(runner, "BO +negative", [](SystemConfig &cfg) {
+    fig.addVariant(farm, "BO +negative", [](SystemConfig &cfg) {
         cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
         cfg.bo.includeNegative = true;
     });
-    fig.addVariant(runner, "BO maxoff=63", [](SystemConfig &cfg) {
+    fig.addVariant(farm, "BO maxoff=63", [](SystemConfig &cfg) {
         // Offset list capped at one 4KB page worth of lines.
         cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
         cfg.bo.maxOffset = 63;
     });
-    fig.addVariant(runner, "stream pf", [](SystemConfig &cfg) {
+    fig.addVariant(farm, "stream pf", [](SystemConfig &cfg) {
         cfg.l2Prefetcher = L2PrefetcherKind::Stream;
     });
     fig.print();
-    return 0;
+    return finishBench(runner, opts) ? 0 : 1;
 }

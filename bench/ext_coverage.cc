@@ -39,10 +39,12 @@ kindLabel(bop::L2PrefetcherKind kind)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bop;
+    const BenchOptions opts = parseBenchOptions(argc, argv);
     ExperimentRunner runner;
+    SweepFarm farm(runner, opts.jobs);
     benchHeader("Extension: coverage / accuracy / timeliness "
                 "(1-core, 4KB pages)",
                 runner);
@@ -51,6 +53,16 @@ main()
     const L2PrefetcherKind kinds[] = {L2PrefetcherKind::NextLine,
                                       L2PrefetcherKind::Sandbox,
                                       L2PrefetcherKind::BestOffset};
+
+    // Prefetch pass in serial-sweep order.
+    for (const auto &bench : memoryHeavyBenchmarks()) {
+        for (const auto kind : kinds) {
+            SystemConfig cfg = base;
+            cfg.l2Prefetcher = kind;
+            farm.submit(bench, cfg);
+        }
+    }
+    farm.drain();
 
     TextTable table;
     {
@@ -89,5 +101,5 @@ main()
                  "touch neighbouring lines);\nthe offset-response "
                  "peaks of Fig. 8, which is what these generators\n"
                  "are shaped for, are unaffected.\n";
-    return 0;
+    return finishBench(runner, opts) ? 0 : 1;
 }

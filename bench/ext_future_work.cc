@@ -19,10 +19,12 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bop;
+    const BenchOptions opts = parseBenchOptions(argc, argv);
     ExperimentRunner runner;
+    SweepFarm farm(runner, opts.jobs);
     benchHeader("Extension: Sec. 7 future-work variants (GM speedup vs "
                 "next-line baseline)",
                 runner);
@@ -44,10 +46,10 @@ main()
     };
 
     GeomeanFigure fig;
-    fig.addVariant(runner, "BO (paper)", bo);
-    fig.addVariant(runner, "BO adaptive-BS", bo_adaptive);
-    fig.addVariant(runner, "BO cov-half", bo_cov1);
-    fig.addVariant(runner, "BO cov-equal", bo_cov2);
+    fig.addVariant(farm, "BO (paper)", bo);
+    fig.addVariant(farm, "BO adaptive-BS", bo_adaptive);
+    fig.addVariant(farm, "BO cov-half", bo_cov1);
+    fig.addVariant(farm, "BO cov-equal", bo_cov2);
     fig.print();
 
     // The benchmarks the paper's Sec. 6 discussion singles out:
@@ -78,5 +80,5 @@ main()
                  "tracks the paper's observation that BADSCORE wants "
                  "to be\nsmall on CPU2006 (so it should sit near the "
                  "static optimum).\n";
-    return 0;
+    return finishBench(runner, opts) ? 0 : 1;
 }

@@ -17,8 +17,30 @@
 #include "bench_common.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <deque>
 
+#include "sim/parallel.hh"
 #include "sim/system.hh"
+
+namespace
+{
+
+/** One scaling design point: stats plus the per-core retire counts
+ *  the farmed RunRecord cannot carry. */
+struct ScaleRun
+{
+    bop::SystemConfig cfg;
+    int cores = 0;
+    long jobIndex = -1;
+    bop::RunStats stats;
+    std::vector<std::uint64_t> retired;
+    int threads = 1;
+    double wall = 0.0;
+    double queueWait = 0.0;
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -33,32 +55,69 @@ main(int argc, char **argv)
                 "(benchmark " + bench + " on core 0, thrashers elsewhere)",
                 runner);
 
+    // Every design point here needs per-core retire counts, which the
+    // sweep farm's RunRecords cannot carry — so farm the Systems out
+    // on a TaskPool directly, into submission-ordered slots (the same
+    // determinism contract: job_index at submit, output after drain).
+    std::deque<ScaleRun> slots;
+    {
+        TaskPool pool(
+            static_cast<unsigned>(opts.jobs < 1 ? 1 : opts.jobs));
+        for (const int cores : scalingCoreCounts()) {
+            SystemConfig cfg = baselineConfig(cores, PageSize::FourKB);
+            cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
+            slots.push_back(ScaleRun{});
+            ScaleRun *slot = &slots.back();
+            slot->cfg = cfg;
+            slot->cores = cores;
+            slot->jobIndex = runner.reserveJobIndex();
+            const auto submitted = std::chrono::steady_clock::now();
+            const Budget budget = runner.budgets();
+            pool.submit([slot, bench, budget, submitted] {
+                slot->queueWait =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - submitted)
+                        .count();
+                System sys(slot->cfg, makeTraces(bench, slot->cfg));
+                const auto t0 = std::chrono::steady_clock::now();
+                slot->stats = sys.run(budget.warmup, budget.measure);
+                slot->wall = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+                slot->threads = sys.threadCount();
+                for (int c = 0; c < sys.coreCount(); ++c)
+                    slot->retired.push_back(sys.core(c).retired());
+            });
+        }
+        pool.drain();
+    }
+
     TextTable table;
     table.row("cores", "channels", "core-0 IPC", "BO offset",
               "DRAM/1k-instr", "per-core retired (min..max)");
 
-    for (const int cores : scalingCoreCounts()) {
-        SystemConfig cfg = baselineConfig(cores, PageSize::FourKB);
-        cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
-
-        System sys(cfg, makeTraces(bench, cfg));
-        const RunStats s = sys.run(runner.budgets().warmup,
-                                   runner.budgets().measure);
-        runner.addRecord({bench, cfg.describe(), s});
+    for (const ScaleRun &run : slots) {
+        const RunStats &s = run.stats;
+        RunRecord record{bench, run.cfg.describe(), s,
+                         /*traceSource=*/"", run.threads, run.wall};
+        record.jobs = opts.jobs < 1 ? 1 : opts.jobs;
+        record.jobIndex = run.jobIndex;
+        record.queueWaitSeconds = run.queueWait;
+        runner.addRecord(std::move(record));
 
         std::uint64_t lo = 0, hi = 0;
-        for (int c = 0; c < sys.coreCount(); ++c) {
-            const std::uint64_t r = sys.core(c).retired();
+        for (std::size_t c = 0; c < run.retired.size(); ++c) {
+            const std::uint64_t r = run.retired[c];
             lo = c == 0 ? r : std::min(lo, r);
             hi = c == 0 ? r : std::max(hi, r);
         }
-        table.row(cores, cfg.numChannels, TextTable::fmt(s.ipc()),
+        table.row(run.cores, run.cfg.numChannels, TextTable::fmt(s.ipc()),
                   s.boFinalOffset, TextTable::fmt(s.dramPer1kInstr(), 1),
                   std::to_string(lo) + ".." + std::to_string(hi));
 
-        std::cout << "  [" << cores << " cores] per-core retired:";
-        for (int c = 0; c < sys.coreCount(); ++c)
-            std::cout << " " << sys.core(c).retired();
+        std::cout << "  [" << run.cores << " cores] per-core retired:";
+        for (const std::uint64_t r : run.retired)
+            std::cout << " " << r;
         std::cout << "\n";
     }
     std::cout << "\n";

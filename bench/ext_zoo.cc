@@ -47,9 +47,10 @@ streamingBenchmarks()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bop;
+    const BenchOptions opts = parseBenchOptions(argc, argv);
     // Learning-based prefetchers (BO's ROUNDMAX=100 phases, SBP's
     // 52-candidate evaluation sweep) need ~150K+ instructions before
     // their steady state on the low-APKI benchmarks; a zoo comparison
@@ -59,6 +60,7 @@ main()
     Budget budget = Budget::fromEnv();
     budget.warmup *= 3;
     ExperimentRunner runner(budget);
+    SweepFarm farm(runner, opts.jobs);
     benchHeader("Extension: prefetcher zoo (GM speedup vs no-prefetch, "
                 "3x warm-up)",
                 runner);
@@ -77,6 +79,24 @@ main()
         {"SBP", L2PrefetcherKind::Sandbox},
         {"BO (paper)", L2PrefetcherKind::BestOffset},
         {"BO (DPC-2)", L2PrefetcherKind::BestOffsetDpc2},
+    };
+
+    // Prefetch pass: farm each table's design points out in
+    // serial-sweep order before the memo-hit table computation.
+    const auto prefetch = [&](const std::vector<std::string> &set) {
+        for (const Variant &v : variants) {
+            for (const auto &[cores, page] : baselineGrid()) {
+                SystemConfig ref = baselineConfig(cores, page);
+                ref.l2Prefetcher = L2PrefetcherKind::None;
+                SystemConfig cfg = ref;
+                cfg.l2Prefetcher = v.kind;
+                for (const auto &bench : set) {
+                    farm.submit(bench, cfg);
+                    farm.submit(bench, ref);
+                }
+            }
+        }
+        farm.drain();
     };
 
     const auto make_table = [&](const std::vector<std::string> &set) {
@@ -103,11 +123,13 @@ main()
     std::cout << "GM speedup over *no L2 prefetching*, streaming/"
                  "regular benchmarks\n(where the published FDP < SBP "
                  "< BO chain applies):\n";
+    prefetch(streamingBenchmarks());
     make_table(streamingBenchmarks()).print(std::cout);
 
     std::cout << "\nGM over all 29 benchmarks (pointer-chase pollution "
                  "artifact\nincluded — see DESIGN.md Sec. 4b before "
                  "comparing rows):\n";
+    prefetch(benchmarkNames());
     make_table(benchmarkNames()).print(std::cout);
 
     std::cout << "\nExpected shapes (streaming table): the offset "
@@ -120,5 +142,5 @@ main()
                  "(cf. AMPM ~ SBP in Pugsley et al.); Jouppi stream "
                  "buffers are\nunit-stride devices, negative on the "
                  "stride generators by design.\n";
-    return 0;
+    return finishBench(runner, opts) ? 0 : 1;
 }

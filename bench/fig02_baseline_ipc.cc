@@ -9,12 +9,20 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bop;
+    const BenchOptions opts = parseBenchOptions(argc, argv);
     ExperimentRunner runner;
+    SweepFarm farm(runner, opts.jobs);
     benchHeader("Figure 2: baseline IPC (next-line L2 prefetch, 5P L3)",
                 runner);
+
+    // Prefetch pass: farm the grid out in serial-sweep order.
+    for (const auto &bench : benchmarkNames())
+        for (const auto &[cores, page] : baselineGrid())
+            farm.submit(bench, baselineConfig(cores, page));
+    farm.drain();
 
     TextTable table;
     std::vector<std::string> header = {"benchmark"};
@@ -32,5 +40,5 @@ main()
         table.addRow(row);
     }
     table.print(std::cout);
-    return 0;
+    return finishBench(runner, opts) ? 0 : 1;
 }

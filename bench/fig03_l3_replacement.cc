@@ -11,15 +11,32 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bop;
+    const BenchOptions opts = parseBenchOptions(argc, argv);
     ExperimentRunner runner;
+    SweepFarm farm(runner, opts.jobs);
     benchHeader("Figure 3: LRU and DRRIP vs the 5P baseline (4KB pages)",
                 runner);
 
     const std::vector<std::pair<std::string, L3PolicyKind>> policies = {
         {"LRU", L3PolicyKind::Lru}, {"DRRIP", L3PolicyKind::Drrip}};
+
+    // Prefetch pass in serial-sweep order.
+    for (const auto &[pname, policy] : policies) {
+        for (const auto &bench : benchmarkNames()) {
+            for (const int cores : {1, 2, 4}) {
+                const SystemConfig base =
+                    baselineConfig(cores, PageSize::FourKB);
+                SystemConfig cfg = base;
+                cfg.l3Policy = policy;
+                farm.submit(bench, cfg);
+                farm.submit(bench, base);
+            }
+        }
+    }
+    farm.drain();
 
     for (const auto &[pname, policy] : policies) {
         std::cout << "--- " << pname << " relative to 5P ---\n";
@@ -44,5 +61,5 @@ main()
         table.print(std::cout);
         std::cout << "\n";
     }
-    return 0;
+    return finishBench(runner, opts) ? 0 : 1;
 }

@@ -10,13 +10,15 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bop;
+    const BenchOptions opts = parseBenchOptions(argc, argv);
     ExperimentRunner runner;
+    SweepFarm farm(runner, opts.jobs);
     benchHeader("Figure 4: disabling the DL1 stride prefetcher", runner);
-    printSpeedupFigure(runner, [](SystemConfig &cfg) {
+    printSpeedupFigure(farm, [](SystemConfig &cfg) {
         cfg.dl1StridePrefetcher = false;
     });
-    return 0;
+    return finishBench(runner, opts) ? 0 : 1;
 }

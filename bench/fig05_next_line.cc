@@ -9,14 +9,16 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bop;
+    const BenchOptions opts = parseBenchOptions(argc, argv);
     ExperimentRunner runner;
+    SweepFarm farm(runner, opts.jobs);
     benchHeader("Figure 5: disabling the L2 next-line prefetcher",
                 runner);
-    printSpeedupFigure(runner, [](SystemConfig &cfg) {
+    printSpeedupFigure(farm, [](SystemConfig &cfg) {
         cfg.l2Prefetcher = L2PrefetcherKind::None;
     });
-    return 0;
+    return finishBench(runner, opts) ? 0 : 1;
 }

@@ -15,9 +15,10 @@ main(int argc, char **argv)
     using namespace bop;
     const BenchOptions opts = parseBenchOptions(argc, argv);
     ExperimentRunner runner;
+    SweepFarm farm(runner, opts.jobs);
     benchHeader("Figure 6: BO speedup over the next-line baselines",
                 runner);
-    printSpeedupFigure(runner, [](SystemConfig &cfg) {
+    printSpeedupFigure(farm, [](SystemConfig &cfg) {
         cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
     });
     return finishBench(runner, opts) ? 0 : 1;

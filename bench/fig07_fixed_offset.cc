@@ -9,24 +9,26 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bop;
+    const BenchOptions opts = parseBenchOptions(argc, argv);
     ExperimentRunner runner;
+    SweepFarm farm(runner, opts.jobs);
     benchHeader("Figure 7: BO vs fixed offsets 2..7 (geomean speedups)",
                 runner);
 
     GeomeanFigure fig;
-    fig.addVariant(runner, "BO", [](SystemConfig &cfg) {
+    fig.addVariant(farm, "BO", [](SystemConfig &cfg) {
         cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
     });
     for (int d = 2; d <= 7; ++d) {
-        fig.addVariant(runner, "D=" + std::to_string(d),
+        fig.addVariant(farm, "D=" + std::to_string(d),
                        [d](SystemConfig &cfg) {
                            cfg.l2Prefetcher = L2PrefetcherKind::FixedOffset;
                            cfg.fixedOffset = d;
                        });
     }
     fig.print();
-    return 0;
+    return finishBench(runner, opts) ? 0 : 1;
 }

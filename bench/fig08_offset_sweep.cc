@@ -19,10 +19,12 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bop;
+    const BenchOptions opts = parseBenchOptions(argc, argv);
     ExperimentRunner runner;
+    SweepFarm farm(runner, opts.jobs);
     benchHeader("Figure 8: fixed-offset sweep (4MB pages, 1 core)",
                 runner);
 
@@ -33,6 +35,21 @@ main()
     const std::vector<std::string> benches = {
         "433.milc", "459.GemsFDTD", "470.lbm", "462.libquantum"};
     const SystemConfig base = baselineConfig(1, PageSize::FourMB);
+
+    // Prefetch pass in serial-sweep order.
+    for (const auto &bench : benches) {
+        SystemConfig bo = base;
+        bo.l2Prefetcher = L2PrefetcherKind::BestOffset;
+        farm.submit(bench, bo);
+        farm.submit(bench, base);
+        for (int d = 2; d <= 256; d += step) {
+            SystemConfig cfg = base;
+            cfg.l2Prefetcher = L2PrefetcherKind::FixedOffset;
+            cfg.fixedOffset = d;
+            farm.submit(bench, cfg);
+        }
+    }
+    farm.drain();
 
     for (const auto &bench : benches) {
         SystemConfig bo = base;
@@ -52,5 +69,5 @@ main()
         table.print(std::cout);
         std::cout << "\n";
     }
-    return 0;
+    return finishBench(runner, opts) ? 0 : 1;
 }

@@ -9,20 +9,22 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bop;
+    const BenchOptions opts = parseBenchOptions(argc, argv);
     ExperimentRunner runner;
+    SweepFarm farm(runner, opts.jobs);
     benchHeader("Figure 9: BADSCORE sweep (geomean BO speedups)", runner);
 
     GeomeanFigure fig;
     for (const int bad : {0, 1, 2, 5, 10}) {
-        fig.addVariant(runner, "BADSCORE=" + std::to_string(bad),
+        fig.addVariant(farm, "BADSCORE=" + std::to_string(bad),
                        [bad](SystemConfig &cfg) {
                            cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
                            cfg.bo.badScore = bad;
                        });
     }
     fig.print();
-    return 0;
+    return finishBench(runner, opts) ? 0 : 1;
 }

@@ -9,21 +9,23 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bop;
+    const BenchOptions opts = parseBenchOptions(argc, argv);
     ExperimentRunner runner;
+    SweepFarm farm(runner, opts.jobs);
     benchHeader("Figure 10: RR table size sweep (geomean BO speedups)",
                 runner);
 
     GeomeanFigure fig;
     for (const std::size_t entries : {32u, 64u, 128u, 256u, 512u}) {
-        fig.addVariant(runner, "RR=" + std::to_string(entries),
+        fig.addVariant(farm, "RR=" + std::to_string(entries),
                        [entries](SystemConfig &cfg) {
                            cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
                            cfg.bo.rrEntries = entries;
                        });
     }
     fig.print();
-    return 0;
+    return finishBench(runner, opts) ? 0 : 1;
 }

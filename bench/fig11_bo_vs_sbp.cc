@@ -13,13 +13,14 @@ main(int argc, char **argv)
     using namespace bop;
     const BenchOptions opts = parseBenchOptions(argc, argv);
     ExperimentRunner runner;
+    SweepFarm farm(runner, opts.jobs);
     benchHeader("Figure 11: BO vs SBP (geomean speedups)", runner);
 
     GeomeanFigure fig;
-    fig.addVariant(runner, "BO", [](SystemConfig &cfg) {
+    fig.addVariant(farm, "BO", [](SystemConfig &cfg) {
         cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
     });
-    fig.addVariant(runner, "SBP", [](SystemConfig &cfg) {
+    fig.addVariant(farm, "SBP", [](SystemConfig &cfg) {
         cfg.l2Prefetcher = L2PrefetcherKind::Sandbox;
     });
     fig.print();

@@ -14,7 +14,22 @@ main(int argc, char **argv)
     using namespace bop;
     const BenchOptions opts = parseBenchOptions(argc, argv);
     ExperimentRunner runner;
+    SweepFarm farm(runner, opts.jobs);
     benchHeader("Figure 12: BO speedup relative to SBP", runner);
+
+    // Prefetch pass in serial-sweep order.
+    for (const auto &bench : benchmarkNames()) {
+        for (const auto &[cores, page] : baselineGrid()) {
+            const SystemConfig base = baselineConfig(cores, page);
+            SystemConfig bo = base;
+            bo.l2Prefetcher = L2PrefetcherKind::BestOffset;
+            SystemConfig sbp = base;
+            sbp.l2Prefetcher = L2PrefetcherKind::Sandbox;
+            farm.submit(bench, bo);
+            farm.submit(bench, sbp);
+        }
+    }
+    farm.drain();
 
     TextTable table;
     std::vector<std::string> header = {"benchmark"};

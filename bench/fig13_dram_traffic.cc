@@ -16,9 +16,26 @@ main(int argc, char **argv)
     using namespace bop;
     const BenchOptions opts = parseBenchOptions(argc, argv);
     ExperimentRunner runner;
+    SweepFarm farm(runner, opts.jobs);
     benchHeader("Figure 13: DRAM accesses per 1000 instructions "
                 "(4KB pages, 1 core)",
                 runner);
+
+    // Prefetch pass in serial-sweep order.
+    {
+        const SystemConfig baseCfg = baselineConfig(1, PageSize::FourKB);
+        for (const auto &bench : memoryHeavyBenchmarks()) {
+            for (const auto kind :
+                 {L2PrefetcherKind::None, L2PrefetcherKind::NextLine,
+                  L2PrefetcherKind::BestOffset,
+                  L2PrefetcherKind::Sandbox}) {
+                SystemConfig cfg = baseCfg;
+                cfg.l2Prefetcher = kind;
+                farm.submit(bench, cfg);
+            }
+        }
+        farm.drain();
+    }
 
     TextTable table;
     table.row("benchmark", "no-prefetch", "next-line", "BO", "SBP");

@@ -6,15 +6,21 @@
 
 #include <iostream>
 
+#include "bench_common.hh"
 #include "common/table.hh"
 #include "core/best_offset.hh"
 #include "harness/experiment.hh"
 #include "sim/config.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bop;
+
+    // No simulations here, but the CLI stays uniform with the other
+    // benches (an empty record array is still a valid artifact).
+    const BenchOptions opts = parseBenchOptions(argc, argv);
+    ExperimentRunner runner;
 
     std::cout << "=== Table 1: baseline microarchitecture ===\n\n";
     const SystemConfig cfg = baselineConfig(1, PageSize::FourKB);
@@ -66,5 +72,5 @@ main()
     t2.row("scores", std::to_string(makeOffsetList(bo.maxOffset).size()));
     t2.row("offset list", "1..256, prime factors <= 5 (Sec. 4.2)");
     t2.print(std::cout);
-    return 0;
+    return finishBench(runner, opts) ? 0 : 1;
 }

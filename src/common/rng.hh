@@ -91,6 +91,80 @@ class Rng
     std::uint64_t s1 = 0;
 };
 
+/**
+ * Rng with a small refill buffer. Draw-heavy consumers (the synthetic
+ * trace generators draw several values per instruction) refill the
+ * buffer in one tight loop — the xorshift recurrences of consecutive
+ * draws pipeline instead of being interleaved with consumer branches —
+ * and then hand values out from plain array reads.
+ *
+ * The draw *stream* is exactly Rng's for the same seed: the buffer is
+ * filled in generation order and consumed in order, and below()/
+ * range()/chance() use Rng's formulas verbatim on the buffered next().
+ * Draw order is load-bearing for reproducibility (every golden run
+ * stat pins it), so buffering may batch draws but never reorder them.
+ */
+class BufferedRng
+{
+  public:
+    explicit BufferedRng(std::uint64_t seed = 0x5eed) : rng(seed) {}
+
+    /** Re-seed deterministically; undrawn buffered values are dropped
+     *  (the stream restarts exactly like a fresh Rng(seed)). */
+    void
+    reseed(std::uint64_t seed)
+    {
+        rng.reseed(seed);
+        pos = bufferSize;
+    }
+
+    /** Next raw 64-bit value (same stream as Rng::next). */
+    std::uint64_t
+    next()
+    {
+        if (pos == bufferSize)
+            refill();
+        return buf[pos++];
+    }
+
+    /** Uniform integer in [0, bound) (bound > 0). */
+    std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw: true with probability p (clamped to [0,1]). */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return static_cast<double>(next() >> 11) *
+                   (1.0 / 9007199254740992.0) < p;
+    }
+
+  private:
+    static constexpr unsigned bufferSize = 16;
+
+    void
+    refill()
+    {
+        for (unsigned i = 0; i < bufferSize; ++i)
+            buf[i] = rng.next();
+        pos = 0;
+    }
+
+    Rng rng;
+    std::uint64_t buf[bufferSize] = {};
+    unsigned pos = bufferSize; ///< == bufferSize when empty
+};
+
 } // namespace bop
 
 #endif // BOP_COMMON_RNG_HH

@@ -19,6 +19,15 @@ class RecordParser
   public:
     explicit RecordParser(std::istream &in_) : in(in_) {}
 
+    ParsedRunRecord parseOne()
+    {
+        ParsedRunRecord record = parseRecord();
+        skipSpace();
+        if (peek() != EOF)
+            fail("trailing characters after the record");
+        return record;
+    }
+
     std::vector<ParsedRunRecord> parse()
     {
         std::vector<ParsedRunRecord> records;
@@ -270,6 +279,12 @@ parseRunRecords(std::istream &in)
     return RecordParser(in).parse();
 }
 
+ParsedRunRecord
+parseFlatRecord(std::istream &in)
+{
+    return RecordParser(in).parseOne();
+}
+
 std::vector<ParsedRunRecord>
 parseRunRecordsFile(const std::string &path)
 {
@@ -314,10 +329,14 @@ diffRunRecords(const std::vector<ParsedRunRecord> &oldRecords,
                       /*relative=*/true, options.dramRelative,
                       result.flagged);
         // Engine throughput is only comparable between runs ticked on
-        // the same number of worker threads (records predating the
-        // field read as single-threaded).
+        // the same number of worker threads AND scheduled under the
+        // same sweep-farm jobs count — both oversubscribe the host the
+        // same way wall clock notices (records predating either field
+        // read as 1).
         if (lookupNumber(oldRecord, "threads", 1.0) ==
-            lookupNumber(newRecord, "threads", 1.0)) {
+                lookupNumber(newRecord, "threads", 1.0) &&
+            lookupNumber(oldRecord, "jobs", 1.0) ==
+                lookupNumber(newRecord, "jobs", 1.0)) {
             compareDropMetric(oldRecord, newRecord, key,
                               "sim_mcycles_per_s",
                               options.throughputDropRelative,

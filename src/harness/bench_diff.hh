@@ -44,6 +44,14 @@ struct ParsedRunRecord
  */
 std::vector<ParsedRunRecord> parseRunRecords(std::istream &in);
 
+/**
+ * Parse a single flat JSON object ("{...}", same subset as the array
+ * parser). The `bopsim --serve` front end uses this for its
+ * newline-delimited job lines. Throws std::runtime_error on
+ * malformed input or trailing garbage after the object.
+ */
+ParsedRunRecord parseFlatRecord(std::istream &in);
+
 /** parseRunRecords on a file; throws when the file cannot be read. */
 std::vector<ParsedRunRecord> parseRunRecordsFile(const std::string &path);
 

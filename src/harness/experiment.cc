@@ -94,31 +94,106 @@ makeTraces(const std::string &benchmark, const SystemConfig &cfg)
     return traces;
 }
 
-const RunStats &
-ExperimentRunner::run(const std::string &benchmark, const SystemConfig &cfg)
+std::string
+ExperimentRunner::runKey(const std::string &benchmark,
+                         const SystemConfig &cfg, const Budget &b)
 {
-    const std::string key = benchmark + "##" + configFingerprint(cfg);
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
+    // Budgets are part of the design point: the --serve front end can
+    // carry a different budget per job line, and memo hits must never
+    // conflate a short run with a long one.
+    return benchmark + "##" + configFingerprint(cfg) + "##" +
+           std::to_string(b.warmup) + "+" + std::to_string(b.measure);
+}
 
+const RunRecord *
+ExperimentRunner::memoised(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lk(m);
+    auto it = cache.find(key);
+    return it == cache.end() ? nullptr : &it->second;
+}
+
+long
+ExperimentRunner::reserveJobIndex()
+{
+    std::lock_guard<std::mutex> lk(m);
+    return nextJobIndex++;
+}
+
+RunRecord
+ExperimentRunner::simulateRecord(const std::string &benchmark,
+                                 const SystemConfig &cfg,
+                                 const Budget &b) const
+{
     System system(cfg, makeTraces(benchmark, cfg));
     const auto t0 = std::chrono::steady_clock::now();
-    RunStats stats = system.run(budget.warmup, budget.measure);
+    RunStats stats = system.run(b.warmup, b.measure);
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
             .count();
-    runRecords.push_back({benchmark, cfg.describe(), stats,
-                          /*traceSource=*/"", system.threadCount(),
-                          wall});
+    RunRecord record{benchmark, cfg.describe(), stats,
+                     /*traceSource=*/"", system.threadCount(), wall};
 
     if (std::getenv("BOP_VERBOSE")) {
         std::fprintf(stderr, "  [run] %-16s %-44s IPC=%.3f\n",
                      benchmark.c_str(), cfg.describe().c_str(),
                      stats.ipc());
     }
-    return cache.emplace(key, stats).first->second;
+    return record;
+}
+
+void
+ExperimentRunner::commitJob(const std::string &key, RunRecord record)
+{
+    std::lock_guard<std::mutex> lk(m);
+    runRecords.push_back(record);
+    cache.emplace(key, std::move(record));
+}
+
+const RunStats &
+ExperimentRunner::run(const std::string &benchmark, const SystemConfig &cfg)
+{
+    return run(benchmark, cfg, budget).stats;
+}
+
+const RunRecord &
+ExperimentRunner::run(const std::string &benchmark, const SystemConfig &cfg,
+                      const Budget &b)
+{
+    const std::string key = runKey(benchmark, cfg, b);
+
+    std::unique_lock<std::mutex> lk(m);
+    for (;;) {
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+        if (inflight.insert(key).second)
+            break; // we won the latch; simulate outside the lock
+        // Someone else is simulating this exact design point: wait
+        // for their commit instead of duplicating the work.
+        cv.wait(lk);
+    }
+    lk.unlock();
+
+    RunRecord record;
+    try {
+        record = simulateRecord(benchmark, cfg, b);
+    } catch (...) {
+        // Release the latch so waiters retry (and likely rethrow the
+        // same error themselves) instead of blocking forever.
+        lk.lock();
+        inflight.erase(key);
+        cv.notify_all();
+        throw;
+    }
+
+    lk.lock();
+    runRecords.push_back(record);
+    auto committed = cache.emplace(key, std::move(record)).first;
+    inflight.erase(key);
+    cv.notify_all();
+    return committed->second;
 }
 
 double

@@ -8,13 +8,23 @@
  * micro-benchmark), instruction budgets (overridable through the
  * BOP_WARMUP / BOP_INSTR environment variables), and a memoising runner
  * so figures that share baselines do not re-simulate them.
+ *
+ * The runner is thread-safe: the sweep farm (sweep_farm.hh) and the
+ * `bopsim --serve` front end call it from worker threads. A single
+ * mutex guards the memo cache and record vector, and a per-key
+ * in-flight latch makes concurrent run() calls for the same design
+ * point simulate it exactly once (late arrivals block until the
+ * winner commits).
  */
 
 #ifndef BOP_HARNESS_EXPERIMENT_HH
 #define BOP_HARNESS_EXPERIMENT_HH
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -64,7 +74,7 @@ std::string configFingerprint(const SystemConfig &cfg);
 std::vector<std::unique_ptr<TraceSource>>
 makeTraces(const std::string &benchmark, const SystemConfig &cfg);
 
-/** Memoising simulation runner. */
+/** Memoising, thread-safe simulation runner. */
 class ExperimentRunner
 {
   public:
@@ -77,6 +87,15 @@ class ExperimentRunner
     const RunStats &run(const std::string &benchmark,
                         const SystemConfig &cfg);
 
+    /**
+     * Same, with an explicit per-job budget (the --serve front end
+     * carries budgets per job line) and the full memoised record.
+     * Safe to call concurrently: the in-flight latch guarantees each
+     * distinct (benchmark, config, budget) simulates exactly once.
+     */
+    const RunRecord &run(const std::string &benchmark,
+                         const SystemConfig &cfg, const Budget &b);
+
     /** Speedup of @p cfg over @p base for one benchmark (IPC ratio). */
     double speedup(const std::string &benchmark, const SystemConfig &cfg,
                    const SystemConfig &base);
@@ -88,25 +107,77 @@ class ExperimentRunner
 
     const Budget &budgets() const { return budget; }
 
-    /** One record per actual (non-memoised) simulation, in run order. */
+    /** Memo key of one design point (benchmark, config, budget). */
+    static std::string runKey(const std::string &benchmark,
+                              const SystemConfig &cfg, const Budget &b);
+
+    /** Memo key under this runner's own budget. */
+    std::string
+    runKey(const std::string &benchmark, const SystemConfig &cfg) const
+    {
+        return runKey(benchmark, cfg, budget);
+    }
+
+    /** Cached record for @p key, or nullptr (pointer stays valid). */
+    const RunRecord *memoised(const std::string &key) const;
+
+    /**
+     * Next farm job index (monotone per runner). Reserved at
+     * submission time so job_index depends only on submission order,
+     * never on worker scheduling.
+     */
+    long reserveJobIndex();
+
+    /**
+     * Simulate one design point without touching any shared state:
+     * the leaf the sweep farm runs on worker threads. Returns a
+     * record with stats, threads and wall clock filled in; memo/
+     * record bookkeeping is the caller's job (commitJob()).
+     */
+    RunRecord simulateRecord(const std::string &benchmark,
+                             const SystemConfig &cfg,
+                             const Budget &b) const;
+
+    RunRecord
+    simulateRecord(const std::string &benchmark,
+                   const SystemConfig &cfg) const
+    {
+        return simulateRecord(benchmark, cfg, budget);
+    }
+
+    /** Commit a farm job: append its record and memoise it under key. */
+    void commitJob(const std::string &key, RunRecord record);
+
+    /**
+     * One record per actual (non-memoised) simulation, in commit
+     * order. Only read this when no jobs are in flight (after a farm
+     * drain / worker join); the reference bypasses the runner lock.
+     */
     const std::vector<RunRecord> &records() const { return runRecords; }
 
     /** Append a record produced outside run() (e.g. direct System use). */
     void addRecord(RunRecord record)
     {
+        std::lock_guard<std::mutex> lk(m);
         runRecords.push_back(std::move(record));
     }
 
     /** Write all records to @p path as JSON (see json_report.hh). */
     bool writeJson(const std::string &path) const
     {
+        std::lock_guard<std::mutex> lk(m);
         return writeRunRecordsFile(path, runRecords);
     }
 
   private:
     Budget budget;
-    std::map<std::string, RunStats> cache;
+
+    mutable std::mutex m;
+    std::condition_variable cv;    ///< latch release / cache commit
+    std::set<std::string> inflight; ///< keys being simulated right now
+    std::map<std::string, RunRecord> cache;
     std::vector<RunRecord> runRecords;
+    long nextJobIndex = 0;
 };
 
 } // namespace bop

@@ -65,7 +65,10 @@ writeRunRecord(std::ostream &os, const RunRecord &record)
        << "\"l3_channel_stalls\": " << s.l3ChannelStalls << ", "
        << "\"bo_final_offset\": " << s.boFinalOffset << ", "
        << "\"threads\": " << record.threads << ", "
+       << "\"jobs\": " << record.jobs << ", "
+       << "\"job_index\": " << record.jobIndex << ", "
        << "\"wall_seconds\": " << record.wallSeconds << ", "
+       << "\"queue_wait_seconds\": " << record.queueWaitSeconds << ", "
        << "\"sim_mcycles_per_s\": " << record.mcyclesPerSecond() << ", "
        << "\"retired_minstr_per_s\": " << record.minstrPerSecond()
        << "}";

@@ -52,6 +52,25 @@ struct RunRecord
      */
     double wallSeconds = 0.0;
 
+    /**
+     * Sweep-farm worker count the run was scheduled under (1 =
+     * serial). Like threads, a host-side knob: simulated statistics
+     * and job_index are identical for every value, but wall clock is
+     * not, so bench_diff only compares throughput between records
+     * with equal jobs counts.
+     */
+    int jobs = 1;
+
+    /**
+     * Position of this job in farm submission order (-1 when the run
+     * did not go through the farm). Deterministic: depends only on
+     * the submission sequence, never on worker scheduling.
+     */
+    long jobIndex = -1;
+
+    /** Seconds between farm submission and simulation start. */
+    double queueWaitSeconds = 0.0;
+
     /** Simulated megacycles per wall second (0 when not measured). */
     double
     mcyclesPerSecond() const

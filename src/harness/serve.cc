@@ -1,0 +1,265 @@
+#include "harness/serve.hh"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/bench_diff.hh"
+#include "harness/json_report.hh"
+#include "sim/parallel.hh"
+#include "trace/workloads.hh"
+
+namespace bop
+{
+
+bool
+parseL2PrefetcherName(const std::string &name, L2PrefetcherKind &kind)
+{
+    using K = L2PrefetcherKind;
+    if (name == "none")
+        kind = K::None;
+    else if (name == "next-line" || name == "nl")
+        kind = K::NextLine;
+    else if (name == "fixed")
+        kind = K::FixedOffset;
+    else if (name == "bo")
+        kind = K::BestOffset;
+    else if (name == "bo-dpc2")
+        kind = K::BestOffsetDpc2;
+    else if (name == "sbp" || name == "sandbox")
+        kind = K::Sandbox;
+    else if (name == "stream")
+        kind = K::Stream;
+    else if (name == "streambuf")
+        kind = K::StreamBuffer;
+    else if (name == "fdp")
+        kind = K::Fdp;
+    else if (name == "acdc" || name == "ghb")
+        kind = K::Acdc;
+    else
+        return false;
+    return true;
+}
+
+namespace
+{
+
+/** One accepted job, ready to simulate. */
+struct ServeJob
+{
+    std::string benchmark;
+    SystemConfig cfg;
+    Budget budget;
+};
+
+bool
+knownBenchmark(const std::string &name)
+{
+    for (const std::string &bench : benchmarkNames()) {
+        if (bench == name)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Decode one job line into a ServeJob. The field vocabulary mirrors
+ * bopsim's CLI options (snake_cased); unknown fields reject the line
+ * so a typo never silently simulates the wrong design point.
+ */
+bool
+parseJobLine(const std::string &line, const Budget &defaultBudget,
+             ServeJob &job, std::string &error)
+{
+    ParsedRunRecord fields;
+    try {
+        std::istringstream is(line);
+        fields = parseFlatRecord(is);
+    } catch (const std::exception &e) {
+        error = e.what();
+        return false;
+    }
+
+    // bopsim's defaults: paper baseline topology, BO prefetcher.
+    job.cfg = SystemConfig{};
+    job.cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
+    job.budget = defaultBudget;
+    job.benchmark.clear();
+
+    for (const auto &kv : fields.strings) {
+        const std::string &key = kv.first;
+        const std::string &value = kv.second;
+        if (key == "workload") {
+            job.benchmark = value;
+        } else if (key == "prefetcher") {
+            if (!parseL2PrefetcherName(value, job.cfg.l2Prefetcher)) {
+                error = "unknown prefetcher '" + value + "'";
+                return false;
+            }
+        } else if (key == "page") {
+            if (value == "4k" || value == "4K")
+                job.cfg.pageSize = PageSize::FourKB;
+            else if (value == "4m" || value == "4M")
+                job.cfg.pageSize = PageSize::FourMB;
+            else {
+                error = "page must be \"4k\" or \"4m\"";
+                return false;
+            }
+        } else if (key == "l3") {
+            if (value == "5p")
+                job.cfg.l3Policy = L3PolicyKind::P5;
+            else if (value == "lru")
+                job.cfg.l3Policy = L3PolicyKind::Lru;
+            else if (value == "drrip")
+                job.cfg.l3Policy = L3PolicyKind::Drrip;
+            else {
+                error = "l3 must be \"5p\", \"lru\" or \"drrip\"";
+                return false;
+            }
+        } else {
+            error = "unknown string field \"" + key + "\"";
+            return false;
+        }
+    }
+
+    for (const auto &kv : fields.numbers) {
+        const std::string &key = kv.first;
+        const double value = kv.second;
+        const auto asInt = static_cast<int>(value);
+        const auto asU64 = static_cast<std::uint64_t>(value);
+        if (key == "offset")
+            job.cfg.fixedOffset = asInt;
+        else if (key == "cores")
+            job.cfg.activeCores = asInt;
+        else if (key == "num_cores")
+            job.cfg.numCores = asInt;
+        else if (key == "channels")
+            job.cfg.numChannels = asInt;
+        else if (key == "dl1_stride")
+            job.cfg.dl1StridePrefetcher = value != 0.0;
+        else if (key == "seed")
+            job.cfg.seed = asU64;
+        else if (key == "threads")
+            job.cfg.numThreads = asInt;
+        else if (key == "bo_badscore")
+            job.cfg.bo.badScore = asInt;
+        else if (key == "bo_rr")
+            job.cfg.bo.rrEntries = static_cast<std::size_t>(asU64);
+        else if (key == "bo_degree")
+            job.cfg.bo.degree = asInt;
+        else if (key == "bo_adaptive")
+            job.cfg.bo.adaptiveBadScore = value != 0.0;
+        else if (key == "bo_coverage")
+            job.cfg.bo.coverageWeight = asInt;
+        else if (key == "warmup")
+            job.budget.warmup = asU64;
+        else if (key == "instr")
+            job.budget.measure = asU64;
+        else {
+            error = "unknown numeric field \"" + key + "\"";
+            return false;
+        }
+    }
+
+    if (job.benchmark.empty()) {
+        error = "missing required field \"workload\"";
+        return false;
+    }
+    if (!knownBenchmark(job.benchmark)) {
+        error = "unknown workload '" + job.benchmark + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+blankLine(const std::string &line)
+{
+    for (const char c : line) {
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            return false;
+    }
+    return true;
+}
+
+/** Report one failed job on both streams (outMutex covers both: the
+ *  diagnostic stream is written by reader and workers alike). */
+void
+reportError(std::ostream &out, std::ostream &diag, std::mutex &outMutex,
+            const std::string &error, long lineNo)
+{
+    std::lock_guard<std::mutex> lk(outMutex);
+    diag << "serve: line " << lineNo << ": " << error << "\n";
+    out << "{\"error\": \"" << jsonEscape(error)
+        << "\", \"line\": " << lineNo << "}" << std::endl;
+}
+
+} // namespace
+
+int
+serveLoop(std::istream &in, std::ostream &out, ExperimentRunner &runner,
+          const ServeOptions &options, std::ostream &diag)
+{
+    const unsigned workers =
+        options.jobs < 1 ? 1u : static_cast<unsigned>(options.jobs);
+    TaskPool pool(workers, options.backlog);
+
+    std::mutex outMutex;
+    std::atomic<int> failed{0};
+    int rejected = 0;
+    long accepted = 0;
+    long lineNo = 0;
+    std::string line;
+
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (blankLine(line))
+            continue;
+
+        ServeJob job;
+        std::string error;
+        if (!parseJobLine(line, options.defaultBudget, job, error)) {
+            ++rejected;
+            reportError(out, diag, outMutex, error, lineNo);
+            continue;
+        }
+
+        const long jobIndex = accepted++;
+        const auto submitted = std::chrono::steady_clock::now();
+        // submit() blocks while the backlog is full: backpressure on
+        // the reader bounds in-flight jobs (and so memory) for
+        // arbitrarily long batches.
+        pool.submit([&runner, &out, &outMutex, &diag, &failed,
+                     &options, job, jobIndex, lineNo, submitted] {
+            const double queueWait =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - submitted)
+                    .count();
+            try {
+                // The runner's in-flight latch dedups identical
+                // design points across concurrent jobs; memo hits
+                // answer without simulating.
+                RunRecord record =
+                    runner.run(job.benchmark, job.cfg, job.budget);
+                record.jobs = static_cast<int>(
+                    options.jobs < 1 ? 1 : options.jobs);
+                record.jobIndex = jobIndex;
+                record.queueWaitSeconds = queueWait;
+                std::lock_guard<std::mutex> lk(outMutex);
+                writeRunRecord(out, record);
+                out << std::endl;
+            } catch (const std::exception &e) {
+                ++failed;
+                reportError(out, diag, outMutex, e.what(), lineNo);
+            }
+        });
+    }
+
+    pool.drain(); // graceful shutdown: every accepted job answers
+    return rejected + failed.load();
+}
+
+} // namespace bop

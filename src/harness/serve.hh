@@ -1,0 +1,61 @@
+/**
+ * @file
+ * `bopsim --serve`: a batch simulation service front end.
+ *
+ * Reads newline-delimited JSON job objects from a stream (stdin, or a
+ * socket bridged to stdin via `nc`/`socat`), schedules them on the
+ * sweep farm's worker pool with bounded in-flight backpressure, and
+ * streams one run-record JSON object back per job as it completes.
+ * This is the "thousands of submitted jobs" shape from the roadmap:
+ * the reader thread blocks on TaskPool::submit when the backlog is
+ * full, so memory stays bounded no matter how long the job stream is.
+ *
+ * Job object subset (flat strings/numbers, same grammar bench_diff
+ * parses; only "workload" is required):
+ *
+ *   {"workload": "462.libquantum", "prefetcher": "bo", "cores": 2,
+ *    "page": "4m", "seed": 7, "warmup": 20000, "instr": 80000}
+ *
+ * Responses carry `job_index` (the job's ordinal among accepted lines
+ * — deterministic, scheduling-independent) and arrive in completion
+ * order. Malformed lines are rejected with a diagnostic on @p diag
+ * and an {"error", "line"} object on the response stream; the batch
+ * keeps going. Duplicate design points within a batch simulate once
+ * (the runner's in-flight latch) but still answer one record each.
+ */
+
+#ifndef BOP_HARNESS_SERVE_HH
+#define BOP_HARNESS_SERVE_HH
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "harness/experiment.hh"
+
+namespace bop
+{
+
+/** Parse an L2 prefetcher name (bopsim's --prefetcher vocabulary). */
+bool parseL2PrefetcherName(const std::string &name,
+                           L2PrefetcherKind &kind);
+
+/** Scheduling knobs for one serve session. */
+struct ServeOptions
+{
+    int jobs = 1;            ///< worker threads
+    std::size_t backlog = 0; ///< in-flight bound (0 means 4 * jobs)
+    Budget defaultBudget;    ///< for jobs without warmup/instr fields
+};
+
+/**
+ * Run the service loop until @p in hits EOF, then drain gracefully.
+ * Returns the number of rejected or failed jobs (0 = clean batch).
+ */
+int serveLoop(std::istream &in, std::ostream &out,
+              ExperimentRunner &runner, const ServeOptions &options,
+              std::ostream &diag);
+
+} // namespace bop
+
+#endif // BOP_HARNESS_SERVE_HH

@@ -1,0 +1,68 @@
+#include "harness/sweep_farm.hh"
+
+namespace bop
+{
+
+SweepFarm::SweepFarm(ExperimentRunner &runner, int jobs_,
+                     std::size_t backlog)
+    : runner_(runner), jobs(jobs_ < 1 ? 1 : jobs_)
+{
+    if (jobs > 1)
+        pool = std::make_unique<TaskPool>(static_cast<unsigned>(jobs),
+                                          backlog);
+}
+
+SweepFarm::~SweepFarm()
+{
+    drain();
+}
+
+void
+SweepFarm::submit(const std::string &benchmark, const SystemConfig &cfg)
+{
+    const std::string key = runner_.runKey(benchmark, cfg);
+    if (runner_.memoised(key) || !submitted.insert(key).second)
+        return;
+
+    const long jobIndex = runner_.reserveJobIndex();
+
+    if (!pool) {
+        // Inline serial path: identical to the pre-farm sweep, and the
+        // memo is warm immediately (later duplicate submissions of the
+        // same point short-circuit above).
+        RunRecord record = runner_.simulateRecord(benchmark, cfg);
+        record.jobs = 1;
+        record.jobIndex = jobIndex;
+        runner_.commitJob(key, std::move(record));
+        return;
+    }
+
+    slots.push_back(Slot{key, benchmark, cfg, jobIndex,
+                         std::chrono::steady_clock::now(), RunRecord{}});
+    Slot *slot = &slots.back();
+    pool->submit([this, slot] {
+        const double queueWait =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - slot->submitted)
+                .count();
+        RunRecord record =
+            runner_.simulateRecord(slot->benchmark, slot->cfg);
+        record.jobs = jobs;
+        record.jobIndex = slot->jobIndex;
+        record.queueWaitSeconds = queueWait;
+        slot->record = std::move(record);
+    });
+}
+
+void
+SweepFarm::drain()
+{
+    if (!pool)
+        return; // inline jobs committed at submit time
+    pool->drain();
+    for (Slot &slot : slots)
+        runner_.commitJob(slot.key, std::move(slot.record));
+    slots.clear();
+}
+
+} // namespace bop

@@ -151,6 +151,20 @@ class MemHierarchy : public CoreMemInterface
         horizonStaleFlag.store(false, std::memory_order_relaxed);
     }
 
+    /**
+     * Requests queued from @p core into the uncore (its toL2 FIFO
+     * depth). Every core-tick entry point that hands the hierarchy
+     * work (coreLoad, coreStore, the DL1 prefetcher) lands here, so a
+     * depth change is exactly "this core's tick produced uncore work"
+     * — the stop condition of System's batched fast-forward epochs.
+     * Reads only the caller's own side, so concurrent per-core ticks
+     * may poll it race-free.
+     */
+    std::size_t pendingCoreRequests(CoreId core) const
+    {
+        return sides[static_cast<std::size_t>(core)]->toL2.size();
+    }
+
     /** Cumulative counters (take deltas across windows for results). */
     RunStats collectStats() const;
 

@@ -82,4 +82,70 @@ WorkerPool::helperLoop(unsigned self)
     }
 }
 
+TaskPool::TaskPool(unsigned workers_, std::size_t maxBacklog_)
+    : workers(workers_ ? workers_ : 1),
+      maxBacklog(maxBacklog_ ? maxBacklog_ : 4 * (workers_ ? workers_ : 1))
+{
+    threads.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        threads.emplace_back([this] { workerLoop(); });
+}
+
+TaskPool::~TaskPool()
+{
+    drain();
+    {
+        std::lock_guard<std::mutex> lk(m);
+        stopping = true;
+    }
+    cvTask.notify_all();
+    for (std::thread &t : threads)
+        t.join();
+}
+
+void
+TaskPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lk(m);
+        cvSpace.wait(lk, [this] { return queue.size() < maxBacklog; });
+        queue.push_back(std::move(task));
+    }
+    cvTask.notify_one();
+}
+
+void
+TaskPool::drain()
+{
+    std::unique_lock<std::mutex> lk(m);
+    cvIdle.wait(lk, [this] { return queue.empty() && running == 0; });
+}
+
+void
+TaskPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(m);
+            cvTask.wait(lk, [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping, and nothing left to run
+            task = std::move(queue.front());
+            queue.pop_front();
+            ++running;
+        }
+        cvSpace.notify_one();
+
+        task();
+
+        {
+            std::lock_guard<std::mutex> lk(m);
+            --running;
+            if (queue.empty() && running == 0)
+                cvIdle.notify_all();
+        }
+    }
+}
+
 } // namespace bop

@@ -22,6 +22,8 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <type_traits>
@@ -85,6 +87,61 @@ class WorkerPool
     std::size_t jobItems = 0;
     std::uint64_t epoch = 0; ///< bumped per runImpl; helpers track it
     unsigned pending = 0;    ///< helpers still working this epoch
+    bool stopping = false;
+};
+
+/**
+ * Dynamic task executor for coarse-grain jobs (whole simulations),
+ * complementing WorkerPool's static per-epoch striping. N dedicated
+ * worker threads pull tasks from a FIFO queue; the caller does NOT
+ * participate — it keeps submitting while workers run, which is what
+ * lets a sweep overlap job generation with simulation.
+ *
+ * submit() applies backpressure: it blocks while the queue already
+ * holds maxBacklog tasks, bounding memory for arbitrarily long job
+ * streams (the --serve front end feeds thousands of jobs through a
+ * pool of a few workers). drain() is the shutdown-side barrier: it
+ * returns once the queue is empty and every in-flight task finished.
+ *
+ * Tasks must synchronise any shared state themselves; the pool only
+ * guarantees each task runs exactly once, on some worker thread.
+ */
+class TaskPool
+{
+  public:
+    /**
+     * @param workers  worker thread count (>= 1).
+     * @param maxBacklog  queued-task bound submit() blocks on
+     *                    (0 means 4 * workers).
+     */
+    explicit TaskPool(unsigned workers, std::size_t maxBacklog = 0);
+    ~TaskPool(); ///< drains, then stops and joins the workers
+
+    TaskPool(const TaskPool &) = delete;
+    TaskPool &operator=(const TaskPool &) = delete;
+
+    unsigned workerCount() const { return workers; }
+    std::size_t backlogBound() const { return maxBacklog; }
+
+    /** Enqueue a task; blocks while the queue is at the backlog bound. */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and no task is running. */
+    void drain();
+
+  private:
+    void workerLoop();
+
+    const unsigned workers;
+    const std::size_t maxBacklog;
+    std::vector<std::thread> threads;
+
+    std::mutex m;
+    std::condition_variable cvTask;  ///< queue became non-empty
+    std::condition_variable cvSpace; ///< queue dropped below the bound
+    std::condition_variable cvIdle;  ///< queue empty and nothing running
+    std::deque<std::function<void()>> queue;
+    unsigned running = 0; ///< tasks currently executing
     bool stopping = false;
 };
 

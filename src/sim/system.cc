@@ -141,7 +141,22 @@ System::step()
         return;
     }
 
-    now = nextEventCycle();
+    const Cycle at = nextEventCycle();
+    // When only cores are due for a while (the uncore is idle until
+    // hierHorizon) and a retire target bounds the run, batch many core
+    // events into one pool epoch instead of paying the epoch barrier
+    // per event.
+    if (pool && stopTarget != 0 && hierHorizon > at) {
+        stepBatchedCores(at);
+        return;
+    }
+    stepAt(at);
+}
+
+void
+System::stepAt(Cycle at)
+{
+    now = at;
     // Tick only the components whose horizon is due. Skipped ticks are
     // exactly the ones the horizon contract proves are no-ops; ticking
     // anyway would be correct but wasted (the reference loop does, and
@@ -158,6 +173,81 @@ System::step()
     }
     if (hierHorizon <= now)
         hier.tick(now);
+}
+
+void
+System::stepBatchedCores(Cycle at)
+{
+    // The uncore is quiescent until hierHorizon, so until a core tick
+    // pushes it new work, every core's event schedule is independent:
+    // a core only observes other cores through the shared uncore, and
+    // its pre-batch in-flight requests complete at >= hierHorizon.
+    // Each worker therefore advances its cores event-by-event at their
+    // own horizons and stops the moment its core hands the uncore work
+    // (toL2 depth change) or core 0 hits the retire target. Ticks a
+    // core runs beyond the earliest stop are exactly the ticks the
+    // serial schedule would run later, unchanged — no input can reach
+    // the core in between. The cap keeps runUntilRetired's per-core
+    // deadlock watchdog live when the uncore is idle forever.
+    const Cycle limit = std::min(hierHorizon, at + watchdogCycles);
+    batchStopAt.assign(cores.size(), neverCycle);
+    batchTargetAt = neverCycle;
+
+    pool->run(cores.size(), [&](std::size_t c) {
+        CoreModel &core = *cores[c];
+        const CoreId id = static_cast<CoreId>(c);
+        const std::size_t work0 = hier.pendingCoreRequests(id);
+        Cycle h = coreHorizon[c];
+        while (h < limit) {
+            core.tick(h);
+            const Cycle ticked = h;
+            h = core.nextEventAt(ticked);
+            core.clearHorizonStale();
+            // Both stop conditions are checked on every tick: the tick
+            // that pushes uncore work may be the one that retires the
+            // target instruction, and the final clock must honor both.
+            bool stop = false;
+            if (hier.pendingCoreRequests(id) != work0) {
+                batchStopAt[c] = ticked;
+                stop = true;
+            }
+            if (c == 0 && core.retired() >= stopTarget) {
+                batchTargetAt = ticked; // item 0 runs on the caller
+                stop = true;
+            }
+            if (stop)
+                break;
+        }
+        coreHorizon[c] = h; // loop-final horizon; stale flag is clear
+    });
+
+    Cycle stale_min = neverCycle;
+    for (const Cycle s : batchStopAt)
+        stale_min = std::min(stale_min, s);
+
+    if (batchTargetAt != neverCycle) {
+        // Core 0 hit the target at t0. Another core may have handed
+        // the uncore work before t0; the serial schedule would have
+        // ticked the hierarchy (and the cores it feeds) in between, so
+        // rewind to the earliest stop and replay per-event up to t0.
+        // Stopped cores resume at their stored horizons; cores that
+        // ran past t0 have horizons beyond it and are not re-ticked.
+        const Cycle t0 = batchTargetAt;
+        now = std::min(stale_min, t0);
+        for (;;) {
+            const Cycle next = nextEventCycle();
+            if (next > t0)
+                break;
+            stepAt(next);
+        }
+        now = t0; // the cycle the run window ends on, exactly serial
+        return;
+    }
+
+    // No target hit: resume per-event stepping at the earliest cycle a
+    // core handed the uncore work (its reaction is due at >= that + 1),
+    // or just short of the limit when no core did.
+    now = stale_min != neverCycle ? stale_min : limit - 1;
 }
 
 void
@@ -213,25 +303,36 @@ System::runUntilRetired(std::uint64_t target)
     for (std::size_t c = 0; c < n; ++c)
         last_retired[c] = cores[c]->retired();
 
-    while (cores[0]->retired() < target) {
-        step();
-        for (std::size_t c = 0; c < n; ++c) {
-            const std::uint64_t retired = cores[c]->retired();
-            if (retired != last_retired[c]) {
-                last_retired[c] = retired;
-                last_progress[c] = now;
-            } else if (now - last_progress[c] > watchdogCycles) {
-                std::ostringstream oss;
-                oss << "System: core " << c << " made no progress for "
-                    << "1M cycles at cycle " << now << " (retired "
-                    << retired;
-                if (c == 0)
-                    oss << ", target " << target;
-                oss << ") — deadlock?";
-                throw std::runtime_error(oss.str());
+    // Arm the batched-epoch stop condition for the loop's duration
+    // (cleared again on every exit path: step() must never batch past
+    // a retire boundary armed by a previous window).
+    stopTarget = target;
+    try {
+        while (cores[0]->retired() < target) {
+            step();
+            for (std::size_t c = 0; c < n; ++c) {
+                const std::uint64_t retired = cores[c]->retired();
+                if (retired != last_retired[c]) {
+                    last_retired[c] = retired;
+                    last_progress[c] = now;
+                } else if (now - last_progress[c] > watchdogCycles) {
+                    std::ostringstream oss;
+                    oss << "System: core " << c
+                        << " made no progress for "
+                        << "1M cycles at cycle " << now << " (retired "
+                        << retired;
+                    if (c == 0)
+                        oss << ", target " << target;
+                    oss << ") — deadlock?";
+                    throw std::runtime_error(oss.str());
+                }
             }
         }
+    } catch (...) {
+        stopTarget = 0;
+        throw;
     }
+    stopTarget = 0;
 }
 
 RunStats

@@ -92,6 +92,29 @@ class System
     void runUntilRetired(std::uint64_t target);
 
     /**
+     * Set the clock to @p at and tick every component whose horizon is
+     * due (the single-event core of the fast-forward step, shared by
+     * step() and the batched-epoch replay drain).
+     */
+    void stepAt(Cycle at);
+
+    /**
+     * Batched fast-forward core epochs: when the pool is active, a
+     * retire target is set and the uncore is provably idle until
+     * hierHorizon, one pool epoch advances every core through many
+     * successive events instead of paying the two-condition-variable
+     * epoch barrier per event. Each worker ticks its cores at their
+     * own horizons while (a) the core hands the uncore no new work
+     * (its toL2 depth is unchanged — cross-core timing stays exact)
+     * and (b) core 0 has not hit the retire target. Afterwards the
+     * clock rewinds to the earliest stop and the normal per-event path
+     * replays from there, so simulated state and statistics are
+     * bit-identical to the serial schedule. @p at is the entry event
+     * cycle (== nextEventCycle()); requires hierHorizon > at.
+     */
+    void stepBatchedCores(Cycle at);
+
+    /**
      * One clock tick as a barrier-synchronized parallel epoch on the
      * worker pool. Due cores and — when the hierarchy is due — the
      * per-core ingress phases tick concurrently, then the serial
@@ -126,6 +149,17 @@ class System
      */
     std::vector<Cycle> coreHorizon;
     Cycle hierHorizon = 0;
+
+    /**
+     * Core-0 retire target of the runUntilRetired() in progress (0 =
+     * none). Batched epochs only fire while a target is set, so tests
+     * driving step() directly keep the one-event-per-step contract.
+     */
+    std::uint64_t stopTarget = 0;
+    /** Per-core batch stop cycles (neverCycle = ran to the limit). */
+    std::vector<Cycle> batchStopAt;
+    /** Cycle core 0 hit stopTarget within the batch, or neverCycle. */
+    Cycle batchTargetAt = neverCycle;
 };
 
 } // namespace bop

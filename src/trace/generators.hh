@@ -153,7 +153,9 @@ class SyntheticTrace : public TraceSource
     Addr patternAddr(StreamState &st);
 
     WorkloadSpec spec;
-    Rng rng;
+    /** Buffered so per-instruction draw bursts refill in one tight
+     *  loop; the draw stream is bit-identical to a plain Rng. */
+    BufferedRng rng;
     std::vector<StreamState> streams;
     std::vector<double> cumWeights;
     std::uint64_t loopCounter = 0;

@@ -86,5 +86,46 @@ TEST(Rng, SplitmixAvalanche)
     EXPECT_EQ(firsts.size(), 256u);
 }
 
+TEST(BufferedRng, DrawStreamMatchesPlainRng)
+{
+    // The refill buffer must be invisible: a mixed next/below/range/
+    // chance sequence draws bit-identically to an unbuffered Rng, at
+    // every phase of the 16-entry buffer.
+    Rng plain(0xabcd);
+    BufferedRng buffered(0xabcd);
+    for (int i = 0; i < 1000; ++i) {
+        switch (i % 4) {
+        case 0:
+            ASSERT_EQ(buffered.next(), plain.next()) << i;
+            break;
+        case 1:
+            ASSERT_EQ(buffered.below(7 + i % 13), plain.below(7 + i % 13))
+                << i;
+            break;
+        case 2:
+            ASSERT_EQ(buffered.range(10, 20 + i % 5),
+                      plain.range(10, 20 + i % 5))
+                << i;
+            break;
+        default:
+            ASSERT_EQ(buffered.chance(0.3), plain.chance(0.3)) << i;
+            break;
+        }
+    }
+}
+
+TEST(BufferedRng, ReseedRestartsLikeFreshRng)
+{
+    // reseed() drops the undrawn tail of the buffer: the generator
+    // workloads reset their streams mid-run and expect a clean start.
+    BufferedRng buffered(9);
+    for (int i = 0; i < 5; ++i) // mid-buffer
+        buffered.next();
+    buffered.reseed(42);
+    Rng fresh(42);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(buffered.next(), fresh.next()) << i;
+}
+
 } // namespace
 } // namespace bop

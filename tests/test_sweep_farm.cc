@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Sweep-farm / batch-service tests: the job-queue layer must keep the
+ * runner's JSON output byte-identical to a serial sweep for every
+ * worker count (timing fields aside), keep record order and job_index
+ * deterministic under arbitrary worker scheduling, simulate each
+ * design point exactly once no matter how many concurrent duplicates
+ * hammer the runner, honor the TaskPool backpressure bound, and make
+ * `bopsim --serve` reject malformed job lines with diagnostics while
+ * draining large batches gracefully.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/json_report.hh"
+#include "harness/serve.hh"
+#include "harness/sweep_farm.hh"
+#include "sim/parallel.hh"
+
+namespace bop
+{
+namespace
+{
+
+/** Small budgets so a test sweep is dozens of milliseconds, not minutes. */
+Budget
+testBudget()
+{
+    Budget b;
+    b.warmup = 2000;
+    b.measure = 8000;
+    return b;
+}
+
+/** The fig06 sweep shape on a two-benchmark, two-grid-point subset. */
+const std::vector<std::string> &
+subsetBenches()
+{
+    static const std::vector<std::string> benches = {"429.mcf",
+                                                     "470.lbm"};
+    return benches;
+}
+
+void
+submitFig06Subset(SweepFarm &farm)
+{
+    for (const std::string &bench : subsetBenches()) {
+        for (const int cores : {1, 2}) {
+            const SystemConfig base =
+                baselineConfig(cores, PageSize::FourKB);
+            SystemConfig cfg = base;
+            cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
+            farm.submit(bench, cfg);
+            farm.submit(bench, base);
+        }
+    }
+    farm.drain();
+}
+
+/**
+ * Serialize records with the host-timing fields masked: exactly the
+ * keys the --jobs byte-identity contract excludes ("jobs" varies by
+ * construction; the other four measure the host, not the simulation).
+ * job_index is NOT masked — it must match across worker counts.
+ */
+std::string
+maskedJson(const ExperimentRunner &runner)
+{
+    std::ostringstream os;
+    writeRunRecords(os, runner.records());
+    static const std::regex timing(
+        "\"(jobs|wall_seconds|queue_wait_seconds|sim_mcycles_per_s|"
+        "retired_minstr_per_s)\": [^,\\n}]+");
+    return std::regex_replace(os.str(), timing, "\"$1\": X");
+}
+
+TEST(SweepFarm, JsonByteIdenticalAcrossJobCounts)
+{
+    std::string reference;
+    for (const int jobs : {1, 2, 4, 8}) {
+        ExperimentRunner runner(testBudget());
+        {
+            SweepFarm farm(runner, jobs);
+            submitFig06Subset(farm);
+        }
+        const std::string json = maskedJson(runner);
+        if (jobs == 1) {
+            reference = json;
+            ASSERT_FALSE(reference.empty());
+        } else {
+            EXPECT_EQ(json, reference) << "--jobs " << jobs
+                                       << " diverged from serial";
+        }
+    }
+}
+
+TEST(SweepFarm, RecordOrderIsSubmissionOrder)
+{
+    // Many distinct design points with wildly different simulation
+    // costs (core counts 1/2/4), so completion order under 8 workers
+    // is effectively randomized — commit order must not care.
+    ExperimentRunner runner(testBudget());
+    std::vector<std::string> expect;
+    {
+        SweepFarm farm(runner, 8);
+        for (const std::string &bench : subsetBenches()) {
+            for (const int cores : {4, 1, 2}) {
+                for (const std::uint64_t seed : {1ull, 2ull}) {
+                    SystemConfig cfg =
+                        baselineConfig(cores, PageSize::FourKB);
+                    cfg.seed = seed;
+                    farm.submit(bench, cfg);
+                    expect.push_back(bench + "##" + cfg.describe());
+                }
+            }
+        }
+        farm.drain();
+    }
+
+    const std::vector<RunRecord> &records = runner.records();
+    ASSERT_EQ(records.size(), expect.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].workload + "##" + records[i].config,
+                  expect[i]);
+        EXPECT_EQ(records[i].jobIndex, static_cast<long>(i));
+        EXPECT_EQ(records[i].jobs, 8);
+    }
+}
+
+TEST(SweepFarm, DuplicateSubmissionsSimulateOnce)
+{
+    ExperimentRunner runner(testBudget());
+    const SystemConfig cfg = baselineConfig(1, PageSize::FourKB);
+    {
+        SweepFarm farm(runner, 4);
+        for (int i = 0; i < 20; ++i)
+            farm.submit("429.mcf", cfg);
+        farm.drain();
+        // A second round after the drain: the memo is warm now, so
+        // nothing new may be enqueued either.
+        for (int i = 0; i < 20; ++i)
+            farm.submit("429.mcf", cfg);
+        farm.drain();
+    }
+    EXPECT_EQ(runner.records().size(), 1u);
+}
+
+TEST(ExperimentRunner, ConcurrentDuplicateRunsSimulateOnce)
+{
+    // Hammer one design point from many threads: the in-flight latch
+    // must collapse all of them onto a single simulation, and every
+    // caller must see the committed record.
+    ExperimentRunner runner(testBudget());
+    const SystemConfig cfg = baselineConfig(1, PageSize::FourKB);
+    const Budget b = testBudget();
+
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 5; ++i) {
+                const RunRecord &r = runner.run("429.mcf", cfg, b);
+                // Retirement can overshoot the target by a few
+                // instructions in the final superscalar tick, never
+                // undershoot it.
+                if (r.stats.instructions < b.measure)
+                    ++mismatches;
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_EQ(runner.records().size(), 1u);
+}
+
+TEST(TaskPool, RunsEverythingAndDrainsTwice)
+{
+    TaskPool pool(4);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&done] { ++done; });
+    pool.drain();
+    EXPECT_EQ(done.load(), 100);
+    // The pool stays usable after a drain.
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&done] { ++done; });
+    pool.drain();
+    EXPECT_EQ(done.load(), 150);
+}
+
+TEST(TaskPool, SubmitBlocksWhenBacklogFull)
+{
+    // One worker, backlog 2. A blocker task pins the worker; two
+    // queued fillers reach the bound; a third submission must not
+    // return until the blocker releases (this is the memory bound the
+    // serve loop relies on for arbitrarily long job streams).
+    TaskPool pool(1, 2);
+    std::mutex m;
+    std::condition_variable cv;
+    bool release = false;
+    bool blocker_running = false;
+
+    pool.submit([&] {
+        std::unique_lock<std::mutex> lk(m);
+        blocker_running = true;
+        cv.notify_all();
+        cv.wait(lk, [&] { return release; });
+    });
+    {
+        std::unique_lock<std::mutex> lk(m);
+        cv.wait(lk, [&] { return blocker_running; });
+    }
+    pool.submit([] {});
+    pool.submit([] {});
+
+    std::atomic<bool> fourth_submitted{false};
+    std::thread submitter([&] {
+        pool.submit([] {});
+        fourth_submitted = true;
+    });
+    // The worker is pinned and the queue is at the bound, so the
+    // fourth submit cannot have gone through yet.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(fourth_submitted.load());
+
+    {
+        std::lock_guard<std::mutex> lk(m);
+        release = true;
+    }
+    cv.notify_all();
+    submitter.join();
+    EXPECT_TRUE(fourth_submitted.load());
+    pool.drain();
+}
+
+TEST(Serve, MalformedLinesRejectedWithDiagnostics)
+{
+    std::istringstream in(
+        "this is not json\n"
+        "{\"workload\": \"429.mcf\", \"bogus_knob\": 3}\n"
+        "{\"workload\": \"not-a-benchmark\"}\n"
+        "{\"prefetcher\": \"bo\"}\n"
+        "\n"
+        "{\"workload\": \"429.mcf\"}\n");
+    std::ostringstream out, diag;
+    ExperimentRunner runner(testBudget());
+    ServeOptions options;
+    options.jobs = 2;
+    options.defaultBudget = testBudget();
+
+    const int failures = serveLoop(in, out, runner, options, diag);
+    EXPECT_EQ(failures, 4);
+
+    // One {"error", "line"} object per bad line, pointing at it.
+    const std::string response = out.str();
+    for (const int line : {1, 2, 3, 4}) {
+        EXPECT_NE(response.find("\"line\": " + std::to_string(line)),
+                  std::string::npos)
+            << response;
+        EXPECT_NE(diag.str().find("serve: line " + std::to_string(line)),
+                  std::string::npos)
+            << diag.str();
+    }
+    // The good line (6, after the blank) still simulated.
+    EXPECT_NE(response.find("\"job_index\": 0"), std::string::npos);
+    EXPECT_EQ(runner.records().size(), 1u);
+}
+
+TEST(Serve, ThousandJobBatchDedupsAndDrains)
+{
+    // 1000 jobs cycling over 4 distinct design points, 4 workers,
+    // backlog 8: the reader must block on the bound (memory stays
+    // O(backlog)), the latch must collapse the batch onto 4 actual
+    // simulations, and every accepted job must answer exactly once.
+    std::ostringstream batch;
+    for (int i = 0; i < 1000; ++i) {
+        batch << "{\"workload\": \"429.mcf\", \"seed\": " << (i % 4)
+              << "}\n";
+    }
+    std::istringstream in(batch.str());
+    std::ostringstream out, diag;
+    ExperimentRunner runner(testBudget());
+    ServeOptions options;
+    options.jobs = 4;
+    options.backlog = 8;
+    options.defaultBudget = testBudget();
+
+    const int failures = serveLoop(in, out, runner, options, diag);
+    EXPECT_EQ(failures, 0);
+    EXPECT_EQ(diag.str(), "");
+    EXPECT_EQ(runner.records().size(), 4u);
+
+    // Every job_index 0..999 answered exactly once (completion order
+    // is scheduling-dependent; coverage must not be).
+    std::vector<int> seen(1000, 0);
+    const std::string response = out.str();
+    static const std::regex index_re("\"job_index\": ([0-9]+)");
+    auto it = std::sregex_iterator(response.begin(), response.end(),
+                                   index_re);
+    std::size_t responses = 0;
+    for (; it != std::sregex_iterator(); ++it, ++responses) {
+        const int idx = std::stoi((*it)[1].str());
+        ASSERT_LT(idx, 1000);
+        ++seen[static_cast<std::size_t>(idx)];
+    }
+    EXPECT_EQ(responses, 1000u);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(seen[static_cast<std::size_t>(i)], 1) << i;
+}
+
+} // namespace
+} // namespace bop

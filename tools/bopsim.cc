@@ -13,6 +13,7 @@
  *   bopsim --workload 433.milc --prefetcher fixed --offset 32 \
  *          --page 4m --cores 2
  *   bopsim --trace my.trace --prefetcher bo-dpc2 --instr 1000000
+ *   bopsim --serve --jobs 4 < jobs.ndjson > records.ndjson
  */
 
 #include <chrono>
@@ -22,8 +23,11 @@
 #include <stdexcept>
 #include <string>
 
+#include <iostream>
+
 #include "harness/experiment.hh"
 #include "harness/json_report.hh"
+#include "harness/serve.hh"
 #include "sim/system.hh"
 #include "trace/trace_io.hh"
 #include "trace/workloads.hh"
@@ -71,6 +75,16 @@ usage(const char *argv0)
         "  --bo-adaptive       adaptive BADSCORE (Sec. 7 future work)\n"
         "  --bo-coverage W     hybrid coverage scoring weight (0-2)\n"
         "\n"
+        "batch service:\n"
+        "  --serve             read newline-delimited JSON job objects\n"
+        "                      from stdin, stream one run record back\n"
+        "                      per job as it completes; see README\n"
+        "                      \"Sweep farm & serve mode\"\n"
+        "  --jobs N            worker threads for --serve (default 1;\n"
+        "                      also BOP_JOBS=N)\n"
+        "  --backlog N         max in-flight jobs before the stdin\n"
+        "                      reader blocks (default 4*jobs)\n"
+        "\n"
         "run control:\n"
         "  --warmup N          warm-up instructions (default 100000)\n"
         "  --instr N           measured instructions (default 400000)\n"
@@ -96,28 +110,10 @@ die(const std::string &msg)
 bop::L2PrefetcherKind
 parsePrefetcher(const std::string &name)
 {
-    using K = bop::L2PrefetcherKind;
-    if (name == "none")
-        return K::None;
-    if (name == "next-line" || name == "nl")
-        return K::NextLine;
-    if (name == "fixed")
-        return K::FixedOffset;
-    if (name == "bo")
-        return K::BestOffset;
-    if (name == "bo-dpc2")
-        return K::BestOffsetDpc2;
-    if (name == "sbp" || name == "sandbox")
-        return K::Sandbox;
-    if (name == "stream")
-        return K::Stream;
-    if (name == "streambuf")
-        return K::StreamBuffer;
-    if (name == "fdp")
-        return K::Fdp;
-    if (name == "acdc" || name == "ghb")
-        return K::Acdc;
-    die("unknown prefetcher '" + name + "'");
+    bop::L2PrefetcherKind kind;
+    if (!bop::parseL2PrefetcherName(name, kind))
+        die("unknown prefetcher '" + name + "'");
+    return kind;
 }
 
 } // namespace
@@ -136,6 +132,14 @@ main(int argc, char **argv)
     std::uint64_t instr = 400000;
     std::uint64_t skip = 0;
     std::uint64_t sample = 0;
+    bool serve = false;
+    int jobs = 1;
+    std::size_t backlog = 0;
+    if (const char *j = std::getenv("BOP_JOBS")) {
+        const int env_jobs = std::atoi(j);
+        if (env_jobs >= 1)
+            jobs = env_jobs;
+    }
 
     auto next_arg = [&](int &i) -> std::string {
         if (i + 1 >= argc)
@@ -160,6 +164,15 @@ main(int argc, char **argv)
             skip = std::strtoull(next_arg(i).c_str(), nullptr, 10);
         } else if (arg == "--sample") {
             sample = std::strtoull(next_arg(i).c_str(), nullptr, 10);
+        } else if (arg == "--serve") {
+            serve = true;
+        } else if (arg == "--jobs") {
+            jobs = std::atoi(next_arg(i).c_str());
+            if (jobs < 1)
+                jobs = 1;
+        } else if (arg == "--backlog") {
+            backlog = static_cast<std::size_t>(
+                std::strtoull(next_arg(i).c_str(), nullptr, 10));
         } else if (arg == "--no-fast-forward") {
             cfg.fastForward = false;
         } else if (arg == "--prefetcher") {
@@ -217,6 +230,25 @@ main(int argc, char **argv)
             usage(argv[0]);
             die("unknown option '" + arg + "'");
         }
+    }
+
+    if (serve) {
+        if (!workload.empty() || !trace_file.empty())
+            die("--serve takes its workloads from the job stream, not "
+                "--workload/--trace");
+        ExperimentRunner runner(Budget{warmup, instr});
+        ServeOptions serve_opts;
+        serve_opts.jobs = jobs;
+        serve_opts.backlog = backlog;
+        serve_opts.defaultBudget = Budget{warmup, instr};
+        const int failures = serveLoop(std::cin, std::cout, runner,
+                                       serve_opts, std::cerr);
+        if (failures) {
+            std::fprintf(stderr, "bopsim: %d job(s) rejected or failed\n",
+                         failures);
+            return 1;
+        }
+        return 0;
     }
 
     if (workload.empty() == trace_file.empty())
