@@ -165,6 +165,24 @@ class SetAssocCache
     /** Access to the replacement policy (tests/config). */
     ReplacementPolicy &replacementPolicy() { return *policy; }
 
+    /** Checkpoint the tag-array state and the replacement policy. */
+    void
+    serialize(Serializer &s)
+    {
+        const std::size_t lines = tags.size();
+        s.valueVec(tags);
+        s.valueVec(dirtyBits);
+        s.valueVec(prefetchBits);
+        s.valueVec(fillCores);
+        s.valueVec(validMask);
+        if (s.loading() &&
+            (tags.size() != lines || dirtyBits.size() != lines ||
+             prefetchBits.size() != lines || fillCores.size() != lines ||
+             validMask.size() != sets))
+            s.fail("cache '" + name + "' geometry mismatch");
+        policy->serialize(s);
+    }
+
   private:
     /**
      * Sentinel stored in invalid ways' tag slots. No simulated line

@@ -78,6 +78,20 @@ class DrripPolicy final : public ReplacementPolicy
     unsigned victimPeek(std::size_t set) const override;
     void onFill(std::size_t set, unsigned way, const FillInfo &info) override;
 
+    /**
+     * Checkpoint RRPVs plus the cache-global duel state. Banked LLCs
+     * serialize the shared state once per bank; every bank writes (and
+     * restores) identical values, so the round trip is idempotent and
+     * byte-stable in either direction.
+     */
+    void
+    serialize(Serializer &s) override
+    {
+        ReplacementPolicy::serialize(s);
+        shared->rng.serialize(s);
+        s.value(shared->psel);
+    }
+
     /** Exposed for tests: current PSEL value. */
     int pselValue() const { return shared->psel; }
     /** Exposed for tests: leader-set classification. */

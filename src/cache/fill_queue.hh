@@ -143,6 +143,56 @@ class FillQueue
      */
     Cycle minReadyAt() const { return minDataReady; }
 
+    /**
+     * Checkpoint this queue/bank's slots and drain order, including
+     * the incrementally maintained occupancy counts and min-ready
+     * gate (pure functions of the slots, serialized rather than
+     * rebuilt so the restored queue is field-identical). A standalone
+     * queue also checkpoints its private group; banks do not — the
+     * hierarchy serializes the shared group exactly once.
+     */
+    void
+    serialize(Serializer &s)
+    {
+        const std::size_t capacity = slots.size();
+        s.seq(slots, [](Serializer &sr, FillQueueEntry &e) {
+            sr.value(e.valid);
+            sr.value(e.line);
+            sr.value(e.hasData);
+            sr.value(e.readyAt);
+            sr.value(e.isPrefetch);
+            e.meta.serialize(sr);
+            sr.value(e.id);
+        });
+        s.valueVec(fifo);
+        std::uint64_t live64 = liveEntries;
+        std::uint64_t data64 = dataEntries;
+        s.value(live64);
+        s.value(data64);
+        s.value(minDataReady);
+        if (ownGroup) {
+            std::uint64_t group_live = group->liveEntries;
+            s.value(group_live);
+            s.value(group->nextId);
+            if (s.loading()) {
+                if (group_live > group->capacity)
+                    s.fail("fill queue '" + name +
+                           "' group occupancy out of range");
+                group->liveEntries =
+                    static_cast<std::size_t>(group_live);
+            }
+        }
+        if (s.loading()) {
+            if (slots.size() != capacity || fifo.size() > capacity)
+                s.fail("fill queue '" + name + "' capacity mismatch");
+            if (live64 > capacity || data64 > live64)
+                s.fail("fill queue '" + name +
+                       "' occupancy out of range");
+            liveEntries = static_cast<std::size_t>(live64);
+            dataEntries = static_cast<std::size_t>(data64);
+        }
+    }
+
   private:
     std::size_t slotOf(std::uint32_t id) const;
 

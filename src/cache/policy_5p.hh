@@ -109,6 +109,21 @@ class Policy5P final : public StackPolicy
     void onFill(std::size_t set, unsigned way, const FillInfo &info) override;
 
     /**
+     * Checkpoint recency stacks plus the LLC-global selector state.
+     * Like DRRIP, banked instances serialize the shared state once per
+     * bank — idempotent both directions, so save→restore→save is
+     * byte-identical.
+     */
+    void
+    serialize(Serializer &s) override
+    {
+        ReplacementPolicy::serialize(s);
+        shared->rng.serialize(s);
+        shared->policyCounters.serialize(s);
+        shared->coreMissCounters.serialize(s);
+    }
+
+    /**
      * Leader-set mapping: within each constituency, one set is dedicated
      * to each insertion policy. Returns the policy index for a leader
      * set, or -1 for follower sets. Exposed for tests. Answered from a

@@ -64,6 +64,20 @@ class PrefetchQueue
      */
     Cycle minReadyAt() const { return minReady; }
 
+    /** Checkpoint the queued requests and the min-ready gate. */
+    void
+    serialize(Serializer &s)
+    {
+        s.seq(queue, [](Serializer &sr, PrefetchRequest &r) {
+            sr.value(r.line);
+            r.meta.serialize(sr);
+            sr.value(r.readyAt);
+        });
+        s.value(minReady);
+        if (s.loading() && queue.size() > capacity)
+            s.fail("prefetch queue over capacity");
+    }
+
   private:
     /** Sentinel: no queued request can ever become ready. */
     static constexpr Cycle noneReady = neverCycle;

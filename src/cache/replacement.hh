@@ -90,6 +90,19 @@ class ReplacementPolicy
      */
     bool fillIsMruTouch() const { return mruFill; }
 
+    /**
+     * Checkpoint the per-set state (packed words or wide bytes).
+     * Policies with extra mutable state (BIP's RNG, DRRIP's PSEL +
+     * RNG, 5P's counters) extend this; geometry/config fields are
+     * rebuilt by reset() at construction and are not serialized.
+     */
+    virtual void
+    serialize(Serializer &s)
+    {
+        s.valueVec(words);
+        s.valueVec(wide);
+    }
+
   protected:
     /** The two hit-update flavors shared by all concrete policies. */
     enum class HitUpdate : std::uint8_t
@@ -274,6 +287,13 @@ class BipPolicy final : public StackPolicy
     }
 
     void onFill(std::size_t set, unsigned way, const FillInfo &info) override;
+
+    void
+    serialize(Serializer &s) override
+    {
+        ReplacementPolicy::serialize(s);
+        rng.serialize(s);
+    }
 
   private:
     Rng rng;

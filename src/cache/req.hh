@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "common/serializer.hh"
 #include "common/types.hh"
 
 namespace bop
@@ -66,6 +67,23 @@ struct ReqMeta
 
     /** Cycle the originating access started (latency bookkeeping). */
     Cycle birth = 0;
+
+    /** Checkpoint every field, in declaration order. */
+    void
+    serialize(Serializer &s)
+    {
+        s.value(core);
+        s.value(type);
+        s.value(needL1);
+        s.value(needL2);
+        s.value(wasL2Prefetch);
+        s.value(l1PrefetchBit);
+        s.value(prefetchOffset);
+        s.value(mshrId);
+        s.value(l2FillId);
+        s.value(l3FillId);
+        s.value(birth);
+    }
 };
 
 } // namespace bop

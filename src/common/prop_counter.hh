@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serializer.hh"
+
 namespace bop
 {
 
@@ -96,6 +98,16 @@ class PropCounterGroup
     {
         for (auto &c : counters)
             c = 0;
+    }
+
+    /** Checkpoint the counter values (group size is configuration). */
+    void
+    serialize(Serializer &s)
+    {
+        const std::size_t n = counters.size();
+        s.valueVec(counters);
+        if (s.loading() && counters.size() != n)
+            s.fail("PropCounterGroup size mismatch");
     }
 
   private:

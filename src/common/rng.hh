@@ -12,6 +12,8 @@
 
 #include <cstdint>
 
+#include "common/serializer.hh"
+
 namespace bop
 {
 
@@ -86,6 +88,14 @@ class Rng
                    (1.0 / 9007199254740992.0) < p;
     }
 
+    /** Checkpoint the generator state (draw order is load-bearing). */
+    void
+    serialize(Serializer &s)
+    {
+        s.value(s0);
+        s.value(s1);
+    }
+
   private:
     std::uint64_t s0 = 0;
     std::uint64_t s1 = 0;
@@ -147,6 +157,23 @@ class BufferedRng
             return true;
         return static_cast<double>(next() >> 11) *
                    (1.0 / 9007199254740992.0) < p;
+    }
+
+    /**
+     * Checkpoint the generator state *including* the refill buffer
+     * and its consumption position: a save can land mid-buffer, and
+     * dropping the undrawn values would skip pos..15 of the stream —
+     * the latent restore hazard pinned by the checkpoint tests.
+     */
+    void
+    serialize(Serializer &s)
+    {
+        rng.serialize(s);
+        for (unsigned i = 0; i < bufferSize; ++i)
+            s.value(buf[i]);
+        s.value(pos);
+        if (s.loading() && pos > bufferSize)
+            s.fail("BufferedRng position out of range");
     }
 
   private:

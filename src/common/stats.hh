@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "common/serializer.hh"
+
 namespace bop
 {
 
@@ -80,6 +82,41 @@ struct RunStats
     /** Field-wise equality (the fast-forward equivalence gate compares
      *  whole runs; every counter above participates). */
     bool operator==(const RunStats &) const = default;
+
+    /** Checkpoint every counter, in declaration order. */
+    void
+    serialize(Serializer &s)
+    {
+        s.value(cycles);
+        s.value(instructions);
+        s.value(dl1Accesses);
+        s.value(dl1Misses);
+        s.value(dl1PrefIssued);
+        s.value(dl1PrefDropTlb);
+        s.value(l2Accesses);
+        s.value(l2Misses);
+        s.value(l2PrefetchedHits);
+        s.value(l2PrefIssued);
+        s.value(l2PrefDropped);
+        s.value(l2PrefFills);
+        s.value(l2LatePromotions);
+        s.value(l2PrefUselessEvicted);
+        s.value(l3Accesses);
+        s.value(l3Misses);
+        s.value(l3ChannelStalls);
+        s.value(dtlb1Misses);
+        s.value(tlb2Misses);
+        s.value(branches);
+        s.value(branchMispredicts);
+        s.value(dramReads);
+        s.value(dramWrites);
+        s.value(dramRowHits);
+        s.value(dramRowMisses);
+        s.value(boLearningPhases);
+        s.value(boPrefetchOffPhases);
+        s.value(boFinalOffset);
+        s.value(boFinalScore);
+    }
 
     /** Instructions per cycle for the measured window. */
     double

@@ -106,6 +106,44 @@ class BestOffsetPrefetcher : public L2Prefetcher
     /** Directly seed the RR table (tests / standalone experiments). */
     void recordCompletedPrefetchBase(LineAddr base) { rr.insert(base); }
 
+    /**
+     * Checkpoint the learning state: score table, both RR tables, the
+     * round-robin test position, the live offset/on-off decision and
+     * the adaptive-threshold state. The offset list itself is
+     * config-derived and not serialized.
+     */
+    void
+    serialize(Serializer &s) override
+    {
+        const std::size_t n = scores.size();
+        s.valueVec(scores);
+        if (s.loading() && scores.size() != n)
+            s.fail("BO score table size mismatch");
+        rr.serialize(s);
+        rrAny.serialize(s);
+        std::uint64_t test64 = testIndex;
+        s.value(test64);
+        if (s.loading()) {
+            if (test64 >= n)
+                s.fail("BO test index out of range");
+            testIndex = static_cast<std::size_t>(test64);
+        }
+        s.value(round);
+        s.value(scoreMaxHit);
+        s.value(bestScoreInPhase);
+        s.value(bestOffsetInPhase);
+        s.value(prefetchOffset);
+        s.value(prefetchOn);
+        s.value(secondOffset);
+        s.value(phaseCount);
+        s.value(offPhaseCount);
+        s.value(lastBestScore);
+        s.value(lastBestOffset);
+        s.value(dynBadScore);
+        s.value(usefulInPhase);
+        s.value(uselessInPhase);
+    }
+
   private:
     /** One best-offset learning step for the accessed line X. */
     void learnStep(LineAddr x);

@@ -76,6 +76,42 @@ class BestOffsetDpc2Prefetcher : public L2Prefetcher
     std::size_t delayQueueSize() const { return delayQueue.size(); }
     bool rrContains(LineAddr line) const;
 
+    /**
+     * Checkpoint the learning state, both RR banks and the delay
+     * queue (in-flight delayed inserts carry absolute due cycles).
+     */
+    void
+    serialize(Serializer &s) override
+    {
+        const std::size_t n = scores.size();
+        s.valueVec(scores);
+        if (s.loading() && scores.size() != n)
+            s.fail("BO-DPC2 score table size mismatch");
+        rrBank0.serialize(s);
+        rrBank1.serialize(s);
+        s.seq(delayQueue, [](Serializer &sr, DelayedInsert &d) {
+            sr.value(d.line);
+            sr.value(d.due);
+        });
+        if (s.loading() && delayQueue.size() > cfg.delayQueueEntries)
+            s.fail("BO-DPC2 delay queue over capacity");
+        std::uint64_t test64 = testIndex;
+        s.value(test64);
+        if (s.loading()) {
+            if (test64 >= n)
+                s.fail("BO-DPC2 test index out of range");
+            testIndex = static_cast<std::size_t>(test64);
+        }
+        s.value(round);
+        s.value(scoreMaxHit);
+        s.value(bestScoreInPhase);
+        s.value(bestOffsetInPhase);
+        s.value(prefetchOffset);
+        s.value(prefetchOn);
+        s.value(phaseCount);
+        s.value(lastBestScore);
+    }
+
   private:
     /** Which RR bank holds @p line. */
     RrTable &bankOf(LineAddr line)

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serializer.hh"
 #include "common/types.hh"
 
 namespace bop
@@ -52,6 +53,18 @@ class RrTable
     /** Exposed for tests: index/tag computation. */
     std::size_t indexOf(LineAddr line) const;
     std::uint32_t tagOf(LineAddr line) const;
+
+    /** Checkpoint tags and valid bits (geometry is config-derived). */
+    void
+    serialize(Serializer &s)
+    {
+        const std::size_t entries = valid.size();
+        s.valueVec(tags);
+        s.boolVec(valid);
+        if (s.loading() &&
+            (tags.size() != entries || valid.size() != entries))
+            s.fail("RR table geometry mismatch");
+    }
 
   private:
     unsigned indexBits;

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "common/serializer.hh"
 #include "common/types.hh"
 #include "dram/address_map.hh"
 
@@ -83,6 +84,22 @@ class DramChannelTiming
     bool openRowOf(int bank, std::uint64_t &row_out) const;
 
     const DramTiming &params() const { return timing; }
+
+    /** Checkpoint all bank states and the shared data-bus state. */
+    void
+    serialize(Serializer &s)
+    {
+        for (auto &b : banks) {
+            s.value(b.rowOpen);
+            s.value(b.row);
+            s.value(b.lastActAt);
+            s.value(b.readyAt);
+            s.value(b.lastReadCasAt);
+            s.value(b.lastWriteDataEnd);
+        }
+        s.value(dataBusFreeAt);
+        s.value(lastWriteBurstEnd);
+    }
 
   private:
     struct BankState

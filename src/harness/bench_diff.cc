@@ -195,6 +195,15 @@ lookupNumber(const ParsedRunRecord &record, const std::string &name,
 }
 
 std::string
+checkpointOrDefault(const ParsedRunRecord &record)
+{
+    // Artifacts written before the checkpoint field existed are cold
+    // runs, which modern writers serialise as "none".
+    const std::string value = lookupString(record, "checkpoint");
+    return value.empty() ? "none" : value;
+}
+
+std::string
 traceSourceOrDefault(const ParsedRunRecord &record)
 {
     // Artifacts written before the trace_source field existed must
@@ -332,11 +341,16 @@ diffRunRecords(const std::vector<ParsedRunRecord> &oldRecords,
         // the same number of worker threads AND scheduled under the
         // same sweep-farm jobs count — both oversubscribe the host the
         // same way wall clock notices (records predating either field
-        // read as 1).
+        // read as 1) — AND with the same checkpoint provenance: a
+        // warm-restored run skips the warmup, so its wall clock is
+        // incommensurable with a cold run's even though the simulated
+        // statistics are bit-identical.
         if (lookupNumber(oldRecord, "threads", 1.0) ==
                 lookupNumber(newRecord, "threads", 1.0) &&
             lookupNumber(oldRecord, "jobs", 1.0) ==
-                lookupNumber(newRecord, "jobs", 1.0)) {
+                lookupNumber(newRecord, "jobs", 1.0) &&
+            checkpointOrDefault(oldRecord) ==
+                checkpointOrDefault(newRecord)) {
             compareDropMetric(oldRecord, newRecord, key,
                               "sim_mcycles_per_s",
                               options.throughputDropRelative,

@@ -105,6 +105,25 @@ ExperimentRunner::runKey(const std::string &benchmark,
            std::to_string(b.warmup) + "+" + std::to_string(b.measure);
 }
 
+std::string
+ExperimentRunner::prefixKey(const std::string &benchmark,
+                            const SystemConfig &cfg, const Budget &b)
+{
+    // The warm state depends on everything the config fingerprint
+    // covers (prefetcher choice included) plus the warmup length —
+    // but NOT the measure budget, which is exactly what makes the
+    // prefix shareable across jobs that differ only in it.
+    return benchmark + "##" + configFingerprint(cfg) + "##warm" +
+           std::to_string(b.warmup);
+}
+
+bool
+ExperimentRunner::sharingFromEnv()
+{
+    const char *v = std::getenv("BOP_CKPT_SHARE");
+    return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
 const RunRecord *
 ExperimentRunner::memoised(const std::string &key) const
 {
@@ -123,17 +142,75 @@ ExperimentRunner::reserveJobIndex()
 RunRecord
 ExperimentRunner::simulateRecord(const std::string &benchmark,
                                  const SystemConfig &cfg,
-                                 const Budget &b) const
+                                 const Budget &b,
+                                 bool share_warmup) const
 {
     System system(cfg, makeTraces(benchmark, cfg));
     const auto t0 = std::chrono::steady_clock::now();
-    RunStats stats = system.run(b.warmup, b.measure);
+
+    RunStats stats;
+    if (!share_warmup) {
+        stats = system.run(b.warmup, b.measure);
+    } else {
+        // Shared warmup prefix: the first arrival for this (benchmark,
+        // config, warmup) prefix simulates the warmup and publishes
+        // the warm state as an in-memory checkpoint; later arrivals
+        // restore it and pay only the measurement window. Restore
+        // bit-identity makes both paths produce identical stats.
+        const std::string pkey = prefixKey(benchmark, cfg, b);
+        const std::vector<std::uint8_t> *bytes = nullptr;
+        bool producer = false;
+        {
+            std::unique_lock<std::mutex> lk(m);
+            for (;;) {
+                auto it = prefixCache.find(pkey);
+                if (it != prefixCache.end()) {
+                    bytes = &it->second;
+                    break;
+                }
+                if (prefixInflight.insert(pkey).second) {
+                    producer = true;
+                    break;
+                }
+                // Another worker is simulating this prefix: wait for
+                // its publication instead of duplicating the warmup.
+                cv.wait(lk);
+            }
+        }
+        if (producer) {
+            try {
+                system.warmup(b.warmup);
+                std::vector<std::uint8_t> warm =
+                    system.saveCheckpointBytes();
+                std::lock_guard<std::mutex> lk(m);
+                prefixCache.emplace(pkey, std::move(warm));
+                prefixInflight.erase(pkey);
+                ++prefixSims;
+                cv.notify_all();
+            } catch (...) {
+                // Release the prefix latch so waiters retry (and hit
+                // the same error themselves) instead of hanging.
+                std::lock_guard<std::mutex> lk(m);
+                prefixInflight.erase(pkey);
+                cv.notify_all();
+                throw;
+            }
+        } else {
+            // prefixCache nodes are never erased, so the pointer
+            // stays valid outside the lock.
+            system.restoreCheckpointBytes(*bytes);
+        }
+        stats = system.measure(b.measure);
+    }
+
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
             .count();
     RunRecord record{benchmark, cfg.describe(), stats,
                      /*traceSource=*/"", system.threadCount(), wall};
+    if (share_warmup)
+        record.checkpoint = "warm-shared";
 
     if (std::getenv("BOP_VERBOSE")) {
         std::fprintf(stderr, "  [run] %-16s %-44s IPC=%.3f\n",
@@ -161,7 +238,14 @@ const RunRecord &
 ExperimentRunner::run(const std::string &benchmark, const SystemConfig &cfg,
                       const Budget &b)
 {
-    const std::string key = runKey(benchmark, cfg, b);
+    return run(benchmark, cfg, b, shareWarmup);
+}
+
+const RunRecord &
+ExperimentRunner::run(const std::string &benchmark, const SystemConfig &cfg,
+                      const Budget &b, bool share_warmup)
+{
+    const std::string key = jobKey(benchmark, cfg, b, share_warmup);
 
     std::unique_lock<std::mutex> lk(m);
     for (;;) {
@@ -178,7 +262,7 @@ ExperimentRunner::run(const std::string &benchmark, const SystemConfig &cfg,
 
     RunRecord record;
     try {
-        record = simulateRecord(benchmark, cfg, b);
+        record = simulateRecord(benchmark, cfg, b, share_warmup);
     } catch (...) {
         // Release the latch so waiters retry (and likely rethrow the
         // same error themselves) instead of blocking forever.

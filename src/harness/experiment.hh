@@ -79,7 +79,7 @@ class ExperimentRunner
 {
   public:
     explicit ExperimentRunner(Budget budget_ = Budget::fromEnv())
-        : budget(budget_)
+        : budget(budget_), shareWarmup(sharingFromEnv())
     {
     }
 
@@ -96,6 +96,12 @@ class ExperimentRunner
     const RunRecord &run(const std::string &benchmark,
                          const SystemConfig &cfg, const Budget &b);
 
+    /** Same, with an explicit warmup-prefix-sharing choice for this
+     *  job (overriding the runner-wide setting). */
+    const RunRecord &run(const std::string &benchmark,
+                         const SystemConfig &cfg, const Budget &b,
+                         bool share_warmup);
+
     /** Speedup of @p cfg over @p base for one benchmark (IPC ratio). */
     double speedup(const std::string &benchmark, const SystemConfig &cfg,
                    const SystemConfig &base);
@@ -107,15 +113,44 @@ class ExperimentRunner
 
     const Budget &budgets() const { return budget; }
 
+    /**
+     * Warmup-prefix sharing: when enabled, jobs sharing a (benchmark,
+     * config, warmup budget) prefix simulate the warmup exactly once —
+     * the first arrival saves an in-memory checkpoint at the
+     * measurement boundary, later arrivals restore it and only pay
+     * the measurement window. Bit-identity of checkpoint restore
+     * (tests/test_checkpoint.cc) guarantees the resulting stats equal
+     * a cold run's. Default: off, or the BOP_CKPT_SHARE environment
+     * variable (unset/"0" = off, anything else = on).
+     */
+    void setCheckpointSharing(bool on) { shareWarmup = on; }
+    bool checkpointSharing() const { return shareWarmup; }
+
+    /**
+     * Warmup prefixes actually simulated so far (each shared prefix
+     * counts once, however many jobs consumed it). Only read this
+     * when no jobs are in flight.
+     */
+    std::uint64_t prefixSimulations() const
+    {
+        std::lock_guard<std::mutex> lk(m);
+        return prefixSims;
+    }
+
     /** Memo key of one design point (benchmark, config, budget). */
     static std::string runKey(const std::string &benchmark,
                               const SystemConfig &cfg, const Budget &b);
 
-    /** Memo key under this runner's own budget. */
+    /**
+     * Memo key under this runner's own budget and sharing mode. The
+     * sharing marker keeps warm-shared records from ever aliasing
+     * cold ones in the memo cache (their stats are bit-identical,
+     * but their `checkpoint` provenance field is not).
+     */
     std::string
     runKey(const std::string &benchmark, const SystemConfig &cfg) const
     {
-        return runKey(benchmark, cfg, budget);
+        return jobKey(benchmark, cfg, budget, shareWarmup);
     }
 
     /** Cached record for @p key, or nullptr (pointer stays valid). */
@@ -136,7 +171,15 @@ class ExperimentRunner
      */
     RunRecord simulateRecord(const std::string &benchmark,
                              const SystemConfig &cfg,
-                             const Budget &b) const;
+                             const Budget &b) const
+    {
+        return simulateRecord(benchmark, cfg, b, shareWarmup);
+    }
+
+    /** Same, with an explicit warmup-prefix-sharing choice. */
+    RunRecord simulateRecord(const std::string &benchmark,
+                             const SystemConfig &cfg, const Budget &b,
+                             bool share_warmup) const;
 
     RunRecord
     simulateRecord(const std::string &benchmark,
@@ -170,14 +213,42 @@ class ExperimentRunner
     }
 
   private:
+    /** Memo key including the warmup-sharing marker. */
+    static std::string
+    jobKey(const std::string &benchmark, const SystemConfig &cfg,
+           const Budget &b, bool share_warmup)
+    {
+        return runKey(benchmark, cfg, b) +
+               (share_warmup ? "##ckpt-share" : "");
+    }
+
+    /** Shared-warmup-prefix cache key. */
+    static std::string prefixKey(const std::string &benchmark,
+                                 const SystemConfig &cfg,
+                                 const Budget &b);
+
+    /** BOP_CKPT_SHARE default: unset or "0" = off. */
+    static bool sharingFromEnv();
+
     Budget budget;
+    bool shareWarmup = false; ///< ctor reads BOP_CKPT_SHARE
 
     mutable std::mutex m;
-    std::condition_variable cv;    ///< latch release / cache commit
+    /** Latch release / cache commit; also the prefix latch. Mutable:
+     *  simulateRecord() is const but waits on shared prefixes. */
+    mutable std::condition_variable cv;
     std::set<std::string> inflight; ///< keys being simulated right now
     std::map<std::string, RunRecord> cache;
     std::vector<RunRecord> runRecords;
     long nextJobIndex = 0;
+
+    /**
+     * Warm-state bytes per prefix key. Node-stable (std::map, never
+     * erased): consumers hold pointers into it outside the lock.
+     */
+    mutable std::map<std::string, std::vector<std::uint8_t>> prefixCache;
+    mutable std::set<std::string> prefixInflight;
+    mutable std::uint64_t prefixSims = 0;
 };
 
 } // namespace bop

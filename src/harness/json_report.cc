@@ -70,8 +70,11 @@ writeRunRecord(std::ostream &os, const RunRecord &record)
        << "\"wall_seconds\": " << record.wallSeconds << ", "
        << "\"queue_wait_seconds\": " << record.queueWaitSeconds << ", "
        << "\"sim_mcycles_per_s\": " << record.mcyclesPerSecond() << ", "
-       << "\"retired_minstr_per_s\": " << record.minstrPerSecond()
-       << "}";
+       << "\"retired_minstr_per_s\": " << record.minstrPerSecond() << ", "
+       << "\"checkpoint\": \""
+       << jsonEscape(record.checkpoint.empty() ? "none"
+                                               : record.checkpoint)
+       << "\"}";
     os << std::defaultfloat;
 }
 

@@ -71,6 +71,18 @@ struct RunRecord
     /** Seconds between farm submission and simulation start. */
     double queueWaitSeconds = 0.0;
 
+    /**
+     * Checkpoint provenance: "" for an ordinary cold run (serialised
+     * as "none"), "saved" / "restored" for bopsim
+     * --save-checkpoint/--restore-checkpoint runs, "warm-shared" when
+     * the run consumed or produced a shared warmup prefix
+     * (ExperimentRunner checkpoint sharing). Restore bit-identity
+     * keeps the simulated statistics equal across all values, but the
+     * wall clock is not comparable, so bench_diff --throughput only
+     * compares records with equal checkpoint provenance.
+     */
+    std::string checkpoint{};
+
     /** Simulated megacycles per wall second (0 when not measured). */
     double
     mcyclesPerSecond() const

@@ -53,6 +53,8 @@ struct ServeJob
     std::string benchmark;
     SystemConfig cfg;
     Budget budget;
+    bool shareSet = false; ///< line carried a "checkpoint" field
+    bool share = false;    ///< ... requesting warmup-prefix sharing
 };
 
 bool
@@ -108,6 +110,20 @@ parseJobLine(const std::string &line, const Budget &defaultBudget,
                 error = "page must be \"4k\" or \"4m\"";
                 return false;
             }
+        } else if (key == "checkpoint") {
+            // "share": join the runner's warmup-prefix cache (jobs
+            // with the same workload/config/warmup simulate the
+            // warmup once); "cold": force a full cold run even when
+            // the runner default (BOP_CKPT_SHARE) is sharing.
+            if (value == "share")
+                job.share = true;
+            else if (value == "cold")
+                job.share = false;
+            else {
+                error = "checkpoint must be \"share\" or \"cold\"";
+                return false;
+            }
+            job.shareSet = true;
         } else if (key == "l3") {
             if (value == "5p")
                 job.cfg.l3Policy = L3PolicyKind::P5;
@@ -243,7 +259,11 @@ serveLoop(std::istream &in, std::ostream &out, ExperimentRunner &runner,
                 // design points across concurrent jobs; memo hits
                 // answer without simulating.
                 RunRecord record =
-                    runner.run(job.benchmark, job.cfg, job.budget);
+                    job.shareSet
+                        ? runner.run(job.benchmark, job.cfg,
+                                     job.budget, job.share)
+                        : runner.run(job.benchmark, job.cfg,
+                                     job.budget);
                 record.jobs = static_cast<int>(
                     options.jobs < 1 ? 1 : options.jobs);
                 record.jobIndex = jobIndex;

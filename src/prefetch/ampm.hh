@@ -48,6 +48,22 @@ class AmpmPrefetcher : public L2Prefetcher
     /** Tests: is a line currently marked accessed in its zone map? */
     bool lineMarked(LineAddr line) const;
 
+    /** Checkpoint the zone table and LRU clock. */
+    void
+    serialize(Serializer &s) override
+    {
+        const std::size_t n = zones.size();
+        s.seq(zones, [](Serializer &sr, Zone &z) {
+            sr.value(z.valid);
+            sr.value(z.id);
+            sr.value(z.map);
+            sr.value(z.lruStamp);
+        });
+        s.value(stamp);
+        if (s.loading() && zones.size() != n)
+            s.fail("AMPM zone table size mismatch");
+    }
+
   private:
     struct Zone
     {

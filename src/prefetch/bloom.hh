@@ -42,6 +42,16 @@ class BloomFilter
 
     std::size_t sizeBits() const { return bitCount; }
 
+    /** Checkpoint the bit vector (geometry/seed are config-derived). */
+    void
+    serialize(Serializer &s)
+    {
+        const std::size_t n = words.size();
+        s.valueVec(words);
+        if (s.loading() && words.size() != n)
+            s.fail("Bloom filter size mismatch");
+    }
+
   private:
     std::size_t indexOf(LineAddr line, unsigned k) const;
 

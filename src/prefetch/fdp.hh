@@ -114,6 +114,44 @@ class FdpPrefetcher : public L2Prefetcher
     std::uint64_t intervalsElapsed() const { return intervals; }
     int trainedStreams() const;
 
+    /**
+     * Checkpoint trackers, the aggressiveness level, the in-flight
+     * interval counters, the pollution filter and the last interval's
+     * metrics.
+     */
+    void
+    serialize(Serializer &s) override
+    {
+        const std::size_t n = trackers.size();
+        s.seq(trackers, [](Serializer &sr, Tracker &t) {
+            sr.value(t.valid);
+            sr.value(t.head);
+            sr.value(t.direction);
+            sr.value(t.confidence);
+            sr.value(t.lruStamp);
+        });
+        s.value(stamp);
+        s.value(level);
+        s.value(accessesThisInterval);
+        s.value(issued);
+        s.value(used);
+        s.value(late);
+        s.value(polMisses);
+        s.value(demandMisses);
+        pollution.serialize(s);
+        s.value(lastAcc);
+        s.value(lastLate);
+        s.value(lastPol);
+        s.value(intervals);
+        if (s.loading()) {
+            if (trackers.size() != n)
+                s.fail("FDP tracker table size mismatch");
+            if (level < 0 ||
+                static_cast<std::size_t>(level) >= levels().size())
+                s.fail("FDP aggressiveness level out of range");
+        }
+    }
+
   private:
     struct Tracker
     {

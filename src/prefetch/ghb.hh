@@ -37,6 +37,7 @@
 #ifndef BOP_PREFETCH_GHB_HH
 #define BOP_PREFETCH_GHB_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <unordered_set>
@@ -86,6 +87,51 @@ class GhbAcdcPrefetcher : public L2Prefetcher
      */
     static std::vector<LineAddr>
     correlate(const std::vector<LineAddr> &history, int degree);
+
+    /**
+     * Checkpoint the GHB, index table and adaptation state. The
+     * `predicted` set is serialized as a sorted vector so re-saving a
+     * restored prefetcher is byte-identical to the original save.
+     */
+    void
+    serialize(Serializer &s) override
+    {
+        const std::size_t hist_n = history.size();
+        const std::size_t index_n = index.size();
+        s.seq(history, [](Serializer &sr, GhbEntry &e) {
+            sr.value(e.line);
+            sr.value(e.prevSerial);
+            sr.value(e.hasPrev);
+        });
+        s.seq(index, [](Serializer &sr, IndexEntry &e) {
+            sr.value(e.valid);
+            sr.value(e.key);
+            sr.value(e.serial);
+        });
+        s.value(nextSerial);
+        s.value(zoneBits);
+        std::uint64_t cand64 = candIdx;
+        s.value(cand64);
+        s.value(exploiting);
+        s.value(epochsLeft);
+        s.value(accessesThisEpoch);
+        s.value(scoreThisEpoch);
+        s.value(lastScore);
+        s.valueVec(candScores);
+        s.value(epochs);
+        std::vector<LineAddr> pred(predicted.begin(), predicted.end());
+        std::sort(pred.begin(), pred.end());
+        s.valueVec(pred);
+        if (s.loading()) {
+            if (history.size() != hist_n || index.size() != index_n)
+                s.fail("GHB geometry mismatch");
+            if (cand64 >= cfg.zoneLineBitsCandidates.size())
+                s.fail("GHB candidate index out of range");
+            candIdx = static_cast<std::size_t>(cand64);
+            predicted.clear();
+            predicted.insert(pred.begin(), pred.end());
+        }
+    }
 
   private:
     struct GhbEntry

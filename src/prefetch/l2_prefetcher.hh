@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serializer.hh"
 #include "common/types.hh"
 
 namespace bop
@@ -105,6 +106,12 @@ class L2Prefetcher
 
     /** Whether prefetch issue is currently enabled (throttling state). */
     virtual bool prefetchEnabled() const { return true; }
+
+    /**
+     * Checkpoint the prefetcher's mutable tables/state. Default: no
+     * state (stateless prefetchers like fixed-offset and next-line).
+     */
+    virtual void serialize(Serializer &s) { (void)s; }
 
     PageSize page() const { return pageSize; }
 

@@ -84,6 +84,36 @@ class SandboxPrefetcher : public L2Prefetcher
     /** Candidate currently being evaluated in the sandbox (tests). */
     int candidateUnderEvaluation() const { return offsets[candIndex]; }
 
+    /**
+     * Checkpoint the score table, sandbox filter, in-period counters
+     * and the active prefetch set (offset list is config-derived).
+     */
+    void
+    serialize(Serializer &s) override
+    {
+        const std::size_t n = offsets.size();
+        s.valueVec(scores);
+        s.boolVec(evaluated);
+        sandbox.serialize(s);
+        std::uint64_t cand64 = candIndex;
+        s.value(cand64);
+        s.value(accessesThisPeriod);
+        s.value(scoreThisPeriod);
+        s.value(insertedThisPeriod);
+        s.seq(active, [](Serializer &sr, ActiveOffset &a) {
+            sr.value(a.offset);
+            sr.value(a.degree);
+            sr.value(a.score);
+        });
+        if (s.loading()) {
+            if (scores.size() != n || evaluated.size() != n)
+                s.fail("SBP score table size mismatch");
+            if (cand64 >= n)
+                s.fail("SBP candidate index out of range");
+            candIndex = static_cast<std::size_t>(cand64);
+        }
+    }
+
   private:
     /** Finish the current candidate's period and move to the next. */
     void rotateCandidate();

@@ -48,6 +48,23 @@ class StreamPrefetcher : public L2Prefetcher
     /** Number of currently trained trackers (tests). */
     int trainedStreams() const;
 
+    /** Checkpoint the tracker table and LRU clock. */
+    void
+    serialize(Serializer &s) override
+    {
+        const std::size_t n = trackers.size();
+        s.seq(trackers, [](Serializer &sr, Tracker &t) {
+            sr.value(t.valid);
+            sr.value(t.head);
+            sr.value(t.direction);
+            sr.value(t.confidence);
+            sr.value(t.lruStamp);
+        });
+        s.value(stamp);
+        if (s.loading() && trackers.size() != n)
+            s.fail("stream tracker table size mismatch");
+    }
+
   private:
     struct Tracker
     {

@@ -65,6 +65,27 @@ class StreamBufferPrefetcher : public L2Prefetcher
     /** FIFO contents of buffer @p i, head first (tests). */
     std::vector<LineAddr> bufferLines(int i) const;
 
+    /** Checkpoint every buffer's FIFO and the LRU clock. */
+    void
+    serialize(Serializer &s) override
+    {
+        const std::size_t n = buffers.size();
+        s.seq(buffers, [this](Serializer &sr, Buffer &b) {
+            sr.value(b.valid);
+            sr.seq(b.fifo, [](Serializer &sq, LineAddr &l) {
+                sq.value(l);
+            });
+            sr.value(b.nextLine);
+            sr.value(b.lruStamp);
+            if (sr.loading() &&
+                b.fifo.size() > static_cast<std::size_t>(cfg.depth))
+                sr.fail("stream buffer FIFO over depth");
+        });
+        s.value(stamp);
+        if (s.loading() && buffers.size() != n)
+            s.fail("stream buffer count mismatch");
+    }
+
   private:
     struct Buffer
     {

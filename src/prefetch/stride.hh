@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/serializer.hh"
 #include "common/types.hh"
 
 namespace bop
@@ -61,6 +62,36 @@ class StridePrefetcher
     int confidenceOf(Addr pc) const;
     /** Tests: current stride of the entry for @p pc (0 if absent). */
     std::int64_t strideOf(Addr pc) const;
+
+    /** Checkpoint table, PC tags, recent-prefetch filter, LRU clock. */
+    void
+    serialize(Serializer &s)
+    {
+        const std::size_t entries = table.size();
+        s.seq(table, [](Serializer &sr, Entry &e) {
+            sr.value(e.lastAddr);
+            sr.value(e.stride);
+            sr.value(e.confidence);
+            sr.value(e.lruStamp);
+        });
+        s.valueVec(pcTags);
+        s.valueVec(filter);
+        std::uint64_t head64 = filterHead;
+        s.value(head64);
+        s.value(stamp);
+        if (s.loading()) {
+            // The recent-prefetch ring grows on demand up to its
+            // capacity, and its head only advances once it is full.
+            if (table.size() != entries || pcTags.size() != entries ||
+                filter.size() > cfg.filterEntries)
+                s.fail("stride table geometry mismatch");
+            const bool ringFull = cfg.filterEntries > 0 &&
+                                  filter.size() == cfg.filterEntries;
+            if (ringFull ? head64 >= cfg.filterEntries : head64 != 0)
+                s.fail("stride filter head out of range");
+            filterHead = static_cast<std::size_t>(head64);
+        }
+    }
 
   private:
     struct Entry

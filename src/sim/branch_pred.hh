@@ -43,6 +43,34 @@ class TagePredictor
     std::uint64_t predictions() const { return numPredictions; }
     std::uint64_t mispredictions() const { return numMispredictions; }
 
+    /**
+     * Checkpoint tables, global history, the allocation RNG and the
+     * predict()->update() hand-off state (a save can land between the
+     * two when a branch is in flight).
+     */
+    void
+    serialize(Serializer &s)
+    {
+        s.valueVec(bimodal);
+        for (auto &table : tables) {
+            s.seq(table, [](Serializer &sr, TaggedEntry &e) {
+                sr.value(e.tag);
+                sr.value(e.ctr);
+                sr.value(e.useful);
+            });
+        }
+        s.value(ghist);
+        rng.serialize(s);
+        s.value(providerTable);
+        s.value(altTable);
+        s.value(providerIndex);
+        s.value(lastPrediction);
+        s.value(altPrediction);
+        s.value(lastPc);
+        s.value(numPredictions);
+        s.value(numMispredictions);
+    }
+
   private:
     static constexpr int numTables = 4;          ///< tagged tables
     static constexpr unsigned tableBits = 10;    ///< 1K entries each

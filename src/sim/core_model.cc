@@ -403,4 +403,68 @@ CoreModel::storeCompleted(int count)
     horizonStaleFlag = true;
 }
 
+void
+CoreModel::serialize(Serializer &s)
+{
+    const std::size_t rob_size = rob.size();
+    predictor.serialize(s);
+    s.seq(rob, [](Serializer &sr, RobEntry &e) {
+        sr.value(e.valid);
+        sr.value(e.kind);
+        sr.value(e.done);
+        sr.value(e.readyAt);
+        sr.value(e.pc);
+        sr.value(e.vaddr);
+        sr.value(e.gen);
+        sr.value(e.waitingDep);
+        sr.value(e.depIdx);
+        sr.value(e.depGen);
+        sr.value(e.issued);
+        sr.value(e.mispredict);
+    });
+    s.value(robHead);
+    s.value(robTail);
+    std::uint64_t rob_count = robCount;
+    s.value(rob_count);
+    s.value(genCounter);
+    auto wait_ref = [](Serializer &sr, WaitRef &w) {
+        sr.value(w.idx);
+        sr.value(w.seq);
+    };
+    s.seq(readyQ, wait_ref);
+    s.seq(blockedQ, wait_ref);
+    s.value(waitSeq);
+    s.value(holdValid);
+    holdInstr.serialize(s);
+    s.value(fetchStallUntil);
+    s.value(stalledOnBranchDep);
+    s.value(lastLoadIdx);
+    s.value(lastLoadGen);
+    s.value(loadsThisCycle);
+    s.value(storesThisCycle);
+    std::uint64_t loads64 = loadsInFlight;
+    std::uint64_t stores64 = pendingStores;
+    s.value(loads64);
+    s.value(stores64);
+    s.value(retiredCount);
+    s.value(branches);
+    s.value(mispredicts);
+    if (s.loading()) {
+        if (rob.size() != rob_size)
+            s.fail("ROB size mismatch");
+        if (rob_count > rob_size || robHead >= rob_size ||
+            robTail >= rob_size)
+            s.fail("ROB occupancy out of range");
+        if (readyQ.size() > rob_size || blockedQ.size() > rob_size)
+            s.fail("waiting-list length out of range");
+        robCount = static_cast<std::size_t>(rob_count);
+        loadsInFlight = static_cast<std::size_t>(loads64);
+        pendingStores = static_cast<std::size_t>(stores64);
+        // The cached event horizon is a pure function of the restored
+        // state; force its recomputation rather than trusting a value
+        // captured under the saving System's clock.
+        horizonStaleFlag = true;
+    }
+}
+
 } // namespace bop

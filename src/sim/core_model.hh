@@ -103,6 +103,14 @@ class CoreModel
     std::size_t robOccupancy() const { return robCount; }
     CoreId id() const { return coreId; }
 
+    /**
+     * Checkpoint the full core state: ROB, waiting lists, dispatch
+     * hold, port/queue occupancy, counters and the branch predictor.
+     * The issueWaiting scratch buffers are empty between ticks and the
+     * cached horizon is marked stale on restore instead of saved.
+     */
+    void serialize(Serializer &s);
+
   private:
     struct RobEntry
     {

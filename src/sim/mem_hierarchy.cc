@@ -1137,4 +1137,86 @@ MemHierarchy::quiescent() const
     return true;
 }
 
+void
+MemHierarchy::serialize(Serializer &s)
+{
+    auto pending_req = [](Serializer &sr, PendingReq &r) {
+        sr.value(r.line);
+        r.meta.serialize(sr);
+        sr.value(r.readyAt);
+        sr.value(r.seq);
+    };
+
+    for (auto &sp : sides) {
+        CoreSide &cs = *sp;
+        // The staging buffers and prefetch scratch only carry state
+        // *inside* one tick; a checkpoint is taken between ticks.
+        assert(cs.stagedToL3.empty() && cs.stagedWbToL3.empty());
+        cs.dl1.serialize(s);
+        cs.l2.serialize(s);
+        cs.mshr.serialize(s);
+        cs.l2Fill.serialize(s);
+        cs.prefetchQueue.serialize(s);
+        cs.l2pf->serialize(s);
+        if (cs.stride)
+            cs.stride->serialize(s);
+        cs.tlb.serialize(s);
+        s.seq(cs.toL2, pending_req);
+        s.seq(cs.wbToL2, [](Serializer &sr, LineAddr &l) {
+            sr.value(l);
+        });
+        s.seq(cs.dl1Due, [](Serializer &sr, Dl1Delivery &d) {
+            sr.value(d.line);
+            d.meta.serialize(sr);
+            sr.value(d.at);
+        });
+        if (s.loading())
+            cs.horizonDirty = true;
+    }
+
+    // The shared fill-queue group exactly once, before the banks (whose
+    // FillQueue::serialize skips it — they don't own it).
+    std::uint64_t group_live = l3FillGroup->liveEntries;
+    s.value(group_live);
+    s.value(l3FillGroup->nextId);
+    if (s.loading()) {
+        if (group_live > l3FillGroup->capacity)
+            s.fail("L3 fill-queue group occupancy out of range");
+        l3FillGroup->liveEntries = static_cast<std::size_t>(group_live);
+    }
+    for (auto &bp : l3Banks) {
+        L3Bank &b = *bp;
+        b.cache.serialize(s);
+        b.fill.serialize(s);
+        s.value(b.l3Accesses);
+        s.value(b.l3Misses);
+        s.value(b.l3ChannelStalls);
+    }
+
+    const std::size_t channels = toL3.size();
+    for (auto &q : toL3)
+        s.seq(q, pending_req);
+    s.value(toL3Seq);
+    s.seq(wbToL3, [](Serializer &sr, std::pair<LineAddr, CoreId> &wb) {
+        sr.value(wb.first);
+        sr.value(wb.second);
+    });
+    s.value(prefetchRr);
+    s.value(lastTicked);
+    s.value(l3FillWasFull);
+    stats.serialize(s);
+    if (s.loading()) {
+        if (toL3.size() != channels)
+            s.fail("L3 demand shard count mismatch");
+        horizonStaleFlag.store(true, std::memory_order_relaxed);
+    }
+}
+
+void
+MemHierarchy::serializeDram(Serializer &s)
+{
+    for (auto &mc : mcs)
+        mc->serialize(s);
+}
+
 } // namespace bop

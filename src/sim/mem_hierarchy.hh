@@ -171,6 +171,19 @@ class MemHierarchy : public CoreMemInterface
     /** True when no request is in flight anywhere (tests). */
     bool quiescent() const;
 
+    /**
+     * Checkpoint every core side (caches, MSHRs, queues, prefetchers,
+     * TLBs), the L3 banks with their shared fill-queue group and
+     * policy-global state, the inter-level queues and the cumulative
+     * stats. The per-phase staging buffers are empty between ticks and
+     * are not saved; the cached horizons are marked stale on restore.
+     * DRAM controller state is a separate section: serializeDram().
+     */
+    void serialize(Serializer &s);
+
+    /** Checkpoint all memory controllers (bus, banks, queues). */
+    void serializeDram(Serializer &s);
+
     // -- component access (tests, examples) ---------------------------------
     SetAssocCache &dl1(CoreId core) { return side(core).dl1; }
     SetAssocCache &l2(CoreId core) { return side(core).l2; }

@@ -338,8 +338,19 @@ System::runUntilRetired(std::uint64_t target)
 RunStats
 System::run(std::uint64_t warmup_instr, std::uint64_t measure_instr)
 {
-    runUntilRetired(cores[0]->retired() + warmup_instr);
+    warmup(warmup_instr);
+    return measure(measure_instr);
+}
 
+void
+System::warmup(std::uint64_t warmup_instr)
+{
+    runUntilRetired(cores[0]->retired() + warmup_instr);
+}
+
+RunStats
+System::measure(std::uint64_t measure_instr)
+{
     RunStats begin = hier.collectStats();
     begin.branches = cores[0]->branchCount();
     begin.branchMispredicts = cores[0]->mispredictCount();

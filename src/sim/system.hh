@@ -44,8 +44,42 @@ class System
     /**
      * Warm up for @p warmup_instr core-0 instructions, then measure
      * @p measure_instr instructions and return the window's statistics.
+     * Equivalent to warmup() followed by measure().
      */
     RunStats run(std::uint64_t warmup_instr, std::uint64_t measure_instr);
+
+    /** Advance core 0 by @p warmup_instr retired instructions. */
+    void warmup(std::uint64_t warmup_instr);
+
+    /**
+     * Measure the next @p measure_instr core-0 instructions. The
+     * baseline counters are sampled at call time, so measuring after a
+     * checkpoint restore yields the same deltas as an uninterrupted
+     * warmup+measure run.
+     */
+    RunStats measure(std::uint64_t measure_instr);
+
+    /**
+     * Write the complete warm microarchitectural state to @p path in
+     * the BOPCKPT1 format (docs/CHECKPOINT_FORMAT.md). Defined in
+     * src/harness/checkpoint.cc; link bop_harness to use.
+     */
+    void saveCheckpoint(const std::string &path);
+
+    /** saveCheckpoint() into a byte buffer (tests, in-memory sharing). */
+    std::vector<std::uint8_t> saveCheckpointBytes();
+
+    /**
+     * Restore state saved by saveCheckpoint(). The System must have
+     * been constructed with the same topology/config fingerprint and
+     * the same traces; throws CheckpointError (with the offending byte
+     * offset) on any mismatch, truncation or corruption — the system
+     * is not modified unless the whole checkpoint validates.
+     */
+    void restoreCheckpoint(const std::string &path);
+
+    /** restoreCheckpoint() from a byte buffer. */
+    void restoreCheckpointBytes(const std::vector<std::uint8_t> &bytes);
 
     /**
      * Advance the whole system to the next cycle in which anything can
@@ -83,6 +117,11 @@ class System
     CoreModel &core(CoreId id)
     {
         return *cores.at(static_cast<std::size_t>(id));
+    }
+    /** Trace source driving core @p id (checkpoint fingerprinting). */
+    TraceSource &traceSource(CoreId id)
+    {
+        return *traces.at(static_cast<std::size_t>(id));
     }
     int coreCount() const { return static_cast<int>(cores.size()); }
     const SystemConfig &config() const { return cfg; }

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serializer.hh"
 #include "common/types.hh"
 
 namespace bop
@@ -38,6 +39,19 @@ class Tlb
     void flush();
 
     std::size_t entryCount() const { return vpns.size(); }
+
+    /** Checkpoint tags, recency stamps and the LRU clock. */
+    void
+    serialize(Serializer &s)
+    {
+        const std::size_t entries = vpns.size();
+        s.valueVec(vpns);
+        s.valueVec(stamps);
+        s.value(clock);
+        if (s.loading() &&
+            (vpns.size() != entries || stamps.size() != entries))
+            s.fail("TLB geometry mismatch");
+    }
 
   private:
     /** Sentinel tag for free slots (no virtual page number reaches ~0). */
@@ -85,6 +99,14 @@ class TlbHierarchy
 
     Tlb &level1() { return dtlb1; }
     Tlb &level2() { return tlb2; }
+
+    /** Checkpoint both TLB levels. */
+    void
+    serialize(Serializer &s)
+    {
+        dtlb1.serialize(s);
+        tlb2.serialize(s);
+    }
 
   private:
     Tlb dtlb1;

@@ -117,6 +117,43 @@ class SyntheticTrace : public TraceSource
 
     const WorkloadSpec &specification() const { return spec; }
 
+    /**
+     * Checkpoint the RNG (including its refill buffer position) and
+     * every stream's mutable cursor state. The spec, the stream bases
+     * and the PC layout are constructor-derived and not serialized;
+     * the scramble pool and reuse ring hold addresses drawn during
+     * generation and are.
+     */
+    void
+    serialize(Serializer &s) override
+    {
+        const std::size_t n = streams.size();
+        rng.serialize(s);
+        s.seq(streams, [](Serializer &sr, StreamState &st) {
+            sr.value(st.cursor);
+            sr.value(st.chase);
+            sr.value(st.chasePrev);
+            sr.value(st.pcIndex);
+            sr.value(st.elementAddr);
+            sr.value(st.subAccess);
+            sr.value(st.lastSubIndex);
+            sr.value(st.lastWasReuse);
+            sr.valueVec(st.pool);
+            sr.valueVec(st.recent);
+            std::uint64_t pos64 = st.recentPos;
+            sr.value(pos64);
+            if (sr.loading()) {
+                if (!st.recent.empty() && pos64 >= st.recent.size())
+                    sr.fail("reuse ring position out of range");
+                st.recentPos = static_cast<std::size_t>(pos64);
+            }
+        });
+        s.value(loopCounter);
+        s.value(opPc);
+        if (s.loading() && streams.size() != n)
+            s.fail("synthetic trace stream count mismatch");
+    }
+
   private:
     struct StreamState
     {

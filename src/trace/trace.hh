@@ -21,6 +21,7 @@
 #include <memory>
 #include <string>
 
+#include "common/serializer.hh"
 #include "common/types.hh"
 
 namespace bop
@@ -44,6 +45,17 @@ struct TraceInstr
     Addr vaddr = 0;          ///< loads/stores only
     bool taken = false;      ///< branches only
     bool dependsOnPrevLoad = false;
+
+    /** Checkpoint every field (records can sit in a core's ROB). */
+    void
+    serialize(Serializer &s)
+    {
+        s.value(kind);
+        s.value(pc);
+        s.value(vaddr);
+        s.value(taken);
+        s.value(dependsOnPrevLoad);
+    }
 };
 
 /** An endless, deterministic instruction stream. */
@@ -57,6 +69,12 @@ class TraceSource
 
     /** Name of the workload (e.g. "462.libquantum"). */
     virtual std::string name() const = 0;
+
+    /**
+     * Checkpoint the source's read position and generator state.
+     * Default: stateless source (nothing to save).
+     */
+    virtual void serialize(Serializer &s) { (void)s; }
 };
 
 } // namespace bop

@@ -159,6 +159,22 @@ class FileTrace : public TraceSource
      */
     std::string sourceTag() const;
 
+    /**
+     * Checkpoint the replay position (the decoded records themselves
+     * are reloaded from the trace file at construction).
+     */
+    void
+    serialize(Serializer &s) override
+    {
+        std::uint64_t pos64 = pos;
+        s.value(pos64);
+        if (s.loading()) {
+            if (pos64 >= instrs.size())
+                s.fail("trace replay position out of range");
+            pos = static_cast<std::size_t>(pos64);
+        }
+    }
+
   private:
     std::string label;
     TraceFormat fmt = TraceFormat::Boptrace;

@@ -186,6 +186,160 @@ TEST(ExperimentRunner, ConcurrentDuplicateRunsSimulateOnce)
     EXPECT_EQ(runner.records().size(), 1u);
 }
 
+TEST(SweepFarm, JsonByteIdenticalAcrossJobCountsWithSharing)
+{
+    // The fig06-with-shared-warmup-prefixes contract: with checkpoint
+    // sharing enabled the farm JSON must still be byte-identical for
+    // every --jobs count (timing fields aside) — the checkpoint
+    // provenance field included, whichever worker happened to win the
+    // prefix race.
+    std::string reference;
+    for (const int jobs : {1, 2, 4, 8}) {
+        ExperimentRunner runner(testBudget());
+        runner.setCheckpointSharing(true);
+        {
+            SweepFarm farm(runner, jobs);
+            submitFig06Subset(farm);
+        }
+        for (const RunRecord &r : runner.records())
+            EXPECT_EQ(r.checkpoint, "warm-shared");
+        const std::string json = maskedJson(runner);
+        if (jobs == 1) {
+            reference = json;
+            ASSERT_FALSE(reference.empty());
+        } else {
+            EXPECT_EQ(json, reference)
+                << "--jobs " << jobs
+                << " with checkpoint sharing diverged from serial";
+        }
+    }
+}
+
+TEST(SweepFarm, SharedWarmupStatsMatchColdRuns)
+{
+    // Restore bit-identity end to end through the runner: a sweep
+    // with checkpoint sharing must report exactly the same simulated
+    // statistics as a cold sweep (the records differ only in the
+    // checkpoint provenance field and host timing).
+    ExperimentRunner cold(testBudget());
+    {
+        SweepFarm farm(cold, 2);
+        submitFig06Subset(farm);
+    }
+    ExperimentRunner shared(testBudget());
+    shared.setCheckpointSharing(true);
+    {
+        SweepFarm farm(shared, 2);
+        submitFig06Subset(farm);
+    }
+    ASSERT_EQ(shared.records().size(), cold.records().size());
+    for (std::size_t i = 0; i < cold.records().size(); ++i) {
+        EXPECT_TRUE(shared.records()[i].stats == cold.records()[i].stats)
+            << "record " << i;
+        EXPECT_EQ(shared.records()[i].checkpoint, "warm-shared");
+        EXPECT_EQ(cold.records()[i].checkpoint, "");
+    }
+}
+
+TEST(ExperimentRunner, SharedPrefixSimulatesWarmupExactlyOnce)
+{
+    // N jobs sharing one (benchmark, config, warmup) prefix but
+    // differing in measure budget, hammered from 8 threads: the
+    // prefix latch must collapse all their warmups onto a single
+    // simulation, and each job's stats must equal its own cold run.
+    ExperimentRunner runner(testBudget());
+    const SystemConfig cfg = baselineConfig(1, PageSize::FourKB);
+    const std::uint64_t measures[] = {3000, 4000, 5000, 6000,
+                                      7000, 8000, 9000, 10000};
+
+    std::vector<std::thread> threads;
+    for (const std::uint64_t measure : measures) {
+        threads.emplace_back([&runner, &cfg, measure] {
+            const Budget b{2000, measure};
+            runner.run("429.mcf", cfg, b, /*share_warmup=*/true);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(runner.prefixSimulations(), 1u)
+        << "8 jobs sharing one warmup prefix must warm up once";
+    EXPECT_EQ(runner.records().size(), 8u);
+
+    // Spot-check one budget against its cold twin.
+    ExperimentRunner coldRunner(testBudget());
+    const Budget b{2000, 6000};
+    const RunRecord &shared = runner.run("429.mcf", cfg, b, true);
+    const RunRecord &cold = coldRunner.run("429.mcf", cfg, b, false);
+    EXPECT_TRUE(shared.stats == cold.stats)
+        << "warm-shared stats must be bit-identical to a cold run";
+    EXPECT_EQ(shared.checkpoint, "warm-shared");
+    EXPECT_EQ(cold.checkpoint, "");
+
+    // Distinct warmup budgets are distinct prefixes.
+    runner.run("429.mcf", cfg, Budget{1000, 3000}, true);
+    EXPECT_EQ(runner.prefixSimulations(), 2u);
+}
+
+TEST(Serve, CheckpointJobLines)
+{
+    // Per-line opt-in: three "share" jobs on one prefix (one warmup
+    // simulation), one "cold" twin, one bad value (rejected). The
+    // shared and cold runs must report identical simulated cycles.
+    std::istringstream in(
+        "{\"workload\": \"429.mcf\", \"warmup\": 2000, \"instr\": 4000,"
+        " \"checkpoint\": \"share\"}\n"
+        "{\"workload\": \"429.mcf\", \"warmup\": 2000, \"instr\": 6000,"
+        " \"checkpoint\": \"share\"}\n"
+        "{\"workload\": \"429.mcf\", \"warmup\": 2000, \"instr\": 8000,"
+        " \"checkpoint\": \"share\"}\n"
+        "{\"workload\": \"429.mcf\", \"warmup\": 2000, \"instr\": 6000,"
+        " \"checkpoint\": \"cold\"}\n"
+        "{\"workload\": \"429.mcf\", \"checkpoint\": \"sometimes\"}\n");
+    std::ostringstream out, diag;
+    ExperimentRunner runner(testBudget());
+    ServeOptions options;
+    options.jobs = 4;
+    options.defaultBudget = testBudget();
+
+    const int failures = serveLoop(in, out, runner, options, diag);
+    EXPECT_EQ(failures, 1);
+    EXPECT_NE(diag.str().find("checkpoint must be"), std::string::npos)
+        << diag.str();
+    EXPECT_EQ(runner.prefixSimulations(), 1u)
+        << "the three share jobs must warm up exactly once";
+    EXPECT_EQ(runner.records().size(), 4u);
+
+    // Responses carry the provenance field.
+    const std::string response = out.str();
+    std::size_t warmShared = 0, none = 0;
+    static const std::regex ckpt_re("\"checkpoint\": \"([a-z-]+)\"");
+    for (auto it = std::sregex_iterator(response.begin(),
+                                        response.end(), ckpt_re);
+         it != std::sregex_iterator(); ++it) {
+        if ((*it)[1].str() == "warm-shared")
+            ++warmShared;
+        else if ((*it)[1].str() == "none")
+            ++none;
+    }
+    EXPECT_EQ(warmShared, 3u);
+    EXPECT_EQ(none, 1u);
+
+    // The shared 2000+6000 job and the cold 2000+6000 job simulated
+    // the same design point: their cycle counts must be identical.
+    std::vector<std::uint64_t> cycles;
+    static const std::regex pair_re(
+        "\"cycles\": ([0-9]+), \"instructions\": (6[0-9]+)");
+    for (auto it = std::sregex_iterator(response.begin(),
+                                        response.end(), pair_re);
+         it != std::sregex_iterator(); ++it) {
+        cycles.push_back(std::stoull((*it)[1].str()));
+    }
+    ASSERT_EQ(cycles.size(), 2u) << response;
+    EXPECT_EQ(cycles[0], cycles[1])
+        << "shared vs cold run of the same design point diverged";
+}
+
 TEST(TaskPool, RunsEverythingAndDrainsTwice)
 {
     TaskPool pool(4);

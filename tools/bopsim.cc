@@ -85,6 +85,16 @@ usage(const char *argv0)
         "  --backlog N         max in-flight jobs before the stdin\n"
         "                      reader blocks (default 4*jobs)\n"
         "\n"
+        "checkpointing (format: docs/CHECKPOINT_FORMAT.md):\n"
+        "  --save-checkpoint FILE\n"
+        "                      write the warm state to FILE at the\n"
+        "                      warmup/measure boundary, then measure\n"
+        "  --restore-checkpoint FILE\n"
+        "                      restore the warm state from FILE instead\n"
+        "                      of simulating the warmup, then measure;\n"
+        "                      statistics are bit-identical to the\n"
+        "                      uninterrupted run's\n"
+        "\n"
         "run control:\n"
         "  --warmup N          warm-up instructions (default 100000)\n"
         "  --instr N           measured instructions (default 400000)\n"
@@ -126,6 +136,8 @@ main(int argc, char **argv)
     std::string workload;
     std::string trace_file;
     std::string json_path;
+    std::string save_ckpt;
+    std::string restore_ckpt;
     SystemConfig cfg;
     cfg.l2Prefetcher = L2PrefetcherKind::BestOffset;
     std::uint64_t warmup = 100000;
@@ -224,6 +236,10 @@ main(int argc, char **argv)
             cfg.seed = std::strtoull(next_arg(i).c_str(), nullptr, 10);
         } else if (arg == "--threads") {
             cfg.numThreads = std::atoi(next_arg(i).c_str());
+        } else if (arg == "--save-checkpoint") {
+            save_ckpt = next_arg(i);
+        } else if (arg == "--restore-checkpoint") {
+            restore_ckpt = next_arg(i);
         } else if (arg == "--json") {
             json_path = next_arg(i);
         } else {
@@ -236,6 +252,10 @@ main(int argc, char **argv)
         if (!workload.empty() || !trace_file.empty())
             die("--serve takes its workloads from the job stream, not "
                 "--workload/--trace");
+        if (!save_ckpt.empty() || !restore_ckpt.empty())
+            die("--serve jobs opt into checkpointing per line "
+                "(\"checkpoint\": \"share\"), not via "
+                "--save/--restore-checkpoint");
         ExperimentRunner runner(Budget{warmup, instr});
         ServeOptions serve_opts;
         serve_opts.jobs = jobs;
@@ -303,7 +323,13 @@ main(int argc, char **argv)
 
         System sys(cfg, std::move(traces));
         const auto t0 = std::chrono::steady_clock::now();
-        const RunStats s = sys.run(warmup, instr);
+        if (restore_ckpt.empty())
+            sys.warmup(warmup);
+        else
+            sys.restoreCheckpoint(restore_ckpt);
+        if (!save_ckpt.empty())
+            sys.saveCheckpoint(save_ckpt);
+        const RunStats s = sys.measure(instr);
         const double wall = std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() - t0)
                                 .count();
@@ -312,9 +338,15 @@ main(int argc, char **argv)
         if (!trace_source.empty())
             std::printf("trace source : %s\n", trace_source.c_str());
         std::printf("config       : %s\n", cfg.describe().c_str());
-        std::printf("window       : %llu warm-up + %llu measured\n",
-                    static_cast<unsigned long long>(warmup),
-                    static_cast<unsigned long long>(instr));
+        if (restore_ckpt.empty()) {
+            std::printf("window       : %llu warm-up + %llu measured\n",
+                        static_cast<unsigned long long>(warmup),
+                        static_cast<unsigned long long>(instr));
+        } else {
+            std::printf("window       : restored %s + %llu measured\n",
+                        restore_ckpt.c_str(),
+                        static_cast<unsigned long long>(instr));
+        }
         std::printf("\n");
         std::printf("IPC          : %.4f\n", s.ipc());
         std::printf("cycles       : %llu\n",
@@ -353,8 +385,12 @@ main(int argc, char **argv)
             std::printf("BO offset    : %d (best score %d)\n",
                         s.boFinalOffset, s.boFinalScore);
         }
-        const RunRecord record{label, cfg.describe(), s, trace_source,
-                               sys.threadCount(), wall};
+        RunRecord record{label, cfg.describe(), s, trace_source,
+                         sys.threadCount(), wall};
+        if (!restore_ckpt.empty())
+            record.checkpoint = "restored";
+        else if (!save_ckpt.empty())
+            record.checkpoint = "saved";
         std::printf("engine       : %.3f s wall, %.2f Mcycles/s, "
                     "%.2f Minstr/s%s\n",
                     wall, record.mcyclesPerSecond(),
