@@ -1,0 +1,130 @@
+#include "fault.hh"
+
+#include <cstdlib>
+#include <typeinfo>
+
+#include "serializer.hh"
+
+namespace bop
+{
+
+namespace
+{
+
+thread_local long tlsCurrentJob = -1;
+
+} // namespace
+
+std::string
+faultKindOf(const std::exception &e)
+{
+    if (dynamic_cast<const JobTimeout *>(&e))
+        return "timeout";
+    if (dynamic_cast<const CheckpointError *>(&e))
+        return "checkpoint";
+    return "simulation";
+}
+
+FaultPlan &
+FaultPlan::global()
+{
+    static FaultPlan *plan = [] {
+        auto *p = new FaultPlan();
+        if (const char *env = std::getenv("BOP_FAULT"))
+            p->arm(env);
+        return p;
+    }();
+    return *plan;
+}
+
+void
+FaultPlan::arm(const std::string &spec)
+{
+    std::map<std::string, Arm> parsed;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string token = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (token.empty())
+            continue;
+        std::size_t colon = token.find(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= token.size()) {
+            throw std::runtime_error(
+                "BOP_FAULT: malformed token '" + token +
+                "' (expected point:N)");
+        }
+        std::string point = token.substr(0, colon);
+        std::string value = token.substr(colon + 1);
+        std::uint64_t target = 0;
+        for (char c : value) {
+            if (c < '0' || c > '9') {
+                throw std::runtime_error(
+                    "BOP_FAULT: non-numeric ordinal in '" + token + "'");
+            }
+            target = target * 10 + static_cast<std::uint64_t>(c - '0');
+        }
+        parsed[point] = Arm{target, 0, false};
+    }
+
+    std::lock_guard<std::mutex> lk(m);
+    plan = std::move(parsed);
+    anyArmed.store(!plan.empty(), std::memory_order_release);
+}
+
+bool
+FaultPlan::armed(const std::string &point) const
+{
+    if (!anyArmed.load(std::memory_order_acquire))
+        return false;
+    std::lock_guard<std::mutex> lk(m);
+    return plan.count(point) != 0;
+}
+
+bool
+FaultPlan::fireCounted(const std::string &point)
+{
+    if (!anyArmed.load(std::memory_order_acquire))
+        return false;
+    std::lock_guard<std::mutex> lk(m);
+    auto it = plan.find(point);
+    if (it == plan.end() || it->second.fired)
+        return false;
+    if (++it->second.hits < it->second.target)
+        return false;
+    it->second.fired = true;
+    return true;
+}
+
+bool
+FaultPlan::fireAt(const std::string &point, std::uint64_t ordinal)
+{
+    if (!anyArmed.load(std::memory_order_acquire))
+        return false;
+    std::lock_guard<std::mutex> lk(m);
+    auto it = plan.find(point);
+    if (it == plan.end() || it->second.fired ||
+        it->second.target != ordinal) {
+        return false;
+    }
+    it->second.fired = true;
+    return true;
+}
+
+FaultScope::FaultScope(long job_index) : prev(tlsCurrentJob)
+{
+    tlsCurrentJob = job_index;
+}
+
+FaultScope::~FaultScope() { tlsCurrentJob = prev; }
+
+long
+FaultScope::currentJob()
+{
+    return tlsCurrentJob;
+}
+
+} // namespace bop

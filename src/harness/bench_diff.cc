@@ -295,16 +295,73 @@ parseFlatRecord(std::istream &in)
 }
 
 std::vector<ParsedRunRecord>
-parseRunRecordsFile(const std::string &path)
+parseRunRecordsFile(const std::string &path, std::string *warning)
 {
     std::ifstream in(path);
     if (!in)
         throw std::runtime_error("cannot open bench records: " + path);
-    try {
-        return parseRunRecords(in);
-    } catch (const std::runtime_error &e) {
-        throw std::runtime_error(path + ": " + e.what());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    // Sniff the shape: a json_report artifact opens with '['; anything
+    // else is treated as NDJSON (the --serve output stream).
+    std::size_t p = 0;
+    while (p < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[p])))
+        ++p;
+
+    if (p >= text.size() || text[p] == '[') {
+        std::istringstream is(text);
+        try {
+            return parseRunRecords(is);
+        } catch (const std::runtime_error &e) {
+            throw std::runtime_error(path + ": " + e.what());
+        }
     }
+
+    // NDJSON: parse line by line. A malformed line in the middle is
+    // corruption and fails the comparison; a malformed LAST line is a
+    // truncated trailing record from a crashed producer — tolerated
+    // and reported so the surviving records stay comparable.
+    std::vector<ParsedRunRecord> records;
+    std::vector<std::pair<long, std::string>> lines;
+    {
+        std::istringstream is(text);
+        std::string line;
+        for (long lineNo = 1; std::getline(is, line); ++lineNo) {
+            bool blank = true;
+            for (const char c : line) {
+                if (!std::isspace(static_cast<unsigned char>(c))) {
+                    blank = false;
+                    break;
+                }
+            }
+            if (!blank)
+                lines.emplace_back(lineNo, line);
+        }
+    }
+
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        std::istringstream is(lines[i].second);
+        try {
+            records.push_back(RecordParser(is).parseOne());
+        } catch (const std::runtime_error &e) {
+            if (i + 1 == lines.size()) {
+                if (warning) {
+                    *warning = path + ": line " +
+                               std::to_string(lines[i].first) +
+                               ": truncated trailing record ignored (" +
+                               e.what() + ")";
+                }
+                break;
+            }
+            throw std::runtime_error(path + ": line " +
+                                     std::to_string(lines[i].first) +
+                                     ": " + e.what());
+        }
+    }
+    return records;
 }
 
 BenchDiffResult

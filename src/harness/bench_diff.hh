@@ -52,8 +52,21 @@ std::vector<ParsedRunRecord> parseRunRecords(std::istream &in);
  */
 ParsedRunRecord parseFlatRecord(std::istream &in);
 
-/** parseRunRecords on a file; throws when the file cannot be read. */
-std::vector<ParsedRunRecord> parseRunRecordsFile(const std::string &path);
+/**
+ * Parse a records file: either a json_report array artifact or an
+ * NDJSON stream (one flat object per line — the `bopsim --serve`
+ * output shape), sniffed from the first non-space character. Throws
+ * when the file cannot be read or a record is malformed — except a
+ * malformed FINAL line of an NDJSON stream, the signature of a
+ * producer that crashed (or was cut off) mid-record: that line is
+ * dropped, the surviving records are returned, and when @p warning is
+ * non-null it receives a one-line description naming the line number.
+ * Blank lines and serve rejection objects ({"error", "line"}) parse
+ * fine and simply diff as metric-less records.
+ */
+std::vector<ParsedRunRecord>
+parseRunRecordsFile(const std::string &path,
+                    std::string *warning = nullptr);
 
 /** Thresholds for flagging a metric movement as a regression. */
 struct BenchDiffOptions

@@ -24,11 +24,15 @@
 
 #include "harness/checkpoint.hh"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include "common/fault.hh"
 #include "common/rng.hh"
 #include "common/serializer.hh"
 #include "harness/experiment.hh"
@@ -253,17 +257,46 @@ System::saveCheckpointBytes()
 void
 System::saveCheckpoint(const std::string &path)
 {
+    // Atomic save: write everything to path.tmp, fsync, then rename
+    // over the target. A crash (or injected fault) anywhere before
+    // the rename leaves the previous checkpoint intact and never a
+    // plausible-looking truncated file at the target path; the tmp
+    // file is removed on every failure path.
     const std::vector<std::uint8_t> bytes = saveCheckpointBytes();
-    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    const std::string tmp = path + ".tmp";
+
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (!f) {
         throw std::runtime_error("cannot open checkpoint file for "
-                                 "writing: " + path);
+                                 "writing: " + tmp);
     }
-    f.write(reinterpret_cast<const char *>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-    f.flush();
-    if (!f)
-        throw std::runtime_error("short write to checkpoint: " + path);
+
+    // Injection point ckpt_write_short (docs/ROBUSTNESS.md): behave
+    // like a disk that filled up mid-save — half the bytes land, then
+    // the write fails.
+    std::size_t to_write = bytes.size();
+    if (FaultPlan::global().fireCounted("ckpt_write_short"))
+        to_write = bytes.size() / 2;
+
+    const std::size_t written =
+        std::fwrite(bytes.data(), 1, to_write, f);
+    const bool flushed = std::fflush(f) == 0;
+    const bool synced = flushed && ::fsync(fileno(f)) == 0;
+    std::fclose(f);
+
+    if (written != bytes.size() || !synced) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error(
+            "short write to checkpoint: " + path + " (" +
+            std::to_string(written) + "/" +
+            std::to_string(bytes.size()) + " bytes written)");
+    }
+
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("cannot rename checkpoint into place: " +
+                                 tmp + " -> " + path);
+    }
 }
 
 void

@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <thread>
 
+#include "common/fault.hh"
 #include "dram/address_map.hh"
 #include "trace/workloads.hh"
 
@@ -124,6 +126,13 @@ ExperimentRunner::sharingFromEnv()
     return v != nullptr && *v != '\0' && std::string(v) != "0";
 }
 
+double
+ExperimentRunner::timeoutFromEnv()
+{
+    const char *v = std::getenv("BOP_JOB_TIMEOUT");
+    return v != nullptr ? std::strtod(v, nullptr) : 0.0;
+}
+
 const RunRecord *
 ExperimentRunner::memoised(const std::string &key) const
 {
@@ -145,11 +154,44 @@ ExperimentRunner::simulateRecord(const std::string &benchmark,
                                  const Budget &b,
                                  bool share_warmup) const
 {
+    // Fault injection (docs/ROBUSTNESS.md): job_wedge and job_throw
+    // target the job by its deterministic farm/serve index, carried
+    // by the FaultScope the submitting layer opened on this thread.
+    const long fjob = FaultScope::currentJob();
+    FaultPlan &faults = FaultPlan::global();
+    if (fjob >= 0 &&
+        faults.fireAt("job_wedge", static_cast<std::uint64_t>(fjob))) {
+        // A "wedged" simulation: no progress, but bounded so an armed
+        // plan can never hang the process even when no deadline is
+        // configured — past the limit the wedge reports itself as the
+        // timeout the deadline would have produced.
+        const double limit = jobTimeout > 0.0 ? jobTimeout : 2.0;
+        const auto until =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration<double>(limit);
+        while (std::chrono::steady_clock::now() < until)
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        std::ostringstream oss;
+        oss << "injected fault job_wedge: job " << fjob
+            << " exceeded its " << limit << "s wall-clock deadline";
+        throw JobTimeout(oss.str());
+    }
+    auto throwInjected = [&faults, fjob] {
+        if (fjob >= 0 &&
+            faults.fireAt("job_throw",
+                          static_cast<std::uint64_t>(fjob))) {
+            throw std::runtime_error("injected fault job_throw at job " +
+                                     std::to_string(fjob));
+        }
+    };
+
     System system(cfg, makeTraces(benchmark, cfg));
+    system.setJobDeadline(jobTimeout);
     const auto t0 = std::chrono::steady_clock::now();
 
     RunStats stats;
     if (!share_warmup) {
+        throwInjected();
         stats = system.run(b.warmup, b.measure);
     } else {
         // Shared warmup prefix: the first arrival for this (benchmark,
@@ -179,6 +221,11 @@ ExperimentRunner::simulateRecord(const std::string &benchmark,
         }
         if (producer) {
             try {
+                // Inside the try: an injected producer throw must
+                // release the prefix latch exactly like a real warmup
+                // failure, so waiters retry as producers (falling
+                // back to a cold warmup) instead of deadlocking.
+                throwInjected();
                 system.warmup(b.warmup);
                 std::vector<std::uint8_t> warm =
                     system.saveCheckpointBytes();
@@ -196,6 +243,7 @@ ExperimentRunner::simulateRecord(const std::string &benchmark,
                 throw;
             }
         } else {
+            throwInjected();
             // prefixCache nodes are never erased, so the pointer
             // stays valid outside the lock.
             system.restoreCheckpointBytes(*bytes);
@@ -226,6 +274,13 @@ ExperimentRunner::commitJob(const std::string &key, RunRecord record)
     std::lock_guard<std::mutex> lk(m);
     runRecords.push_back(record);
     cache.emplace(key, std::move(record));
+}
+
+void
+ExperimentRunner::commitError(RunRecord record)
+{
+    std::lock_guard<std::mutex> lk(m);
+    runRecords.push_back(std::move(record));
 }
 
 const RunStats &

@@ -79,7 +79,8 @@ class ExperimentRunner
 {
   public:
     explicit ExperimentRunner(Budget budget_ = Budget::fromEnv())
-        : budget(budget_), shareWarmup(sharingFromEnv())
+        : budget(budget_), shareWarmup(sharingFromEnv()),
+          jobTimeout(timeoutFromEnv())
     {
     }
 
@@ -125,6 +126,16 @@ class ExperimentRunner
      */
     void setCheckpointSharing(bool on) { shareWarmup = on; }
     bool checkpointSharing() const { return shareWarmup; }
+
+    /**
+     * Per-job wall-clock deadline in seconds (0 = none). A job still
+     * simulating past it throws JobTimeout, which the farm/serve
+     * layers convert into a per-job error record while the rest of
+     * the batch keeps running. Default: off, or BOP_JOB_TIMEOUT
+     * seconds; `bopsim --serve --job-timeout` sets it per session.
+     */
+    void setJobTimeout(double seconds) { jobTimeout = seconds; }
+    double jobTimeoutSeconds() const { return jobTimeout; }
 
     /**
      * Warmup prefixes actually simulated so far (each shared prefix
@@ -192,6 +203,13 @@ class ExperimentRunner
     void commitJob(const std::string &key, RunRecord record);
 
     /**
+     * Commit a failed farm job: append its error record (see
+     * RunRecord::errored()) WITHOUT memoising — failures are never
+     * cached, so resubmitting the design point re-simulates it.
+     */
+    void commitError(RunRecord record);
+
+    /**
      * One record per actual (non-memoised) simulation, in commit
      * order. Only read this when no jobs are in flight (after a farm
      * drain / worker join); the reference bypasses the runner lock.
@@ -230,8 +248,12 @@ class ExperimentRunner
     /** BOP_CKPT_SHARE default: unset or "0" = off. */
     static bool sharingFromEnv();
 
+    /** BOP_JOB_TIMEOUT seconds, 0 when unset. */
+    static double timeoutFromEnv();
+
     Budget budget;
-    bool shareWarmup = false; ///< ctor reads BOP_CKPT_SHARE
+    bool shareWarmup = false;  ///< ctor reads BOP_CKPT_SHARE
+    double jobTimeout = 0.0;   ///< ctor reads BOP_JOB_TIMEOUT
 
     mutable std::mutex m;
     /** Latch release / cache commit; also the prefix latch. Mutable:

@@ -43,6 +43,23 @@ jsonEscape(const std::string &s)
 void
 writeRunRecord(std::ostream &os, const RunRecord &record)
 {
+    if (record.errored()) {
+        // Failed jobs keep their slot in the record stream (same
+        // deterministic job_index, submission-order position) but
+        // carry the error object grammar — never partial stats that
+        // could be mistaken for a measured run. docs/ROBUSTNESS.md is
+        // normative for this shape.
+        os << "{"
+           << "\"error\": \"job failed\", "
+           << "\"kind\": \"" << jsonEscape(record.errorKind) << "\", "
+           << "\"detail\": \"" << jsonEscape(record.errorDetail) << "\", "
+           << "\"workload\": \"" << jsonEscape(record.workload) << "\", "
+           << "\"config\": \"" << jsonEscape(record.config) << "\", "
+           << "\"jobs\": " << record.jobs << ", "
+           << "\"job_index\": " << record.jobIndex << "}";
+        return;
+    }
+
     const RunStats &s = record.stats;
     os << "{"
        << "\"workload\": \"" << jsonEscape(record.workload) << "\", "

@@ -83,6 +83,21 @@ struct RunRecord
      */
     std::string checkpoint{};
 
+    /**
+     * Failure classification when the job did not complete: "" for a
+     * successful run; "timeout" / "checkpoint" / "simulation"
+     * (faultKindOf()) when it failed, with the exception message in
+     * errorDetail. A failed record serialises as the error object
+     * {"error", "kind", "detail", "job_index", ...} instead of a
+     * stats record (grammar: docs/ROBUSTNESS.md); its stats fields
+     * are meaningless and never emitted.
+     */
+    std::string errorKind{};
+    std::string errorDetail{};
+
+    /** True when this record reports a failed job, not a run. */
+    bool errored() const { return !errorKind.empty(); }
+
     /** Simulated megacycles per wall second (0 when not measured). */
     double
     mcyclesPerSecond() const

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/fault.hh"
 #include "harness/bench_diff.hh"
 #include "harness/json_report.hh"
 #include "sim/parallel.hh"
@@ -201,16 +202,34 @@ blankLine(const std::string &line)
     return true;
 }
 
-/** Report one failed job on both streams (outMutex covers both: the
- *  diagnostic stream is written by reader and workers alike). */
+/** Report one rejected line on both streams (outMutex covers both:
+ *  the diagnostic stream is written by reader and workers alike). */
 void
-reportError(std::ostream &out, std::ostream &diag, std::mutex &outMutex,
-            const std::string &error, long lineNo)
+reportRejected(std::ostream &out, std::ostream &diag, std::mutex &outMutex,
+               const std::string &error, long lineNo)
 {
     std::lock_guard<std::mutex> lk(outMutex);
     diag << "serve: line " << lineNo << ": " << error << "\n";
     out << "{\"error\": \"" << jsonEscape(error)
-        << "\", \"line\": " << lineNo << "}" << std::endl;
+        << "\", \"kind\": \"parse\", \"line\": " << lineNo << "}"
+        << std::endl;
+}
+
+/** Report one accepted-but-failed job: the error object keeps the
+ *  job's deterministic job_index so batch post-processing can match
+ *  it to its submission (docs/ROBUSTNESS.md). */
+void
+reportFailed(std::ostream &out, std::ostream &diag, std::mutex &outMutex,
+             const std::exception &e, long jobIndex, long lineNo)
+{
+    const std::string kind = faultKindOf(e);
+    std::lock_guard<std::mutex> lk(outMutex);
+    diag << "serve: line " << lineNo << ": job " << jobIndex
+         << " failed (" << kind << "): " << e.what() << "\n";
+    out << "{\"error\": \"job failed\", \"kind\": \"" << jsonEscape(kind)
+        << "\", \"detail\": \"" << jsonEscape(e.what())
+        << "\", \"job_index\": " << jobIndex << ", \"line\": " << lineNo
+        << "}" << std::endl;
 }
 
 } // namespace
@@ -230,7 +249,9 @@ serveLoop(std::istream &in, std::ostream &out, ExperimentRunner &runner,
     long lineNo = 0;
     std::string line;
 
-    while (std::getline(in, line)) {
+    while (!(options.stopRequested &&
+             options.stopRequested->load(std::memory_order_relaxed)) &&
+           std::getline(in, line)) {
         ++lineNo;
         if (blankLine(line))
             continue;
@@ -239,7 +260,7 @@ serveLoop(std::istream &in, std::ostream &out, ExperimentRunner &runner,
         std::string error;
         if (!parseJobLine(line, options.defaultBudget, job, error)) {
             ++rejected;
-            reportError(out, diag, outMutex, error, lineNo);
+            reportRejected(out, diag, outMutex, error, lineNo);
             continue;
         }
 
@@ -254,6 +275,7 @@ serveLoop(std::istream &in, std::ostream &out, ExperimentRunner &runner,
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - submitted)
                     .count();
+            FaultScope scope(jobIndex);
             try {
                 // The runner's in-flight latch dedups identical
                 // design points across concurrent jobs; memo hits
@@ -272,13 +294,29 @@ serveLoop(std::istream &in, std::ostream &out, ExperimentRunner &runner,
                 writeRunRecord(out, record);
                 out << std::endl;
             } catch (const std::exception &e) {
+                // Containment: this job answers with an error object,
+                // the batch keeps going, and the failure is never
+                // memoised (the runner releases its latch on throw),
+                // so a later identical job retries from scratch.
                 ++failed;
-                reportError(out, diag, outMutex, e.what(), lineNo);
+                reportFailed(out, diag, outMutex, e, jobIndex, lineNo);
             }
         });
     }
 
+    if (options.stopRequested &&
+        options.stopRequested->load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> lk(outMutex);
+        diag << "serve: stop requested, draining in-flight jobs\n";
+    }
+
     pool.drain(); // graceful shutdown: every accepted job answers
+
+    {
+        std::lock_guard<std::mutex> lk(outMutex);
+        diag << "serve: " << accepted << " accepted, " << rejected
+             << " rejected, " << failed.load() << " failed\n";
+    }
     return rejected + failed.load();
 }
 

@@ -19,14 +19,18 @@
  * Responses carry `job_index` (the job's ordinal among accepted lines
  * — deterministic, scheduling-independent) and arrive in completion
  * order. Malformed lines are rejected with a diagnostic on @p diag
- * and an {"error", "line"} object on the response stream; the batch
- * keeps going. Duplicate design points within a batch simulate once
- * (the runner's in-flight latch) but still answer one record each.
+ * and an {"error", "kind": "parse", "line"} object on the response
+ * stream; accepted jobs that fail mid-simulation answer with the
+ * {"error", "kind", "detail", "job_index", "line"} error object
+ * (docs/ROBUSTNESS.md). Either way the batch keeps going. Duplicate
+ * design points within a batch simulate once (the runner's in-flight
+ * latch) but still answer one record each.
  */
 
 #ifndef BOP_HARNESS_SERVE_HH
 #define BOP_HARNESS_SERVE_HH
 
+#include <atomic>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -46,11 +50,26 @@ struct ServeOptions
     int jobs = 1;            ///< worker threads
     std::size_t backlog = 0; ///< in-flight bound (0 means 4 * jobs)
     Budget defaultBudget;    ///< for jobs without warmup/instr fields
+
+    /**
+     * Graceful-drain trigger: when non-null and set (by a SIGINT/
+     * SIGTERM handler), the reader stops accepting new lines, the
+     * in-flight jobs finish and answer, and serveLoop returns as if
+     * the input had hit EOF.
+     */
+    const std::atomic<bool> *stopRequested = nullptr;
 };
 
 /**
- * Run the service loop until @p in hits EOF, then drain gracefully.
- * Returns the number of rejected or failed jobs (0 = clean batch).
+ * Run the service loop until @p in hits EOF (or options.stopRequested
+ * is raised), then drain gracefully — every accepted job answers.
+ * A job that fails (simulation error, deadline, injected fault)
+ * answers with the error object {"error", "kind", "detail",
+ * "job_index", "line"} (docs/ROBUSTNESS.md) while the rest of the
+ * batch keeps running. Always prints a final summary line to @p diag:
+ * `serve: <A> accepted, <R> rejected, <F> failed`. Returns the number
+ * of rejected or failed jobs (0 = clean batch; bopsim exits nonzero
+ * otherwise).
  */
 int serveLoop(std::istream &in, std::ostream &out,
               ExperimentRunner &runner, const ServeOptions &options,

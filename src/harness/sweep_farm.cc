@@ -1,7 +1,29 @@
 #include "harness/sweep_farm.hh"
 
+#include "common/fault.hh"
+
 namespace bop
 {
+
+namespace
+{
+
+/** Error record for a design point whose simulation threw. */
+RunRecord
+errorRecord(const std::string &benchmark, const SystemConfig &cfg,
+            int jobs, long jobIndex, const std::exception &e)
+{
+    RunRecord record;
+    record.workload = benchmark;
+    record.config = cfg.describe();
+    record.jobs = jobs;
+    record.jobIndex = jobIndex;
+    record.errorKind = faultKindOf(e);
+    record.errorDetail = e.what();
+    return record;
+}
+
+} // namespace
 
 SweepFarm::SweepFarm(ExperimentRunner &runner, int jobs_,
                      std::size_t backlog)
@@ -29,11 +51,18 @@ SweepFarm::submit(const std::string &benchmark, const SystemConfig &cfg)
     if (!pool) {
         // Inline serial path: identical to the pre-farm sweep, and the
         // memo is warm immediately (later duplicate submissions of the
-        // same point short-circuit above).
-        RunRecord record = runner_.simulateRecord(benchmark, cfg);
-        record.jobs = 1;
-        record.jobIndex = jobIndex;
-        runner_.commitJob(key, std::move(record));
+        // same point short-circuit above). Containment matches the
+        // pool path: a throwing job becomes an error record, never an
+        // escaped exception that would abort the rest of the sweep.
+        FaultScope scope(jobIndex);
+        try {
+            RunRecord record = runner_.simulateRecord(benchmark, cfg);
+            record.jobs = 1;
+            record.jobIndex = jobIndex;
+            runner_.commitJob(key, std::move(record));
+        } catch (const std::exception &e) {
+            runner_.commitError(errorRecord(benchmark, cfg, 1, jobIndex, e));
+        }
         return;
     }
 
@@ -45,12 +74,22 @@ SweepFarm::submit(const std::string &benchmark, const SystemConfig &cfg)
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - slot->submitted)
                 .count();
-        RunRecord record =
-            runner_.simulateRecord(slot->benchmark, slot->cfg);
-        record.jobs = jobs;
-        record.jobIndex = slot->jobIndex;
-        record.queueWaitSeconds = queueWait;
-        slot->record = std::move(record);
+        // Containment: catch here, in the slot, rather than leaning on
+        // TaskPool's backstop — the error must land in this job's
+        // submission-order slot so drain() commits it (and every
+        // surviving record) exactly where a fault-free run would.
+        FaultScope scope(slot->jobIndex);
+        try {
+            RunRecord record =
+                runner_.simulateRecord(slot->benchmark, slot->cfg);
+            record.jobs = jobs;
+            record.jobIndex = slot->jobIndex;
+            record.queueWaitSeconds = queueWait;
+            slot->record = std::move(record);
+        } catch (const std::exception &e) {
+            slot->record = errorRecord(slot->benchmark, slot->cfg, jobs,
+                                       slot->jobIndex, e);
+        }
     });
 }
 
@@ -60,8 +99,12 @@ SweepFarm::drain()
     if (!pool)
         return; // inline jobs committed at submit time
     pool->drain();
-    for (Slot &slot : slots)
-        runner_.commitJob(slot.key, std::move(slot.record));
+    for (Slot &slot : slots) {
+        if (slot.record.errored())
+            runner_.commitError(std::move(slot.record));
+        else
+            runner_.commitJob(slot.key, std::move(slot.record));
+    }
     slots.clear();
 }
 

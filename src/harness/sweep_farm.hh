@@ -17,7 +17,11 @@
  *  - records are committed at drain() in submission order, never in
  *    completion order;
  *  - with jobs == 1 each submission runs inline (no pool), which is
- *    exactly the old serial sweep.
+ *    exactly the old serial sweep;
+ *  - a job whose simulation throws commits an error record (same
+ *    job_index, same submission-order slot — docs/ROBUSTNESS.md) and
+ *    is never memoised; every other job completes unaffected, so the
+ *    surviving records stay byte-identical to a fault-free sweep.
  *
  * Usage: submit the whole sweep (a "prefetch pass"), drain(), then
  * compute derived numbers (speedups, geomeans) through the runner's

@@ -1,5 +1,9 @@
 #include "sim/parallel.hh"
 
+#include <algorithm>
+
+#include "common/fault.hh"
+
 namespace bop
 {
 
@@ -21,6 +25,16 @@ WorkerPool::~WorkerPool()
 }
 
 void
+WorkerPool::recordFailure(std::size_t item)
+{
+    std::lock_guard<std::mutex> lk(m);
+    if (!failure || item < failureItem) {
+        failure = std::current_exception();
+        failureItem = item;
+    }
+}
+
+void
 WorkerPool::runImpl(std::size_t items, Trampoline call, void *ctx)
 {
     if (workers == 1 || items <= 1) {
@@ -35,19 +49,36 @@ WorkerPool::runImpl(std::size_t items, Trampoline call, void *ctx)
         jobCtx = ctx;
         jobItems = items;
         pending = workers - 1;
+        failure = nullptr;
+        failureItem = 0;
         ++epoch;
     }
     cvStart.notify_all();
 
     // The caller is worker 0: it takes its own item stripe instead of
-    // blocking, so a 1-item phase never pays a thread hand-off.
-    for (std::size_t i = 0; i < items; i += workers)
-        call(ctx, i);
+    // blocking, so a 1-item phase never pays a thread hand-off. A
+    // throwing item must not abandon the epoch — the helpers still
+    // expect the barrier — so the exception is parked and rethrown
+    // after everyone arrives.
+    for (std::size_t i = 0; i < items; i += workers) {
+        try {
+            call(ctx, i);
+        } catch (...) {
+            recordFailure(i);
+            break;
+        }
+    }
 
     std::unique_lock<std::mutex> lk(m);
     cvDone.wait(lk, [this] { return pending == 0; });
     job = nullptr;
     jobCtx = nullptr;
+    if (failure) {
+        std::exception_ptr e = failure;
+        failure = nullptr;
+        lk.unlock();
+        std::rethrow_exception(e);
+    }
 }
 
 void
@@ -71,8 +102,18 @@ WorkerPool::helperLoop(unsigned self)
             items = jobItems;
         }
 
-        for (std::size_t i = self; i < items; i += workers)
-            call(ctx, i);
+        // As in runImpl: park the exception, finish the barrier. The
+        // helper drops the rest of its stripe — with one item already
+        // failed the epoch's result is void anyway — but it must still
+        // report done or the caller would wait forever.
+        for (std::size_t i = self; i < items; i += workers) {
+            try {
+                call(ctx, i);
+            } catch (...) {
+                recordFailure(i);
+                break;
+            }
+        }
 
         {
             std::lock_guard<std::mutex> lk(m);
@@ -109,7 +150,7 @@ TaskPool::submit(std::function<void()> task)
     {
         std::unique_lock<std::mutex> lk(m);
         cvSpace.wait(lk, [this] { return queue.size() < maxBacklog; });
-        queue.push_back(std::move(task));
+        queue.push_back(Queued{nextOrdinal++, std::move(task)});
     }
     cvTask.notify_one();
 }
@@ -121,23 +162,52 @@ TaskPool::drain()
     cvIdle.wait(lk, [this] { return queue.empty() && running == 0; });
 }
 
+std::vector<JobError>
+TaskPool::takeErrors()
+{
+    std::vector<JobError> out;
+    {
+        std::lock_guard<std::mutex> lk(m);
+        out.swap(errors);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const JobError &a, const JobError &b) {
+                  return a.index < b.index;
+              });
+    return out;
+}
+
 void
 TaskPool::workerLoop()
 {
     for (;;) {
-        std::function<void()> task;
+        Queued item;
         {
             std::unique_lock<std::mutex> lk(m);
             cvTask.wait(lk, [this] { return stopping || !queue.empty(); });
             if (queue.empty())
                 return; // stopping, and nothing left to run
-            task = std::move(queue.front());
+            item = std::move(queue.front());
             queue.pop_front();
             ++running;
         }
         cvSpace.notify_one();
 
-        task();
+        // Containment: a task that escapes with an exception becomes
+        // a JobError instead of terminating the process, and the
+        // --running bookkeeping below must run regardless or drain()
+        // would wait forever on a failed task.
+        try {
+            item.task();
+        } catch (const std::exception &e) {
+            std::lock_guard<std::mutex> lk(m);
+            errors.push_back(JobError{static_cast<std::size_t>(item.ordinal),
+                                      faultKindOf(e), e.what()});
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(m);
+            errors.push_back(JobError{static_cast<std::size_t>(item.ordinal),
+                                      "simulation", "unknown exception"});
+        }
 
         {
             std::lock_guard<std::mutex> lk(m);

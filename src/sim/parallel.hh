@@ -23,14 +23,30 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 namespace bop
 {
+
+/**
+ * A task that escaped its worker with an exception, surfaced at
+ * drain() instead of terminating the process or wedging the pool.
+ * `index` is the task's submission ordinal (0-based), which the
+ * harness layers arrange to equal the job_index of their error
+ * records; `kind` is faultKindOf() of the escaped exception.
+ */
+struct JobError
+{
+    std::size_t index;
+    std::string kind;
+    std::string what;
+};
 
 /** T-worker pool with a blocking all-items-done barrier per run(). */
 class WorkerPool
@@ -50,6 +66,13 @@ class WorkerPool
      * i mod workerCount(), and return once all completed. The functor
      * is invoked by multiple threads concurrently and must only touch
      * state disjoint between items (or read-only).
+     *
+     * If any item throws, the epoch still runs to its barrier (a
+     * worker that catches stops executing its remaining stripe items,
+     * but no worker leaves the epoch early, so the pool stays sound),
+     * and run() rethrows the exception of the smallest-indexed failed
+     * item on the calling thread. The pool remains usable for further
+     * run() calls afterwards.
      */
     template <typename F>
     void
@@ -88,6 +111,16 @@ class WorkerPool
     std::uint64_t epoch = 0; ///< bumped per runImpl; helpers track it
     unsigned pending = 0;    ///< helpers still working this epoch
     bool stopping = false;
+
+    /**
+     * Exception of the smallest-indexed item that threw this epoch
+     * (deterministic when several items fail concurrently); rethrown
+     * by runImpl after the barrier. Guarded by m.
+     */
+    std::exception_ptr failure;
+    std::size_t failureItem = 0;
+
+    void recordFailure(std::size_t item);
 };
 
 /**
@@ -105,6 +138,11 @@ class WorkerPool
  *
  * Tasks must synchronise any shared state themselves; the pool only
  * guarantees each task runs exactly once, on some worker thread.
+ *
+ * A task that throws does not kill its worker or wedge drain(): the
+ * escaped exception is captured as a JobError (indexed by the task's
+ * submission ordinal) and the worker moves on to the next task.
+ * Callers collect the failures with takeErrors() after drain().
  */
 class TaskPool
 {
@@ -129,6 +167,13 @@ class TaskPool
     /** Block until the queue is empty and no task is running. */
     void drain();
 
+    /**
+     * Remove and return the errors of every task that escaped with an
+     * exception since the last call, ordered by submission ordinal.
+     * Meaningful after drain(); may be called repeatedly.
+     */
+    std::vector<JobError> takeErrors();
+
   private:
     void workerLoop();
 
@@ -136,13 +181,21 @@ class TaskPool
     const std::size_t maxBacklog;
     std::vector<std::thread> threads;
 
+    struct Queued
+    {
+        std::uint64_t ordinal;
+        std::function<void()> task;
+    };
+
     std::mutex m;
     std::condition_variable cvTask;  ///< queue became non-empty
     std::condition_variable cvSpace; ///< queue dropped below the bound
     std::condition_variable cvIdle;  ///< queue empty and nothing running
-    std::deque<std::function<void()>> queue;
-    unsigned running = 0; ///< tasks currently executing
+    std::deque<Queued> queue;
+    std::uint64_t nextOrdinal = 0; ///< submission counter, tags tasks
+    unsigned running = 0;          ///< tasks currently executing
     bool stopping = false;
+    std::vector<JobError> errors; ///< escaped exceptions, per task
 };
 
 } // namespace bop

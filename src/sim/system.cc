@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/fault.hh"
+
 namespace bop
 {
 
@@ -307,9 +309,24 @@ System::runUntilRetired(std::uint64_t target)
     // (cleared again on every exit path: step() must never batch past
     // a retire boundary armed by a previous window).
     stopTarget = target;
+    const bool deadlineArmed =
+        jobDeadline != std::chrono::steady_clock::time_point{};
+    std::uint64_t deadlineChecks = 0;
     try {
         while (cores[0]->retired() < target) {
             step();
+            // The deadline check is time-based, so sample the clock
+            // only every 256 steps — cheap enough to leave armed on
+            // every farm job without skewing throughput numbers.
+            if (deadlineArmed && (++deadlineChecks & 255) == 0 &&
+                std::chrono::steady_clock::now() >= jobDeadline) {
+                std::ostringstream oss;
+                oss << "System: job exceeded its " << jobDeadlineSeconds
+                    << "s wall-clock deadline at cycle " << now
+                    << " (core 0 retired " << cores[0]->retired() << "/"
+                    << target << ")";
+                throw JobTimeout(oss.str());
+            }
             for (std::size_t c = 0; c < n; ++c) {
                 const std::uint64_t retired = cores[c]->retired();
                 if (retired != last_retired[c]) {
@@ -333,6 +350,19 @@ System::runUntilRetired(std::uint64_t target)
         throw;
     }
     stopTarget = 0;
+}
+
+void
+System::setJobDeadline(double seconds)
+{
+    jobDeadlineSeconds = seconds;
+    jobDeadline =
+        seconds > 0.0
+            ? std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(seconds))
+            : std::chrono::steady_clock::time_point{};
 }
 
 RunStats

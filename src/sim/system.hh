@@ -11,6 +11,7 @@
 #ifndef BOP_SIM_SYSTEM_HH
 #define BOP_SIM_SYSTEM_HH
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
@@ -58,6 +59,19 @@ class System
      * warmup+measure run.
      */
     RunStats measure(std::uint64_t measure_instr);
+
+    /**
+     * Arm a wall-clock deadline @p seconds from now for the
+     * run()/warmup()/measure() windows that follow: a window still
+     * running past the deadline throws JobTimeout (common/fault.hh),
+     * which the harness layers convert into a per-job error record
+     * instead of letting one wedged simulation stall a whole batch.
+     * Complements the per-core retire watchdog, which catches cores
+     * that stop making progress but not runs that progress too slowly
+     * to ever finish. seconds <= 0 disarms. The deadline is host-side
+     * only: simulated statistics of runs that finish are unaffected.
+     */
+    void setJobDeadline(double seconds);
 
     /**
      * Write the complete warm microarchitectural state to @p path in
@@ -199,6 +213,10 @@ class System
     std::vector<Cycle> batchStopAt;
     /** Cycle core 0 hit stopTarget within the batch, or neverCycle. */
     Cycle batchTargetAt = neverCycle;
+
+    /** Wall-clock deadline armed by setJobDeadline() (unarmed: zero). */
+    std::chrono::steady_clock::time_point jobDeadline{};
+    double jobDeadlineSeconds = 0.0; ///< for the timeout message
 };
 
 } // namespace bop

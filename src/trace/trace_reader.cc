@@ -1,9 +1,12 @@
 #include "trace/trace_reader.hh"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
+#include "common/fault.hh"
 #include "trace/trace_io.hh"
 
 namespace bop
@@ -209,26 +212,70 @@ PipeByteStream::readRaw(unsigned char *buf, std::size_t n)
 {
     if (!pipe)
         return 0;
-    const std::size_t got = std::fread(buf, 1, n, pipe);
-    if (got < n) {
-        if (std::ferror(pipe))
-            throw std::runtime_error("read error from: " + command);
-        finish();
+    std::size_t got = 0;
+    int retries = 0;
+    while (got < n) {
+        // Injection point trace_read_eio (docs/ROBUSTNESS.md): one
+        // transient read failure on the Nth readRaw call, recovered
+        // by the same bounded retry that handles a real EINTR — the
+        // decompressed bytes are identical to an uninjected run.
+        if (FaultPlan::global().fireCounted("trace_read_eio")) {
+            ++retries;
+            std::fprintf(stderr,
+                         "trace: transient read error (injected) at "
+                         "decompressed byte %llu, retry %d/%d: %s\n",
+                         static_cast<unsigned long long>(offset() + got),
+                         retries, maxTransientRetries, command.c_str());
+            continue;
+        }
+
+        got += std::fread(buf + got, 1, n - got, pipe);
+        if (got == n)
+            break;
+
+        if (std::ferror(pipe)) {
+            const int err = errno;
+            if ((err == EINTR || err == EAGAIN) &&
+                retries < maxTransientRetries) {
+                ++retries;
+                std::clearerr(pipe);
+                std::fprintf(
+                    stderr,
+                    "trace: transient read error (%s) at decompressed "
+                    "byte %llu, retry %d/%d: %s\n",
+                    std::strerror(err),
+                    static_cast<unsigned long long>(offset() + got),
+                    retries, maxTransientRetries, command.c_str());
+                continue;
+            }
+            throw std::runtime_error(
+                "read error from decompressor (" +
+                std::string(std::strerror(err)) + ") after " +
+                std::to_string(offset() + got) +
+                " decompressed byte(s): " + command);
+        }
+
+        // Clean EOF from the child: collect its exit status so a
+        // decompressor killed mid-stream surfaces here with the byte
+        // offset, never as silently truncated trace data.
+        finish(offset() + got);
+        break;
     }
     return got;
 }
 
 void
-PipeByteStream::finish()
+PipeByteStream::finish(std::uint64_t decompressed)
 {
     if (!pipe)
         return;
     const int status = ::pclose(pipe);
     pipe = nullptr;
     if (status != 0) {
-        throw std::runtime_error("decompressor failed (exit status " +
-                                 std::to_string(status) +
-                                 "): " + command);
+        throw std::runtime_error(
+            "decompressor failed (exit status " + std::to_string(status) +
+            ") after " + std::to_string(decompressed) +
+            " decompressed byte(s): " + command);
     }
 }
 

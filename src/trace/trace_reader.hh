@@ -143,7 +143,11 @@ class FileByteStream : public ByteStream
 /**
  * ByteStream over the stdout of a decompressor subprocess
  * (`gzip -dc` / `xz -dc`). The subprocess exit status is checked at
- * EOF so a corrupt archive surfaces as an exception, not silence.
+ * EOF so a corrupt archive surfaces as an exception — naming the
+ * decompressed byte offset and the child's exit status — never as
+ * silently truncated trace data. Transient read errors (EINTR/EAGAIN,
+ * e.g. a signal interrupting the pipe read) are retried up to
+ * maxTransientRetries times with a stderr diagnostic per attempt.
  */
 class PipeByteStream : public ByteStream
 {
@@ -155,11 +159,16 @@ class PipeByteStream : public ByteStream
     PipeByteStream(const PipeByteStream &) = delete;
     PipeByteStream &operator=(const PipeByteStream &) = delete;
 
+    /** Transient-read retry bound before the error is permanent. */
+    static constexpr int maxTransientRetries = 3;
+
   protected:
     std::size_t readRaw(unsigned char *buf, std::size_t n) override;
 
   private:
-    void finish(); ///< pclose + exit-status check (throws on failure)
+    /** pclose + exit-status check; @p decompressed names the byte
+     *  offset in the failure message. Throws on nonzero status. */
+    void finish(std::uint64_t decompressed);
 
     std::FILE *pipe = nullptr;
     std::string command;

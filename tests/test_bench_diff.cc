@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "harness/bench_diff.hh"
@@ -230,6 +232,90 @@ TEST(BenchDiff, ReportsAddedAndRemovedRuns)
     EXPECT_EQ(result.onlyOld[0].substr(0, 1), "a");
     ASSERT_EQ(result.onlyNew.size(), 1u);
     EXPECT_EQ(result.onlyNew[0].substr(0, 1), "c");
+}
+
+// -- file parsing (array vs NDJSON, crash tolerance) --------------------------
+
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &tag, const std::string &text)
+        : path_("/tmp/bop_bench_diff_test_" + tag)
+    {
+        std::ofstream out(path_);
+        out << text;
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(BenchDiffFile, ArrayArtifactParsesWithoutWarning)
+{
+    TempFile file("array.json",
+                  artifact({record("a", 1.0, 0.5, 10.0),
+                            record("b", 1.2, 0.4, 8.0)}));
+    std::string warning;
+    const auto records = parseRunRecordsFile(file.path(), &warning);
+    EXPECT_EQ(records.size(), 2u);
+    EXPECT_TRUE(warning.empty()) << warning;
+}
+
+TEST(BenchDiffFile, NdjsonStreamParsesLineByLine)
+{
+    TempFile file("ndjson.json", record("a", 1.0, 0.5, 10.0) + "\n" +
+                                     "\n" + // blank lines are fine
+                                     record("b", 1.2, 0.4, 8.0) + "\n");
+    std::string warning;
+    const auto records = parseRunRecordsFile(file.path(), &warning);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].key().substr(0, 1), "a");
+    EXPECT_TRUE(warning.empty()) << warning;
+}
+
+TEST(BenchDiffFile, TruncatedTrailingNdjsonLineToleratedWithWarning)
+{
+    // A producer killed mid-write leaves a half-record on the last
+    // line; the survivors must stay comparable, and the warning names
+    // the dropped line.
+    TempFile file("truncated.ndjson",
+                  record("a", 1.0, 0.5, 10.0) + "\n" +
+                      record("b", 1.2, 0.4, 8.0) + "\n" +
+                      "{\"workload\": \"c\", \"ipc\": 0.9");
+    std::string warning;
+    const auto records = parseRunRecordsFile(file.path(), &warning);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_NE(warning.find("line 3"), std::string::npos) << warning;
+    EXPECT_NE(warning.find("truncated trailing record ignored"),
+              std::string::npos)
+        << warning;
+}
+
+TEST(BenchDiffFile, MidStreamCorruptionRejectedWithLineNumber)
+{
+    // Corruption anywhere BEFORE the last line is not a crash
+    // signature — it fails the comparison, naming the line.
+    TempFile file("corrupt.ndjson", record("a", 1.0, 0.5, 10.0) + "\n" +
+                                        "{\"workload\": \"b\"\n" +
+                                        record("c", 1.2, 0.4, 8.0) +
+                                        "\n");
+    try {
+        parseRunRecordsFile(file.path());
+        FAIL() << "mid-stream corruption parsed cleanly";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(BenchDiffFile, MissingFileRejected)
+{
+    EXPECT_THROW(
+        parseRunRecordsFile("/tmp/bop_bench_diff_test_nonexistent"),
+        std::runtime_error);
 }
 
 } // namespace

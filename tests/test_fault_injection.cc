@@ -1,9 +1,16 @@
 /**
  * @file
- * Failure-injection tests: shrink every structural resource (fill
+ * Resource-shrink tests: shrink every structural resource (fill
  * queues, MSHRs, prefetch queue, memory queues can't be shrunk — they
  * are Table 1 constants) to pathological sizes and verify the system
  * still makes forward progress (no deadlock, instruction targets hit).
+ *
+ * These stress the *simulated machine's* flow control under starved
+ * configurations. They are distinct from the chaos battery in
+ * tests/test_chaos.cc, which injects *host-side* faults (thrown jobs,
+ * wedged jobs, short checkpoint writes, transient trace-read errors
+ * via BOP_FAULT) and checks that the farm/serve/checkpoint stack
+ * contains them.
  */
 
 #include <gtest/gtest.h>

@@ -18,6 +18,7 @@
 #include <mutex>
 #include <regex>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -400,6 +401,64 @@ TEST(TaskPool, SubmitBlocksWhenBacklogFull)
     pool.drain();
 }
 
+TEST(TaskPool, WorkerExceptionsDeliveredAtDrain)
+{
+    // A throwing task must not take its worker (or the pool) down:
+    // the exception is parked as a JobError, every other task still
+    // runs, drain() returns, and takeErrors() hands the failures back
+    // ordered by submission ordinal.
+    TaskPool pool(4);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 40; ++i) {
+        if (i % 10 == 3) {
+            pool.submit([i] {
+                throw std::runtime_error("boom " + std::to_string(i));
+            });
+        } else {
+            pool.submit([&done] { ++done; });
+        }
+    }
+    pool.drain();
+    EXPECT_EQ(done.load(), 36);
+
+    std::vector<JobError> errors = pool.takeErrors();
+    ASSERT_EQ(errors.size(), 4u);
+    EXPECT_EQ(errors[0].index, 3u);
+    EXPECT_EQ(errors[1].index, 13u);
+    EXPECT_EQ(errors[2].index, 23u);
+    EXPECT_EQ(errors[3].index, 33u);
+    EXPECT_EQ(errors[0].kind, "simulation");
+    EXPECT_NE(errors[0].what.find("boom 3"), std::string::npos);
+    // takeErrors() drains: a second call is empty.
+    EXPECT_TRUE(pool.takeErrors().empty());
+
+    // The pool stays usable after failures.
+    pool.submit([&done] { ++done; });
+    pool.drain();
+    EXPECT_EQ(done.load(), 37);
+    EXPECT_TRUE(pool.takeErrors().empty());
+}
+
+TEST(TaskPool, BacklogKeepsDrainingAfterEarlyError)
+{
+    // One worker, backlog 2: the very first task throws while later
+    // submissions are leaning on the backpressure bound. The error
+    // must not wedge the bookkeeping — every queued task still runs
+    // and drain() returns.
+    TaskPool pool(1, 2);
+    std::atomic<int> done{0};
+    pool.submit([] { throw std::runtime_error("first task fails"); });
+    for (int i = 0; i < 20; ++i)
+        pool.submit([&done] { ++done; });
+    pool.drain();
+    EXPECT_EQ(done.load(), 20);
+
+    std::vector<JobError> errors = pool.takeErrors();
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_EQ(errors[0].index, 0u);
+    EXPECT_NE(errors[0].what.find("first task fails"), std::string::npos);
+}
+
 TEST(Serve, MalformedLinesRejectedWithDiagnostics)
 {
     std::istringstream in(
@@ -454,7 +513,8 @@ TEST(Serve, ThousandJobBatchDedupsAndDrains)
 
     const int failures = serveLoop(in, out, runner, options, diag);
     EXPECT_EQ(failures, 0);
-    EXPECT_EQ(diag.str(), "");
+    // The only diagnostic on a clean batch is the final summary line.
+    EXPECT_EQ(diag.str(), "serve: 1000 accepted, 0 rejected, 0 failed\n");
     EXPECT_EQ(runner.records().size(), 4u);
 
     // Every job_index 0..999 answered exactly once (completion order

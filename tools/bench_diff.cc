@@ -88,8 +88,20 @@ main(int argc, char **argv)
     }
 
     try {
-        const auto old_records = bop::parseRunRecordsFile(old_path);
-        const auto new_records = bop::parseRunRecordsFile(new_path);
+        // NDJSON inputs tolerate a truncated trailing record (a
+        // producer crash mid-write); it is dropped with a warning so
+        // the surviving records still guard the comparison.
+        std::string old_warning, new_warning;
+        const auto old_records =
+            bop::parseRunRecordsFile(old_path, &old_warning);
+        const auto new_records =
+            bop::parseRunRecordsFile(new_path, &new_warning);
+        if (!old_warning.empty())
+            std::fprintf(stderr, "bench_diff: warning: %s\n",
+                         old_warning.c_str());
+        if (!new_warning.empty())
+            std::fprintf(stderr, "bench_diff: warning: %s\n",
+                         new_warning.c_str());
         const bop::BenchDiffResult result =
             bop::diffRunRecords(old_records, new_records, options);
 

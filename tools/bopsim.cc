@@ -16,7 +16,9 @@
  *   bopsim --serve --jobs 4 < jobs.ndjson > records.ndjson
  */
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -84,6 +86,12 @@ usage(const char *argv0)
         "                      also BOP_JOBS=N)\n"
         "  --backlog N         max in-flight jobs before the stdin\n"
         "                      reader blocks (default 4*jobs)\n"
+        "  --job-timeout SEC   per-job wall-clock deadline; a job still\n"
+        "                      simulating past it answers with an error\n"
+        "                      record instead of stalling the batch\n"
+        "                      (default off; also BOP_JOB_TIMEOUT=SEC)\n"
+        "                      SIGINT/SIGTERM drain gracefully: no new\n"
+        "                      lines accepted, in-flight jobs answer\n"
         "\n"
         "checkpointing (format: docs/CHECKPOINT_FORMAT.md):\n"
         "  --save-checkpoint FILE\n"
@@ -117,6 +125,15 @@ die(const std::string &msg)
     std::exit(1);
 }
 
+/** Raised by SIGINT/SIGTERM; --serve drains gracefully when set. */
+std::atomic<bool> stop_requested{false};
+
+void
+onStopSignal(int)
+{
+    stop_requested.store(true, std::memory_order_relaxed);
+}
+
 bop::L2PrefetcherKind
 parsePrefetcher(const std::string &name)
 {
@@ -147,6 +164,7 @@ main(int argc, char **argv)
     bool serve = false;
     int jobs = 1;
     std::size_t backlog = 0;
+    double job_timeout = -1.0; ///< <0 = not given; BOP_JOB_TIMEOUT rules
     if (const char *j = std::getenv("BOP_JOBS")) {
         const int env_jobs = std::atoi(j);
         if (env_jobs >= 1)
@@ -185,6 +203,8 @@ main(int argc, char **argv)
         } else if (arg == "--backlog") {
             backlog = static_cast<std::size_t>(
                 std::strtoull(next_arg(i).c_str(), nullptr, 10));
+        } else if (arg == "--job-timeout") {
+            job_timeout = std::strtod(next_arg(i).c_str(), nullptr);
         } else if (arg == "--no-fast-forward") {
             cfg.fastForward = false;
         } else if (arg == "--prefetcher") {
@@ -257,10 +277,25 @@ main(int argc, char **argv)
                 "(\"checkpoint\": \"share\"), not via "
                 "--save/--restore-checkpoint");
         ExperimentRunner runner(Budget{warmup, instr});
+        if (job_timeout >= 0.0)
+            runner.setJobTimeout(job_timeout);
         ServeOptions serve_opts;
         serve_opts.jobs = jobs;
         serve_opts.backlog = backlog;
         serve_opts.defaultBudget = Budget{warmup, instr};
+        serve_opts.stopRequested = &stop_requested;
+
+        // Graceful drain on SIGINT/SIGTERM: no SA_RESTART, so a
+        // signal arriving while the reader blocks in getline makes
+        // the read fail with EINTR and the loop falls through to the
+        // drain instead of waiting for more input.
+        struct sigaction sa;
+        std::memset(&sa, 0, sizeof sa);
+        sa.sa_handler = onStopSignal;
+        sigemptyset(&sa.sa_mask);
+        sigaction(SIGINT, &sa, nullptr);
+        sigaction(SIGTERM, &sa, nullptr);
+
         const int failures = serveLoop(std::cin, std::cout, runner,
                                        serve_opts, std::cerr);
         if (failures) {
