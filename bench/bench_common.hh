@@ -44,6 +44,9 @@ struct BenchOptions
 {
     std::string jsonPath; ///< --json PATH: machine-readable run records
     int jobs = 1;         ///< --jobs N / BOP_JOBS: sweep-farm workers
+    std::string journalPath; ///< --journal FILE: write-ahead journal
+    std::string resumePath;  ///< --resume FILE: replay a journal
+    int retries = -1; ///< --retries N (-1: runner default, BOP_RETRIES)
 };
 
 /**
@@ -65,22 +68,66 @@ parseBenchOptions(int argc, char **argv, std::string *positional = nullptr)
             opts.jobs = std::atoi(argv[++i]);
             if (opts.jobs < 1)
                 opts.jobs = 1;
+        } else if (arg == "--journal" && i + 1 < argc) {
+            opts.journalPath = argv[++i];
+        } else if (arg == "--resume" && i + 1 < argc) {
+            opts.resumePath = argv[++i];
+        } else if (arg == "--retries" && i + 1 < argc) {
+            opts.retries = std::atoi(argv[++i]);
+            if (opts.retries < 0)
+                opts.retries = 0;
         } else if (positional && !arg.empty() && arg[0] != '-') {
             *positional = arg;
         } else {
             std::cerr << "usage: " << argv[0] << " [--json PATH]"
-                      << " [--jobs N]"
+                      << " [--jobs N] [--journal FILE] [--resume FILE]"
+                      << " [--retries N]"
                       << (positional ? " [benchmark]" : "") << "\n"
-                      << "  --json PATH  write one JSON record per "
+                      << "  --json PATH     write one JSON record per "
                          "simulation run to PATH\n"
-                      << "  --jobs N     sweep-farm worker threads "
+                      << "  --jobs N        sweep-farm worker threads "
                          "(default BOP_JOBS or 1; records are\n"
-                      << "               byte-identical for every N, "
-                         "timing fields aside)\n";
+                      << "                  byte-identical for every N, "
+                         "timing fields aside)\n"
+                      << "  --journal FILE  append every committed "
+                         "record to a crash-durable write-ahead\n"
+                      << "                  journal "
+                         "(fsync-on-commit; docs/ROBUSTNESS.md)\n"
+                      << "  --resume FILE   replay a journal before "
+                         "sweeping: journaled jobs commit\n"
+                      << "                  verbatim, only the rest "
+                         "simulate\n"
+                      << "  --retries N     re-enqueue transient (kind "
+                         "\"io\") failures up to N times\n"
+                      << "                  with exponential backoff "
+                         "(default BOP_RETRIES or 0)\n";
             std::exit(arg == "--help" || arg == "-h" ? 0 : 2);
         }
     }
     return opts;
+}
+
+/**
+ * Apply the durability options to a runner: resume first (replaying
+ * an existing journal), then attach the write-ahead journal for this
+ * session's commits. Refusals (budget mismatch, corrupt journal) are
+ * fatal with the named mismatch on stderr — a sweep must never
+ * silently proceed past a journal it could not honour.
+ */
+inline void
+configureBenchRunner(ExperimentRunner &runner, const BenchOptions &opts)
+{
+    if (opts.retries >= 0)
+        runner.setRetries(opts.retries);
+    try {
+        if (!opts.resumePath.empty())
+            runner.resumeFromJournal(opts.resumePath, std::cerr);
+        if (!opts.journalPath.empty())
+            runner.attachJournal(opts.journalPath);
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        std::exit(2);
+    }
 }
 
 /** Write the runner's records when --json was given; false on error. */

@@ -22,6 +22,7 @@ main(int argc, char **argv)
     using namespace bop;
     const BenchOptions opts = parseBenchOptions(argc, argv);
     ExperimentRunner runner;
+    configureBenchRunner(runner, opts);
     SweepFarm farm(runner, opts.jobs);
     benchHeader("Extension ablations: BO variants + stream prefetcher",
                 runner);

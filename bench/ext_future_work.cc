@@ -24,6 +24,7 @@ main(int argc, char **argv)
     using namespace bop;
     const BenchOptions opts = parseBenchOptions(argc, argv);
     ExperimentRunner runner;
+    configureBenchRunner(runner, opts);
     SweepFarm farm(runner, opts.jobs);
     benchHeader("Extension: Sec. 7 future-work variants (GM speedup vs "
                 "next-line baseline)",

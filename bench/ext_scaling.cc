@@ -51,6 +51,7 @@ main(int argc, char **argv)
     const BenchOptions opts = parseBenchOptions(argc, argv, &bench);
 
     ExperimentRunner runner;
+    configureBenchRunner(runner, opts);
     benchHeader("Scaling study: BO under contention at 1-16 cores "
                 "(benchmark " + bench + " on core 0, thrashers elsewhere)",
                 runner);

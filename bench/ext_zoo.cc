@@ -60,6 +60,7 @@ main(int argc, char **argv)
     Budget budget = Budget::fromEnv();
     budget.warmup *= 3;
     ExperimentRunner runner(budget);
+    configureBenchRunner(runner, opts);
     SweepFarm farm(runner, opts.jobs);
     benchHeader("Extension: prefetcher zoo (GM speedup vs no-prefetch, "
                 "3x warm-up)",

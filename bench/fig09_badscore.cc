@@ -14,6 +14,7 @@ main(int argc, char **argv)
     using namespace bop;
     const BenchOptions opts = parseBenchOptions(argc, argv);
     ExperimentRunner runner;
+    configureBenchRunner(runner, opts);
     SweepFarm farm(runner, opts.jobs);
     benchHeader("Figure 9: BADSCORE sweep (geomean BO speedups)", runner);
 

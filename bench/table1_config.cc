@@ -21,6 +21,7 @@ main(int argc, char **argv)
     // benches (an empty record array is still a valid artifact).
     const BenchOptions opts = parseBenchOptions(argc, argv);
     ExperimentRunner runner;
+    configureBenchRunner(runner, opts);
 
     std::cout << "=== Table 1: baseline microarchitecture ===\n\n";
     const SystemConfig cfg = baselineConfig(1, PageSize::FourKB);

@@ -22,7 +22,15 @@ faultKindOf(const std::exception &e)
         return "timeout";
     if (dynamic_cast<const CheckpointError *>(&e))
         return "checkpoint";
+    if (dynamic_cast<const TransientIoError *>(&e))
+        return "io";
     return "simulation";
+}
+
+bool
+transientFaultKind(const std::string &kind)
+{
+    return kind == "io";
 }
 
 FaultPlan &
@@ -73,6 +81,13 @@ FaultPlan::arm(const std::string &spec)
     std::lock_guard<std::mutex> lk(m);
     plan = std::move(parsed);
     anyArmed.store(!plan.empty(), std::memory_order_release);
+}
+
+void
+FaultPlan::resetForTest()
+{
+    const char *env = std::getenv("BOP_FAULT");
+    arm(env != nullptr ? env : "");
 }
 
 bool

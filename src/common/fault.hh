@@ -58,12 +58,37 @@ class JobTimeout : public std::runtime_error
 };
 
 /**
+ * A transient host-I/O failure (`trace_read_eio`-class: a flaky read
+ * from a decompressor pipe, a recoverable EIO). Its own exception type
+ * so the harness layers classify the error record as kind "io" — the
+ * one kind the bounded-retry machinery (`--retries`, docs/ROBUSTNESS.md
+ * decision table) is allowed to re-enqueue.
+ */
+class TransientIoError : public std::runtime_error
+{
+  public:
+    explicit TransientIoError(const std::string &what_)
+        : std::runtime_error(what_)
+    {
+    }
+};
+
+/**
  * Error-record classification of an exception: "timeout" for
- * JobTimeout, "checkpoint" for CheckpointError, "simulation" for
- * everything else. The strings are part of the error-record grammar
- * (docs/ROBUSTNESS.md) and must stay stable.
+ * JobTimeout, "checkpoint" for CheckpointError, "io" for
+ * TransientIoError, "simulation" for everything else. The strings are
+ * part of the error-record grammar (docs/ROBUSTNESS.md) and must stay
+ * stable.
  */
 std::string faultKindOf(const std::exception &e);
+
+/**
+ * True for error-record kinds that represent weather, not bugs — the
+ * only kinds bounded retry may re-enqueue. Currently just "io":
+ * timeouts and checkpoint/simulation failures are deterministic and
+ * would fail identically on every attempt.
+ */
+bool transientFaultKind(const std::string &kind);
 
 /** Deterministic fault-injection plan (see file comment). */
 class FaultPlan
@@ -82,6 +107,15 @@ class FaultPlan
 
     /** Disarm every point. */
     void clear() { arm(""); }
+
+    /**
+     * Re-arm the plan from the BOP_FAULT environment variable (or
+     * disarm everything when it is unset), resetting every hit counter
+     * and exactly-once fired flag. Fired flags otherwise reset only at
+     * process start, which would force multi-scenario test binaries
+     * into env-var re-exec gymnastics to fire the same point twice.
+     */
+    void resetForTest();
 
     /** True when @p point is armed (fired or not). */
     bool armed(const std::string &point) const;

@@ -364,18 +364,93 @@ parseRunRecordsFile(const std::string &path, std::string *warning)
     return records;
 }
 
+namespace
+{
+
+/** "kind" of an error record ("unknown" when the field is missing —
+ *  serve rejection objects from before the kind field existed). */
+std::string
+errorKindOrDefault(const ParsedRunRecord &record)
+{
+    const std::string kind = lookupString(record, "kind");
+    return kind.empty() ? "unknown" : kind;
+}
+
+/** Pair the error records of both artifacts by job_index and report
+ *  kind mismatches; a mismatch is a non-clean finding. Records
+ *  without a job_index (-1) cannot be paired and are listed as
+ *  one-sided. Last record per index wins, matching the journal's
+ *  replay rule. */
+void
+diffErrorRecords(const std::vector<const ParsedRunRecord *> &oldErrors,
+                 const std::vector<const ParsedRunRecord *> &newErrors,
+                 BenchDiffResult &result)
+{
+    std::map<long, std::string> oldByIndex;
+    for (const ParsedRunRecord *record : oldErrors) {
+        const long index =
+            static_cast<long>(lookupNumber(*record, "job_index", -1.0));
+        if (index >= 0)
+            oldByIndex[index] = errorKindOrDefault(*record);
+        else
+            result.errorOnlyOld.push_back(
+                "job ? (" + errorKindOrDefault(*record) + ")");
+    }
+    std::map<long, bool> seen;
+    for (const ParsedRunRecord *record : newErrors) {
+        const long index =
+            static_cast<long>(lookupNumber(*record, "job_index", -1.0));
+        const std::string kind = errorKindOrDefault(*record);
+        if (index < 0) {
+            result.errorOnlyNew.push_back("job ? (" + kind + ")");
+            continue;
+        }
+        const auto it = oldByIndex.find(index);
+        if (it == oldByIndex.end()) {
+            result.errorOnlyNew.push_back(
+                "job " + std::to_string(index) + " (" + kind + ")");
+            continue;
+        }
+        seen[index] = true;
+        ++result.errorsCompared;
+        if (it->second != kind)
+            result.errorMismatches.push_back({index, it->second, kind});
+    }
+    for (const auto &[index, kind] : oldByIndex) {
+        if (!seen.count(index))
+            result.errorOnlyOld.push_back(
+                "job " + std::to_string(index) + " (" + kind + ")");
+    }
+}
+
+} // namespace
+
 BenchDiffResult
 diffRunRecords(const std::vector<ParsedRunRecord> &oldRecords,
                const std::vector<ParsedRunRecord> &newRecords,
                const BenchDiffOptions &options)
 {
     BenchDiffResult result;
+
+    // Error records never enter the metric comparison: an errored run
+    // has no IPC/coverage/throughput to compare, and letting its key
+    // match a success record's would silently skew the stats. They
+    // are split off here and paired by job_index below.
+    std::vector<const ParsedRunRecord *> oldErrors, newErrors;
     std::map<std::string, const ParsedRunRecord *> byKey;
-    for (const ParsedRunRecord &record : oldRecords)
-        byKey[record.key()] = &record;
+    for (const ParsedRunRecord &record : oldRecords) {
+        if (record.isError())
+            oldErrors.push_back(&record);
+        else
+            byKey[record.key()] = &record;
+    }
 
     std::map<std::string, bool> seen;
     for (const ParsedRunRecord &newRecord : newRecords) {
+        if (newRecord.isError()) {
+            newErrors.push_back(&newRecord);
+            continue;
+        }
         const std::string key = newRecord.key();
         const auto it = byKey.find(key);
         if (it == byKey.end()) {
@@ -415,10 +490,14 @@ diffRunRecords(const std::vector<ParsedRunRecord> &oldRecords,
         }
     }
     for (const ParsedRunRecord &record : oldRecords) {
+        if (record.isError())
+            continue;
         const std::string key = record.key();
         if (!seen.count(key))
             result.onlyOld.push_back(key);
     }
+
+    diffErrorRecords(oldErrors, newErrors, result);
     return result;
 }
 

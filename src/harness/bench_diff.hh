@@ -36,6 +36,12 @@ struct ParsedRunRecord
      *  trace_source reads as "generator" so pre-trace_source
      *  artifacts keep matching modern ones. */
     std::string key() const;
+
+    /** True for error records (farm error records and serve rejection
+     *  objects both carry an "error" string field). Error records
+     *  carry no simulated metrics: the differ pairs them by job_index
+     *  instead of comparing IPC/coverage/throughput. */
+    bool isError() const { return strings.count("error") != 0; }
 };
 
 /**
@@ -95,15 +101,35 @@ struct BenchDelta
     double delta = 0.0; ///< newValue - oldValue
 };
 
+/** Two error records paired by job_index whose failure kind differs —
+ *  a behavioural change (e.g. a timeout became an io error) that must
+ *  not hide inside an otherwise-clean metric diff. */
+struct ErrorKindMismatch
+{
+    long jobIndex = -1;
+    std::string oldKind;
+    std::string newKind;
+};
+
 /** Outcome of diffing two artifacts. */
 struct BenchDiffResult
 {
     std::vector<BenchDelta> flagged; ///< beyond-threshold movements
     std::vector<std::string> onlyOld; ///< runs that disappeared
     std::vector<std::string> onlyNew; ///< runs that appeared
-    std::size_t compared = 0;         ///< runs present in both
+    std::size_t compared = 0;         ///< success runs present in both
 
-    bool clean() const { return flagged.empty(); }
+    /** Error records (isError()) are excluded from the metric
+     *  comparisons above and paired by job_index instead. */
+    std::size_t errorsCompared = 0; ///< error pairs present in both
+    std::vector<ErrorKindMismatch> errorMismatches; ///< kind changed
+    std::vector<std::string> errorOnlyOld; ///< "job N (kind)" gone
+    std::vector<std::string> errorOnlyNew; ///< "job N (kind)" appeared
+
+    bool clean() const
+    {
+        return flagged.empty() && errorMismatches.empty();
+    }
 };
 
 /** Compare two artifacts run-by-run (matched on key()). */

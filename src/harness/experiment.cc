@@ -3,10 +3,16 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 #include <thread>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include "common/fault.hh"
+#include "common/serializer.hh"
 #include "dram/address_map.hh"
 #include "trace/workloads.hh"
 
@@ -133,6 +139,177 @@ ExperimentRunner::timeoutFromEnv()
     return v != nullptr ? std::strtod(v, nullptr) : 0.0;
 }
 
+int
+ExperimentRunner::retriesFromEnv()
+{
+    const char *v = std::getenv("BOP_RETRIES");
+    const int n = v != nullptr ? std::atoi(v) : 0;
+    return n < 0 ? 0 : n;
+}
+
+double
+ExperimentRunner::backoffFromEnv()
+{
+    const char *v = std::getenv("BOP_RETRY_BACKOFF");
+    return v != nullptr ? std::strtod(v, nullptr) : 0.05;
+}
+
+std::string
+ExperimentRunner::ckptDirFromEnv()
+{
+    const char *v = std::getenv("BOP_CKPT_DIR");
+    return v != nullptr ? v : "";
+}
+
+std::string
+ExperimentRunner::cacheEntryPath(const std::string &pkey) const
+{
+    // FNV-1a 64 of the prefix key names the file; the key itself is
+    // embedded in the entry and verified on load, so a hash collision
+    // can never restore the wrong warm state.
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : pkey) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    char name[32];
+    std::snprintf(name, sizeof name, "%016llx.bopckpt",
+                  static_cast<unsigned long long>(h));
+    return ckptDir + "/" + name;
+}
+
+namespace
+{
+constexpr char cacheMagic[8] = {'B', 'O', 'P', 'C', 'A', 'C', 'H', '1'};
+} // namespace
+
+bool
+ExperimentRunner::loadCacheEntry(const std::string &pkey,
+                                 std::vector<std::uint8_t> &container) const
+{
+    const std::string path = cacheEntryPath(pkey);
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false; // no entry: a plain cache miss, not an error
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+
+    // Validate everything before handing anything to the caller; a
+    // refused entry falls back to cold warmup (and is overwritten by
+    // the fresh save), never restored.
+    if (bytes.size() < sizeof cacheMagic + 4)
+        throw CheckpointError("checkpoint-cache entry '" + path +
+                                  "' truncated (" +
+                                  std::to_string(bytes.size()) + " bytes)",
+                              bytes.size());
+    if (std::memcmp(bytes.data(), cacheMagic, sizeof cacheMagic) != 0)
+        throw CheckpointError("checkpoint-cache entry '" + path +
+                                  "' has bad magic",
+                              0);
+    std::uint32_t keyLen = 0;
+    std::memcpy(&keyLen, bytes.data() + sizeof cacheMagic, 4);
+    const std::size_t keyOff = sizeof cacheMagic + 4;
+    if (keyLen > bytes.size() - keyOff)
+        throw CheckpointError("checkpoint-cache entry '" + path +
+                                  "' key length " +
+                                  std::to_string(keyLen) +
+                                  " overruns the file",
+                              sizeof cacheMagic);
+    const std::string storedKey(
+        reinterpret_cast<const char *>(bytes.data() + keyOff), keyLen);
+    if (storedKey != pkey)
+        throw CheckpointError("checkpoint-cache entry '" + path +
+                                  "' is keyed for \"" + storedKey +
+                                  "\", not \"" + pkey + "\"",
+                              keyOff);
+    container.assign(bytes.begin() +
+                         static_cast<std::ptrdiff_t>(keyOff + keyLen),
+                     bytes.end());
+    // Fault injection (docs/ROBUSTNESS.md): a bit-rotted entry — the
+    // flipped byte trips the container's section CRC inside
+    // restoreCheckpointBytes, which must refuse before applying.
+    if (!container.empty() &&
+        FaultPlan::global().fireCounted("ckpt_cache_corrupt"))
+        container[container.size() / 2] ^= 0xff;
+    return true;
+}
+
+void
+ExperimentRunner::saveCacheEntry(
+    const std::string &pkey,
+    const std::vector<std::uint8_t> &container) const
+{
+    ::mkdir(ckptDir.c_str(), 0777); // best effort; EEXIST is fine
+    const std::string path = cacheEntryPath(pkey);
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        std::fprintf(stderr,
+                     "checkpoint-cache: cannot write '%s' (cache "
+                     "disabled for this entry)\n",
+                     tmp.c_str());
+        return;
+    }
+    const std::uint32_t keyLen =
+        static_cast<std::uint32_t>(pkey.size());
+    bool ok = std::fwrite(cacheMagic, 1, sizeof cacheMagic, f) ==
+                  sizeof cacheMagic &&
+              std::fwrite(&keyLen, 1, 4, f) == 4 &&
+              std::fwrite(pkey.data(), 1, pkey.size(), f) == pkey.size() &&
+              std::fwrite(container.data(), 1, container.size(), f) ==
+                  container.size() &&
+              std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+    ok = (std::fclose(f) == 0) && ok;
+    // Atomic publish: the entry appears under its final name only
+    // complete and fsynced, so a crashed writer leaves nothing a
+    // reader could mistake for a checkpoint (same discipline as
+    // System::saveCheckpoint).
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        std::fprintf(stderr,
+                     "checkpoint-cache: failed to persist '%s' "
+                     "(continuing without)\n",
+                     path.c_str());
+    }
+}
+
+std::size_t
+ExperimentRunner::resumeFromJournal(const std::string &path,
+                                    std::ostream &diag)
+{
+    std::vector<JournalEntry> entries =
+        ResultJournal::load(path, budget.warmup, budget.measure, diag);
+    std::lock_guard<std::mutex> lk(m);
+    for (JournalEntry &entry : entries) {
+        entry.record.journalReplayed = true;
+        if (!entry.record.errored())
+            cache[entry.key] = entry.record; // memo hit for run()
+        // Success and error records both land in the pending-replay
+        // map (last entry wins) so the farm re-emits a crashed
+        // sweep's record stream — errors included — verbatim.
+        replayed[entry.key] = std::move(entry.record);
+    }
+    replayCount += entries.size();
+    diag << "journal: replayed " << entries.size() << " record"
+         << (entries.size() == 1 ? "" : "s") << " from '" << path
+         << "'\n";
+    return entries.size();
+}
+
+bool
+ExperimentRunner::consumeReplayed(const std::string &key, RunRecord &out)
+{
+    std::lock_guard<std::mutex> lk(m);
+    auto it = replayed.find(key);
+    if (it == replayed.end())
+        return false;
+    out = std::move(it->second);
+    replayed.erase(it);
+    return true;
+}
+
 const RunRecord *
 ExperimentRunner::memoised(const std::string &key) const
 {
@@ -183,6 +360,14 @@ ExperimentRunner::simulateRecord(const std::string &benchmark,
             throw std::runtime_error("injected fault job_throw at job " +
                                      std::to_string(fjob));
         }
+        if (fjob >= 0 &&
+            faults.fireAt("job_io", static_cast<std::uint64_t>(fjob))) {
+            // Transient by definition (fireAt is exactly-once): a
+            // retried attempt of the same job succeeds, which is what
+            // lets the chaos battery pin the --retries path.
+            throw TransientIoError("injected fault job_io at job " +
+                                   std::to_string(fjob));
+        }
     };
 
     System system(cfg, makeTraces(benchmark, cfg));
@@ -226,13 +411,42 @@ ExperimentRunner::simulateRecord(const std::string &benchmark,
                 // failure, so waiters retry as producers (falling
                 // back to a cold warmup) instead of deadlocking.
                 throwInjected();
-                system.warmup(b.warmup);
-                std::vector<std::uint8_t> warm =
-                    system.saveCheckpointBytes();
+                bool fromDisk = false;
+                std::vector<std::uint8_t> warm;
+                if (!ckptDir.empty()) {
+                    // Disk-backed prefix cache (BOP_CKPT_DIR): another
+                    // process may have paid this warmup already.
+                    // Validate-before-apply: a refused entry leaves
+                    // the System untouched, so the cold-warmup
+                    // fallback below starts from pristine state.
+                    try {
+                        std::vector<std::uint8_t> entry;
+                        if (loadCacheEntry(pkey, entry)) {
+                            system.restoreCheckpointBytes(entry);
+                            warm = std::move(entry);
+                            fromDisk = true;
+                        }
+                    } catch (const CheckpointError &e) {
+                        std::fprintf(
+                            stderr,
+                            "checkpoint-cache: refusing entry for "
+                            "\"%s\": %s — falling back to cold "
+                            "warmup\n",
+                            pkey.c_str(), e.what());
+                    }
+                }
+                if (!fromDisk) {
+                    system.warmup(b.warmup);
+                    warm = system.saveCheckpointBytes();
+                    if (!ckptDir.empty())
+                        saveCacheEntry(pkey, warm); // overwrites a
+                                                    // refused entry
+                }
                 std::lock_guard<std::mutex> lk(m);
                 prefixCache.emplace(pkey, std::move(warm));
                 prefixInflight.erase(pkey);
-                ++prefixSims;
+                if (!fromDisk)
+                    ++prefixSims;
                 cv.notify_all();
             } catch (...) {
                 // Release the prefix latch so waiters retry (and hit
@@ -271,14 +485,19 @@ ExperimentRunner::simulateRecord(const std::string &benchmark,
 void
 ExperimentRunner::commitJob(const std::string &key, RunRecord record)
 {
+    // Write-ahead: the journal line is durable before the record is
+    // acknowledged in memory, so a crash after this point loses
+    // nothing and a crash before it merely re-simulates the job.
+    journalCommit(key, record);
     std::lock_guard<std::mutex> lk(m);
     runRecords.push_back(record);
     cache.emplace(key, std::move(record));
 }
 
 void
-ExperimentRunner::commitError(RunRecord record)
+ExperimentRunner::commitError(const std::string &key, RunRecord record)
 {
+    journalCommit(key, record);
     std::lock_guard<std::mutex> lk(m);
     runRecords.push_back(std::move(record));
 }
@@ -327,6 +546,17 @@ ExperimentRunner::run(const std::string &benchmark, const SystemConfig &cfg,
         throw;
     }
 
+    try {
+        // Write-ahead, still outside the memo lock; a failed journal
+        // append must release the in-flight latch like any other
+        // failure so waiters do not hang on a dead commit.
+        journalCommit(key, record);
+    } catch (...) {
+        lk.lock();
+        inflight.erase(key);
+        cv.notify_all();
+        throw;
+    }
     lk.lock();
     runRecords.push_back(record);
     auto committed = cache.emplace(key, std::move(record)).first;

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "harness/journal.hh"
 #include "harness/json_report.hh"
 #include "sim/config.hh"
 #include "sim/system.hh"
@@ -80,7 +81,8 @@ class ExperimentRunner
   public:
     explicit ExperimentRunner(Budget budget_ = Budget::fromEnv())
         : budget(budget_), shareWarmup(sharingFromEnv()),
-          jobTimeout(timeoutFromEnv())
+          jobTimeout(timeoutFromEnv()), retries_(retriesFromEnv()),
+          retryBackoffBase(backoffFromEnv()), ckptDir(ckptDirFromEnv())
     {
     }
 
@@ -136,6 +138,84 @@ class ExperimentRunner
      */
     void setJobTimeout(double seconds) { jobTimeout = seconds; }
     double jobTimeoutSeconds() const { return jobTimeout; }
+
+    /**
+     * Bounded retry for transient failures (`--retries N` /
+     * BOP_RETRIES): a job whose error kind is transient
+     * (transientFaultKind(), currently "io") is re-enqueued through
+     * the never-memoise path up to N more times with exponential
+     * backoff; records carry the final `attempts` count. Deterministic
+     * failure kinds (timeout/checkpoint/simulation) never retry —
+     * docs/ROBUSTNESS.md has the decision table.
+     */
+    void setRetries(int n) { retries_ = n < 0 ? 0 : n; }
+    int retries() const { return retries_; }
+
+    /**
+     * Backoff before retry attempt @p attempt (2 = first retry):
+     * base * 2^(attempt-2) seconds, base 50 ms or BOP_RETRY_BACKOFF.
+     */
+    double retryBackoffSeconds(int attempt) const
+    {
+        double backoff = retryBackoffBase;
+        for (int i = 2; i < attempt; ++i)
+            backoff *= 2.0;
+        return backoff;
+    }
+
+    /**
+     * Attach a write-ahead result journal (`--journal FILE`): every
+     * committed run/error record is appended with fsync-on-commit
+     * framing before the farm acknowledges it (journal.hh). Throws on
+     * open failure or a budget mismatch with an existing journal.
+     */
+    void attachJournal(const std::string &path)
+    {
+        journal.open(path, budget.warmup, budget.measure);
+    }
+
+    /**
+     * Replay a journal into the memo (`--resume FILE`): journaled
+     * success records become memo hits (flagged journalReplayed) and
+     * both success and error records become pending replays the farm
+     * commits verbatim instead of re-simulating, so a killed sweep
+     * resumed under the same config produces byte-identical final
+     * output (timing fields aside). Config drift is refused with a
+     * named mismatch: budgets via the journal header, everything else
+     * via the fingerprint-bearing memo key (a drifted design point
+     * simply never matches and re-simulates). Returns the number of
+     * replayed entries.
+     */
+    std::size_t resumeFromJournal(const std::string &path,
+                                  std::ostream &diag);
+
+    /**
+     * Claim the pending replay for @p key, if any (last journal entry
+     * wins). The farm calls this before considering simulation; a
+     * claimed record is gone, so a key replays into the record stream
+     * exactly once per resume.
+     */
+    bool consumeReplayed(const std::string &key, RunRecord &out);
+
+    /** Entries loaded by resumeFromJournal() (consumed or not). */
+    std::uint64_t replayedCount() const
+    {
+        std::lock_guard<std::mutex> lk(m);
+        return replayCount;
+    }
+
+    /**
+     * Disk-backed checkpoint cache directory (BOP_CKPT_DIR): shared
+     * warmup prefixes are persisted atomically (tmp+fsync+rename)
+     * under their (workload, config fingerprint, warmup budget) key
+     * and reloaded across processes — the in-memory warmup-prefix
+     * latch, promoted to disk. Corrupt or mismatched entries are
+     * refused (validate-before-apply, byte-offset diagnostics) and
+     * fall back to a cold warmup that overwrites the entry. Empty
+     * disables. Only consulted when checkpoint sharing is on.
+     */
+    void setCheckpointDir(const std::string &dir) { ckptDir = dir; }
+    const std::string &checkpointDir() const { return ckptDir; }
 
     /**
      * Warmup prefixes actually simulated so far (each shared prefix
@@ -199,15 +279,18 @@ class ExperimentRunner
         return simulateRecord(benchmark, cfg, budget);
     }
 
-    /** Commit a farm job: append its record and memoise it under key. */
+    /** Commit a farm job: append its record and memoise it under key
+     *  (and journal it, unless it was itself replayed from the
+     *  journal). */
     void commitJob(const std::string &key, RunRecord record);
 
     /**
      * Commit a failed farm job: append its error record (see
      * RunRecord::errored()) WITHOUT memoising — failures are never
-     * cached, so resubmitting the design point re-simulates it.
+     * cached, so resubmitting the design point re-simulates it. The
+     * key is journal bookkeeping only.
      */
-    void commitError(RunRecord record);
+    void commitError(const std::string &key, RunRecord record);
 
     /**
      * One record per actual (non-memoised) simulation, in commit
@@ -251,9 +334,47 @@ class ExperimentRunner
     /** BOP_JOB_TIMEOUT seconds, 0 when unset. */
     static double timeoutFromEnv();
 
+    /** BOP_RETRIES, 0 when unset. */
+    static int retriesFromEnv();
+
+    /** BOP_RETRY_BACKOFF seconds, 0.05 when unset. */
+    static double backoffFromEnv();
+
+    /** BOP_CKPT_DIR, empty when unset. */
+    static std::string ckptDirFromEnv();
+
+    /** Journal-append one committed record; no-op when detached or
+     *  when the record was itself replayed from the journal. */
+    void journalCommit(const std::string &key, const RunRecord &record)
+    {
+        if (journal.isOpen() && !record.journalReplayed)
+            journal.append(key, record);
+    }
+
+    /**
+     * Disk checkpoint-cache entry for @p pkey, or false. Throws
+     * CheckpointError (byte-offset diagnostics) on a corrupt or
+     * key-mismatched entry — validate-before-apply, the caller falls
+     * back to a cold warmup.
+     */
+    bool loadCacheEntry(const std::string &pkey,
+                        std::vector<std::uint8_t> &container) const;
+
+    /** Persist a warm prefix atomically (tmp+fsync+rename);
+     *  best-effort — failures warn on stderr, the cache is only an
+     *  optimisation. */
+    void saveCacheEntry(const std::string &pkey,
+                        const std::vector<std::uint8_t> &container) const;
+
+    /** Cache-entry file path for a prefix key (FNV-1a name). */
+    std::string cacheEntryPath(const std::string &pkey) const;
+
     Budget budget;
     bool shareWarmup = false;  ///< ctor reads BOP_CKPT_SHARE
     double jobTimeout = 0.0;   ///< ctor reads BOP_JOB_TIMEOUT
+    int retries_ = 0;          ///< ctor reads BOP_RETRIES
+    double retryBackoffBase = 0.05; ///< ctor reads BOP_RETRY_BACKOFF
+    std::string ckptDir;       ///< ctor reads BOP_CKPT_DIR
 
     mutable std::mutex m;
     /** Latch release / cache commit; also the prefix latch. Mutable:
@@ -263,6 +384,12 @@ class ExperimentRunner
     std::map<std::string, RunRecord> cache;
     std::vector<RunRecord> runRecords;
     long nextJobIndex = 0;
+
+    ResultJournal journal; ///< write-ahead record log (--journal)
+    /** Journal entries awaiting their submission slot (--resume);
+     *  consumeReplayed() pops them. */
+    std::map<std::string, RunRecord> replayed;
+    std::uint64_t replayCount = 0;
 
     /**
      * Warm-state bytes per prefix key. Node-stable (std::map, never

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Write-ahead NDJSON result journal (crash-durable sweeps).
+ *
+ * A thousand-job overnight sweep must not lose its completed work to a
+ * power loss or `kill -9`: every committed run record or error record
+ * is appended to the journal *before* the farm acknowledges it, with
+ * fsync-on-commit framing, so `--resume` can replay the journal into
+ * the runner's memo and only un-journaled jobs re-simulate.
+ *
+ * Framing (normative grammar in docs/ROBUSTNESS.md): one line per
+ * entry —
+ *
+ *   <payload-json> @crc32=xxxxxxxx\n
+ *
+ * where the trailer carries the CRC-32 (serializer.hh polynomial) of
+ * the payload bytes, lowercase hex. Line 1 is the header
+ * `{"journal": "BOPJRNL1", "warmup": W, "measure": M}`; replaying
+ * under different default budgets is refused with a named mismatch,
+ * like checkpoint restore. Every other line is a json_report record
+ * object (success or error grammar) extended with `journal_key` (the
+ * runner's memo key) and, for success records, `journal_stats` (the
+ * raw RunStats counters as a hex Serializer dump — re-serialisation is
+ * bit-exact, so a resumed sweep's final JSON is byte-identical to an
+ * uninterrupted one, timing fields aside).
+ *
+ * A final line without its newline is a *torn* line — the signature of
+ * a producer killed mid-append — and is dropped on replay with a
+ * warning (the same tolerance bench_diff extends to truncated NDJSON).
+ * A complete line that fails its CRC or does not decode is corruption
+ * and is refused with the line number and byte offset; a corrupt
+ * journal must never silently skew results.
+ */
+
+#ifndef BOP_HARNESS_JOURNAL_HH
+#define BOP_HARNESS_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "harness/json_report.hh"
+
+namespace bop
+{
+
+/** One replayed journal entry: memo key plus reconstructed record. */
+struct JournalEntry
+{
+    std::string key;
+    RunRecord record;
+};
+
+/** Append-only writer / replay loader for the result journal. */
+class ResultJournal
+{
+  public:
+    ResultJournal() = default;
+    ~ResultJournal();
+
+    ResultJournal(const ResultJournal &) = delete;
+    ResultJournal &operator=(const ResultJournal &) = delete;
+
+    /**
+     * Open @p path for appending under the given default budgets.
+     * Writes the header line when the file is new or empty; otherwise
+     * validates the existing header (budget drift between sessions is
+     * refused with a named mismatch — one journal, one budget).
+     * Throws std::runtime_error on open failure or header mismatch.
+     */
+    void open(const std::string &path, std::uint64_t warmup,
+              std::uint64_t measure);
+
+    bool isOpen() const { return file != nullptr; }
+
+    /**
+     * Append one committed record. Write + fflush + fsync under the
+     * journal mutex: when this returns, the record is durable. A
+     * failed write throws (a WAL that cannot persist must fail
+     * loudly), leaving at most a torn final line that the next replay
+     * drops. Injection points (docs/ROBUSTNESS.md):
+     * `journal_write_short` (half the line lands, the append throws)
+     * and `crash_hard` (half the line lands and the process `_exit`s
+     * on the spot — the fork-based crash-recovery test and the CI
+     * crash-resume smoke arm this).
+     */
+    void append(const std::string &key, const RunRecord &record);
+
+    /**
+     * Load and validate a journal for replay. Returns the decoded
+     * entries in append order (a later entry for the same key
+     * supersedes an earlier one when consumed as a map). Throws
+     * std::runtime_error on header/budget mismatch or mid-stream
+     * corruption (naming line and byte offset); a torn final line is
+     * dropped with a warning on @p diag.
+     */
+    static std::vector<JournalEntry> load(const std::string &path,
+                                          std::uint64_t warmup,
+                                          std::uint64_t measure,
+                                          std::ostream &diag);
+
+    // --- framing / codec internals, exposed for the decode tests ---
+
+    /** Append the " @crc32=xxxxxxxx" trailer to @p payload. */
+    static std::string frame(const std::string &payload);
+
+    /**
+     * Validate one complete line's trailer and CRC. On success fills
+     * @p payload and returns true; otherwise fills @p error.
+     */
+    static bool unframe(const std::string &line, std::string &payload,
+                        std::string &error);
+
+    /** Header payload for the given budgets. */
+    static std::string headerPayload(std::uint64_t warmup,
+                                     std::uint64_t measure);
+
+    /** Record payload: json_report grammar + journal_key/_stats. */
+    static std::string recordPayload(const std::string &key,
+                                     const RunRecord &record);
+
+    /** Inverse of recordPayload(). Throws std::runtime_error on a
+     *  payload missing required journal fields. */
+    static JournalEntry decodeRecordPayload(const std::string &payload);
+
+    /** RunStats counters as a lowercase-hex Serializer dump. */
+    static std::string encodeStatsHex(const RunStats &stats);
+
+    /** Inverse of encodeStatsHex(); throws on bad hex or size. */
+    static RunStats decodeStatsHex(const std::string &hex);
+
+  private:
+    /** Write one framed line + newline; m must be held. */
+    void writeLine(const std::string &line);
+
+    std::FILE *file = nullptr;
+    std::string path_;
+    std::mutex m;
+};
+
+} // namespace bop
+
+#endif // BOP_HARNESS_JOURNAL_HH

@@ -56,7 +56,8 @@ writeRunRecord(std::ostream &os, const RunRecord &record)
            << "\"workload\": \"" << jsonEscape(record.workload) << "\", "
            << "\"config\": \"" << jsonEscape(record.config) << "\", "
            << "\"jobs\": " << record.jobs << ", "
-           << "\"job_index\": " << record.jobIndex << "}";
+           << "\"job_index\": " << record.jobIndex << ", "
+           << "\"attempts\": " << record.attempts << "}";
         return;
     }
 
@@ -84,6 +85,7 @@ writeRunRecord(std::ostream &os, const RunRecord &record)
        << "\"threads\": " << record.threads << ", "
        << "\"jobs\": " << record.jobs << ", "
        << "\"job_index\": " << record.jobIndex << ", "
+       << "\"attempts\": " << record.attempts << ", "
        << "\"wall_seconds\": " << record.wallSeconds << ", "
        << "\"queue_wait_seconds\": " << record.queueWaitSeconds << ", "
        << "\"sim_mcycles_per_s\": " << record.mcyclesPerSecond() << ", "

@@ -72,6 +72,24 @@ struct RunRecord
     double queueWaitSeconds = 0.0;
 
     /**
+     * Simulation attempts this job took (bounded retry, `--retries`):
+     * 1 for a first-try success, N when N-1 transient-I/O failures
+     * were re-enqueued first. Serialised on success and error records
+     * alike so unattended logs show which jobs rode out flaky I/O.
+     */
+    int attempts = 1;
+
+    /**
+     * True when this record was replayed from a write-ahead journal
+     * (`--resume`) instead of simulated in this process. Host-side
+     * bookkeeping only — never serialised (a resumed sweep's output
+     * must stay byte-identical to an uninterrupted one) — so the
+     * serve loop can count `J replayed` and the runner can skip
+     * re-journaling a record the journal already holds.
+     */
+    bool journalReplayed = false;
+
+    /**
      * Checkpoint provenance: "" for an ordinary cold run (serialised
      * as "none"), "saved" / "restored" for bopsim
      * --save-checkpoint/--restore-checkpoint runs, "warm-shared" when

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "common/fault.hh"
 #include "harness/bench_diff.hh"
@@ -216,20 +217,23 @@ reportRejected(std::ostream &out, std::ostream &diag, std::mutex &outMutex,
 }
 
 /** Report one accepted-but-failed job: the error object keeps the
- *  job's deterministic job_index so batch post-processing can match
- *  it to its submission (docs/ROBUSTNESS.md). */
+ *  job's deterministic job_index (and the attempts it burned) so
+ *  batch post-processing can match it to its submission
+ *  (docs/ROBUSTNESS.md). */
 void
 reportFailed(std::ostream &out, std::ostream &diag, std::mutex &outMutex,
-             const std::exception &e, long jobIndex, long lineNo)
+             const std::exception &e, long jobIndex, int attempts,
+             long lineNo)
 {
     const std::string kind = faultKindOf(e);
     std::lock_guard<std::mutex> lk(outMutex);
     diag << "serve: line " << lineNo << ": job " << jobIndex
-         << " failed (" << kind << "): " << e.what() << "\n";
+         << " failed (" << kind << ", attempt " << attempts
+         << "): " << e.what() << "\n";
     out << "{\"error\": \"job failed\", \"kind\": \"" << jsonEscape(kind)
         << "\", \"detail\": \"" << jsonEscape(e.what())
-        << "\", \"job_index\": " << jobIndex << ", \"line\": " << lineNo
-        << "}" << std::endl;
+        << "\", \"job_index\": " << jobIndex << ", \"attempts\": "
+        << attempts << ", \"line\": " << lineNo << "}" << std::endl;
 }
 
 } // namespace
@@ -244,6 +248,8 @@ serveLoop(std::istream &in, std::ostream &out, ExperimentRunner &runner,
 
     std::mutex outMutex;
     std::atomic<int> failed{0};
+    std::atomic<long> retried{0};
+    std::atomic<long> replayed{0};
     int rejected = 0;
     long accepted = 0;
     long lineNo = 0;
@@ -269,37 +275,59 @@ serveLoop(std::istream &in, std::ostream &out, ExperimentRunner &runner,
         // submit() blocks while the backlog is full: backpressure on
         // the reader bounds in-flight jobs (and so memory) for
         // arbitrarily long batches.
-        pool.submit([&runner, &out, &outMutex, &diag, &failed,
-                     &options, job, jobIndex, lineNo, submitted] {
+        pool.submit([&runner, &out, &outMutex, &diag, &failed, &retried,
+                     &replayed, &options, job, jobIndex, lineNo,
+                     submitted] {
             const double queueWait =
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - submitted)
                     .count();
             FaultScope scope(jobIndex);
-            try {
-                // The runner's in-flight latch dedups identical
-                // design points across concurrent jobs; memo hits
-                // answer without simulating.
-                RunRecord record =
-                    job.shareSet
-                        ? runner.run(job.benchmark, job.cfg,
-                                     job.budget, job.share)
-                        : runner.run(job.benchmark, job.cfg,
-                                     job.budget);
-                record.jobs = static_cast<int>(
-                    options.jobs < 1 ? 1 : options.jobs);
-                record.jobIndex = jobIndex;
-                record.queueWaitSeconds = queueWait;
-                std::lock_guard<std::mutex> lk(outMutex);
-                writeRunRecord(out, record);
-                out << std::endl;
-            } catch (const std::exception &e) {
-                // Containment: this job answers with an error object,
-                // the batch keeps going, and the failure is never
-                // memoised (the runner releases its latch on throw),
-                // so a later identical job retries from scratch.
-                ++failed;
-                reportFailed(out, diag, outMutex, e, jobIndex, lineNo);
+            for (int attempt = 1;; ++attempt) {
+                try {
+                    // The runner's in-flight latch dedups identical
+                    // design points across concurrent jobs; memo hits
+                    // answer without simulating — including records
+                    // replayed from a journal (--resume), which are
+                    // memo hits flagged journalReplayed.
+                    RunRecord record =
+                        job.shareSet
+                            ? runner.run(job.benchmark, job.cfg,
+                                         job.budget, job.share)
+                            : runner.run(job.benchmark, job.cfg,
+                                         job.budget);
+                    if (record.journalReplayed)
+                        ++replayed;
+                    record.jobs = static_cast<int>(
+                        options.jobs < 1 ? 1 : options.jobs);
+                    record.jobIndex = jobIndex;
+                    record.queueWaitSeconds = queueWait;
+                    record.attempts = attempt;
+                    std::lock_guard<std::mutex> lk(outMutex);
+                    writeRunRecord(out, record);
+                    out << std::endl;
+                    return;
+                } catch (const std::exception &e) {
+                    // Bounded retry: transient I/O failures re-run in
+                    // place through the never-memoise path (the
+                    // runner released its latch on throw). Everything
+                    // else is containment as before — this job
+                    // answers with an error object and the batch
+                    // keeps going.
+                    if (transientFaultKind(faultKindOf(e)) &&
+                        attempt <= runner.retries()) {
+                        ++retried;
+                        std::this_thread::sleep_for(
+                            std::chrono::duration<double>(
+                                runner.retryBackoffSeconds(attempt +
+                                                           1)));
+                        continue;
+                    }
+                    ++failed;
+                    reportFailed(out, diag, outMutex, e, jobIndex,
+                                 attempt, lineNo);
+                    return;
+                }
             }
         });
     }
@@ -315,7 +343,9 @@ serveLoop(std::istream &in, std::ostream &out, ExperimentRunner &runner,
     {
         std::lock_guard<std::mutex> lk(outMutex);
         diag << "serve: " << accepted << " accepted, " << rejected
-             << " rejected, " << failed.load() << " failed\n";
+             << " rejected, " << failed.load() << " failed, "
+             << retried.load() << " retried, " << replayed.load()
+             << " replayed\n";
     }
     return rejected + failed.load();
 }

@@ -65,11 +65,15 @@ struct ServeOptions
  * is raised), then drain gracefully — every accepted job answers.
  * A job that fails (simulation error, deadline, injected fault)
  * answers with the error object {"error", "kind", "detail",
- * "job_index", "line"} (docs/ROBUSTNESS.md) while the rest of the
- * batch keeps running. Always prints a final summary line to @p diag:
- * `serve: <A> accepted, <R> rejected, <F> failed`. Returns the number
- * of rejected or failed jobs (0 = clean batch; bopsim exits nonzero
- * otherwise).
+ * "job_index", "attempts", "line"} (docs/ROBUSTNESS.md) while the
+ * rest of the batch keeps running; a transient failure ("io") retries
+ * in place up to runner.retries() more times with exponential backoff
+ * before answering. Always prints a final summary line to @p diag:
+ * `serve: <A> accepted, <R> rejected, <F> failed, <T> retried,
+ * <J> replayed` — T counts retry attempts, J counts jobs answered
+ * from a journal replay (--resume) instead of simulation — so
+ * unattended logs are auditable. Returns the number of rejected or
+ * failed jobs (0 = clean batch; bopsim exits nonzero otherwise).
  */
 int serveLoop(std::istream &in, std::ostream &out,
               ExperimentRunner &runner, const ServeOptions &options,

@@ -1,5 +1,8 @@
 #include "harness/sweep_farm.hh"
 
+#include <chrono>
+#include <thread>
+
 #include "common/fault.hh"
 
 namespace bop
@@ -11,7 +14,7 @@ namespace
 /** Error record for a design point whose simulation threw. */
 RunRecord
 errorRecord(const std::string &benchmark, const SystemConfig &cfg,
-            int jobs, long jobIndex, const std::exception &e)
+            int jobs, long jobIndex, const std::exception &e, int attempts)
 {
     RunRecord record;
     record.workload = benchmark;
@@ -20,6 +23,7 @@ errorRecord(const std::string &benchmark, const SystemConfig &cfg,
     record.jobIndex = jobIndex;
     record.errorKind = faultKindOf(e);
     record.errorDetail = e.what();
+    record.attempts = attempts;
     return record;
 }
 
@@ -40,10 +44,53 @@ SweepFarm::~SweepFarm()
 }
 
 void
+SweepFarm::runSlot(Slot *slot, int attempt)
+{
+    const double queueWait =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      slot->submitted)
+            .count();
+    // Containment: catch here, in the slot, rather than leaning on
+    // TaskPool's backstop — the error must land in this job's
+    // submission-order slot so drain() commits it (and every
+    // surviving record) exactly where a fault-free run would.
+    FaultScope scope(slot->jobIndex);
+    try {
+        RunRecord record =
+            runner_.simulateRecord(slot->benchmark, slot->cfg);
+        record.jobs = jobs;
+        record.jobIndex = slot->jobIndex;
+        record.queueWaitSeconds = queueWait;
+        record.attempts = attempt;
+        slot->record = std::move(record);
+    } catch (const std::exception &e) {
+        slot->record = errorRecord(slot->benchmark, slot->cfg, jobs,
+                                   slot->jobIndex, e, attempt);
+    }
+}
+
+void
 SweepFarm::submit(const std::string &benchmark, const SystemConfig &cfg)
 {
     const std::string key = runner_.runKey(benchmark, cfg);
-    if (runner_.memoised(key) || !submitted.insert(key).second)
+    if (!submitted.insert(key).second)
+        return;
+
+    // A journal replay claims this submission slot before the memo is
+    // even consulted (replayed success records ARE memoised): the
+    // journaled record — error records included — is committed
+    // verbatim, and the job index still advances so the rest of the
+    // sweep keeps the indices an uninterrupted run would produce.
+    RunRecord replayedRecord;
+    if (runner_.consumeReplayed(key, replayedRecord)) {
+        runner_.reserveJobIndex();
+        if (replayedRecord.errored())
+            runner_.commitError(key, std::move(replayedRecord));
+        else
+            runner_.commitJob(key, std::move(replayedRecord));
+        return;
+    }
+    if (runner_.memoised(key))
         return;
 
     const long jobIndex = runner_.reserveJobIndex();
@@ -51,46 +98,31 @@ SweepFarm::submit(const std::string &benchmark, const SystemConfig &cfg)
     if (!pool) {
         // Inline serial path: identical to the pre-farm sweep, and the
         // memo is warm immediately (later duplicate submissions of the
-        // same point short-circuit above). Containment matches the
-        // pool path: a throwing job becomes an error record, never an
-        // escaped exception that would abort the rest of the sweep.
-        FaultScope scope(jobIndex);
-        try {
-            RunRecord record = runner_.simulateRecord(benchmark, cfg);
-            record.jobs = 1;
-            record.jobIndex = jobIndex;
-            runner_.commitJob(key, std::move(record));
-        } catch (const std::exception &e) {
-            runner_.commitError(errorRecord(benchmark, cfg, 1, jobIndex, e));
+        // same point short-circuit above). Containment and bounded
+        // retry match the pool path, minus the queueing.
+        Slot slot{key, benchmark, cfg, jobIndex,
+                  std::chrono::steady_clock::now(), RunRecord{}};
+        const int maxAttempts = 1 + runner_.retries();
+        for (int attempt = 1;; ++attempt) {
+            runSlot(&slot, attempt);
+            if (!slot.record.errored() ||
+                !transientFaultKind(slot.record.errorKind) ||
+                attempt >= maxAttempts)
+                break;
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                runner_.retryBackoffSeconds(attempt + 1)));
         }
+        if (slot.record.errored())
+            runner_.commitError(key, std::move(slot.record));
+        else
+            runner_.commitJob(key, std::move(slot.record));
         return;
     }
 
     slots.push_back(Slot{key, benchmark, cfg, jobIndex,
                          std::chrono::steady_clock::now(), RunRecord{}});
     Slot *slot = &slots.back();
-    pool->submit([this, slot] {
-        const double queueWait =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - slot->submitted)
-                .count();
-        // Containment: catch here, in the slot, rather than leaning on
-        // TaskPool's backstop — the error must land in this job's
-        // submission-order slot so drain() commits it (and every
-        // surviving record) exactly where a fault-free run would.
-        FaultScope scope(slot->jobIndex);
-        try {
-            RunRecord record =
-                runner_.simulateRecord(slot->benchmark, slot->cfg);
-            record.jobs = jobs;
-            record.jobIndex = slot->jobIndex;
-            record.queueWaitSeconds = queueWait;
-            slot->record = std::move(record);
-        } catch (const std::exception &e) {
-            slot->record = errorRecord(slot->benchmark, slot->cfg, jobs,
-                                       slot->jobIndex, e);
-        }
-    });
+    pool->submit([this, slot] { runSlot(slot, 1); });
 }
 
 void
@@ -99,9 +131,32 @@ SweepFarm::drain()
     if (!pool)
         return; // inline jobs committed at submit time
     pool->drain();
+
+    // Bounded retry (docs/ROBUSTNESS.md decision table): re-enqueue
+    // the slots that failed with a transient kind through the same
+    // never-memoise path, with exponential backoff between rounds.
+    // TaskPool workers persist across drain(), so re-submission after
+    // a drain is an ordinary submit.
+    const int maxAttempts = 1 + runner_.retries();
+    for (int attempt = 2; attempt <= maxAttempts; ++attempt) {
+        std::vector<Slot *> again;
+        for (Slot &slot : slots) {
+            if (slot.record.errored() &&
+                transientFaultKind(slot.record.errorKind))
+                again.push_back(&slot);
+        }
+        if (again.empty())
+            break;
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            runner_.retryBackoffSeconds(attempt)));
+        for (Slot *slot : again)
+            pool->submit([this, slot, attempt] { runSlot(slot, attempt); });
+        pool->drain();
+    }
+
     for (Slot &slot : slots) {
         if (slot.record.errored())
-            runner_.commitError(std::move(slot.record));
+            runner_.commitError(slot.key, std::move(slot.record));
         else
             runner_.commitJob(slot.key, std::move(slot.record));
     }

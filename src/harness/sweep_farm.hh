@@ -21,7 +21,15 @@
  *  - a job whose simulation throws commits an error record (same
  *    job_index, same submission-order slot — docs/ROBUSTNESS.md) and
  *    is never memoised; every other job completes unaffected, so the
- *    surviving records stay byte-identical to a fault-free sweep.
+ *    surviving records stay byte-identical to a fault-free sweep;
+ *  - a design point the runner replayed from a write-ahead journal
+ *    (--resume) commits its journaled record verbatim into its
+ *    submission slot without simulating — job indices still advance,
+ *    so the un-journaled remainder of the sweep lands on exactly the
+ *    indices an uninterrupted run would have given it;
+ *  - jobs failing with a transient error kind ("io") are re-enqueued
+ *    after the first drain pass with exponential backoff, up to
+ *    1 + runner.retries() attempts (records carry `attempts`).
  *
  * Usage: submit the whole sweep (a "prefetch pass"), drain(), then
  * compute derived numbers (speedups, geomeans) through the runner's
@@ -89,6 +97,10 @@ class SweepFarm
         std::chrono::steady_clock::time_point submitted;
         RunRecord record;
     };
+
+    /** Simulate one slot's design point into slot->record (attempt
+     *  @p attempt); exceptions become error records in the slot. */
+    void runSlot(Slot *slot, int attempt);
 
     ExperimentRunner &runner_;
     const int jobs;

@@ -248,7 +248,11 @@ PipeByteStream::readRaw(unsigned char *buf, std::size_t n)
                     retries, maxTransientRetries, command.c_str());
                 continue;
             }
-            throw std::runtime_error(
+            // Retry budget exhausted (or a non-EINTR/EAGAIN errno):
+            // classified TransientIoError so the error record carries
+            // kind "io" — the one kind the farm/serve bounded-retry
+            // path (--retries) may re-enqueue the whole job for.
+            throw TransientIoError(
                 "read error from decompressor (" +
                 std::string(std::strerror(err)) + ") after " +
                 std::to_string(offset() + got) +

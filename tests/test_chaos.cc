@@ -443,10 +443,12 @@ TEST(ServeChaos, BatchSurvivesInjectedFaultsByteIdentically)
         faultedDiag);
 
     EXPECT_EQ(cleanFailures, 0);
-    EXPECT_EQ(cleanDiag, "serve: 200 accepted, 0 rejected, 0 failed\n");
+    EXPECT_EQ(cleanDiag, "serve: 200 accepted, 0 rejected, 0 failed, "
+                         "0 retried, 0 replayed\n");
     EXPECT_EQ(faultedFailures, 2);
     EXPECT_NE(
-        faultedDiag.find("serve: 200 accepted, 0 rejected, 2 failed\n"),
+        faultedDiag.find("serve: 200 accepted, 0 rejected, 2 failed, "
+                         "0 retried, 0 replayed\n"),
         std::string::npos)
         << faultedDiag;
 
@@ -499,7 +501,8 @@ TEST(ServeChaos, FailuresAreNeverMemoised)
         failures = serveLoop(in, out, runner, options, diag);
     }
     EXPECT_EQ(failures, 1);
-    EXPECT_NE(diag.str().find("serve: 2 accepted, 0 rejected, 1 failed"),
+    EXPECT_NE(diag.str().find("serve: 2 accepted, 0 rejected, 1 failed, "
+                          "0 retried, 0 replayed"),
               std::string::npos)
         << diag.str();
     const std::string text = out.str();

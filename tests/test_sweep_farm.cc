@@ -514,7 +514,8 @@ TEST(Serve, ThousandJobBatchDedupsAndDrains)
     const int failures = serveLoop(in, out, runner, options, diag);
     EXPECT_EQ(failures, 0);
     // The only diagnostic on a clean batch is the final summary line.
-    EXPECT_EQ(diag.str(), "serve: 1000 accepted, 0 rejected, 0 failed\n");
+    EXPECT_EQ(diag.str(), "serve: 1000 accepted, 0 rejected, 0 failed, "
+                          "0 retried, 0 replayed\n");
     EXPECT_EQ(runner.records().size(), 4u);
 
     // Every job_index 0..999 answered exactly once (completion order

@@ -105,14 +105,20 @@ main(int argc, char **argv)
         const bop::BenchDiffResult result =
             bop::diffRunRecords(old_records, new_records, options);
 
-        std::printf("compared %zu runs (%s -> %s)\n", result.compared,
+        std::printf("compared %zu runs, %zu error record pair(s) "
+                    "(%s -> %s)\n",
+                    result.compared, result.errorsCompared,
                     old_path.c_str(), new_path.c_str());
         for (const std::string &key : result.onlyOld)
             std::printf("  - disappeared: %s\n", key.c_str());
         for (const std::string &key : result.onlyNew)
             std::printf("  + new run    : %s\n", key.c_str());
+        for (const std::string &what : result.errorOnlyOld)
+            std::printf("  - error gone : %s\n", what.c_str());
+        for (const std::string &what : result.errorOnlyNew)
+            std::printf("  + new error  : %s\n", what.c_str());
 
-        if (result.compared == 0 &&
+        if (result.compared == 0 && result.errorsCompared == 0 &&
             !(old_records.empty() && new_records.empty())) {
             std::fprintf(stderr,
                          "bench_diff: the artifacts share no run — "
@@ -131,8 +137,13 @@ main(int argc, char **argv)
                         d.metric.c_str(), d.delta, d.oldValue,
                         d.newValue, d.key.c_str());
         }
-        std::printf("%zu metric movement(s) beyond thresholds\n",
-                    result.flagged.size());
+        for (const bop::ErrorKindMismatch &m : result.errorMismatches) {
+            std::printf("ERROR-KIND job %-6ld %s -> %s\n", m.jobIndex,
+                        m.oldKind.c_str(), m.newKind.c_str());
+        }
+        std::printf("%zu metric movement(s) / %zu error-kind "
+                    "mismatch(es) beyond thresholds\n",
+                    result.flagged.size(), result.errorMismatches.size());
         return 1;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "bench_diff: %s\n", e.what());

@@ -92,6 +92,14 @@ usage(const char *argv0)
         "                      (default off; also BOP_JOB_TIMEOUT=SEC)\n"
         "                      SIGINT/SIGTERM drain gracefully: no new\n"
         "                      lines accepted, in-flight jobs answer\n"
+        "  --journal FILE      append every committed record to a\n"
+        "                      crash-durable write-ahead journal\n"
+        "                      (fsync-on-commit; docs/ROBUSTNESS.md)\n"
+        "  --resume FILE       replay a journal first: journaled jobs\n"
+        "                      answer verbatim, only the rest simulate\n"
+        "  --retries N         retry transient (kind \"io\") job\n"
+        "                      failures up to N times with exponential\n"
+        "                      backoff (default BOP_RETRIES or 0)\n"
         "\n"
         "checkpointing (format: docs/CHECKPOINT_FORMAT.md):\n"
         "  --save-checkpoint FILE\n"
@@ -165,6 +173,9 @@ main(int argc, char **argv)
     int jobs = 1;
     std::size_t backlog = 0;
     double job_timeout = -1.0; ///< <0 = not given; BOP_JOB_TIMEOUT rules
+    std::string journal_path;
+    std::string resume_path;
+    int retries = -1; ///< <0 = not given; BOP_RETRIES rules
     if (const char *j = std::getenv("BOP_JOBS")) {
         const int env_jobs = std::atoi(j);
         if (env_jobs >= 1)
@@ -262,6 +273,14 @@ main(int argc, char **argv)
             restore_ckpt = next_arg(i);
         } else if (arg == "--json") {
             json_path = next_arg(i);
+        } else if (arg == "--journal") {
+            journal_path = next_arg(i);
+        } else if (arg == "--resume") {
+            resume_path = next_arg(i);
+        } else if (arg == "--retries") {
+            retries = std::atoi(next_arg(i).c_str());
+            if (retries < 0)
+                retries = 0;
         } else {
             usage(argv[0]);
             die("unknown option '" + arg + "'");
@@ -279,6 +298,16 @@ main(int argc, char **argv)
         ExperimentRunner runner(Budget{warmup, instr});
         if (job_timeout >= 0.0)
             runner.setJobTimeout(job_timeout);
+        if (retries >= 0)
+            runner.setRetries(retries);
+        try {
+            if (!resume_path.empty())
+                runner.resumeFromJournal(resume_path, std::cerr);
+            if (!journal_path.empty())
+                runner.attachJournal(journal_path);
+        } catch (const std::exception &e) {
+            die(e.what());
+        }
         ServeOptions serve_opts;
         serve_opts.jobs = jobs;
         serve_opts.backlog = backlog;
@@ -306,6 +335,9 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (!journal_path.empty() || !resume_path.empty() || retries >= 0)
+        die("--journal/--resume/--retries apply to the batch service; "
+            "combine them with --serve");
     if (workload.empty() == trace_file.empty())
         die("select exactly one of --workload / --trace (see --help)");
     if ((skip || sample) && trace_file.empty())
